@@ -1,0 +1,761 @@
+// Package repro's root benchmark harness: one bench (or bench family) per
+// figure of "Composite Objects Revisited" plus ablations of the design
+// decisions the paper argues qualitatively. The paper reports no
+// quantitative results, so EXPERIMENTS.md records these measurements as
+// the quantitative backing for the paper's qualitative claims; the shapes
+// (who wins, where crossovers fall), not absolute numbers, are the
+// reproduction targets.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/index"
+	"repro/internal/lock"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/uid"
+	"repro/internal/value"
+	"repro/internal/version"
+)
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+// partEngine builds a Part class whose Subparts reference kind is
+// configurable.
+func partEngine(b *testing.B, exclusive, dependent bool) *core.Engine {
+	b.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Part", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Name", schema.StringDomain),
+		schema.NewCompositeSetAttr("Subparts", "Part").WithExclusive(exclusive).WithDependent(dependent),
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	return core.NewEngine(cat)
+}
+
+// buildTree creates a part tree with the given depth and fanout rooted at
+// the returned UID (depth 0 = just the root).
+func buildTree(b *testing.B, e *core.Engine, depth, fanout int) uid.UID {
+	b.Helper()
+	root, err := e.New("Part", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	level := []uid.UID{root.UID()}
+	for d := 0; d < depth; d++ {
+		var next []uid.UID
+		for _, p := range level {
+			for f := 0; f < fanout; f++ {
+				c, err := e.New("Part", nil, core.ParentSpec{Parent: p, Attr: "Subparts"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				next = append(next, c.UID())
+			}
+		}
+		level = next
+	}
+	return root.UID()
+}
+
+// ---------------------------------------------------------------------
+// §3 operations: components-of traversal sweeps
+// ---------------------------------------------------------------------
+
+func BenchmarkComponentsOfDepth(b *testing.B) {
+	for _, depth := range []int{2, 4, 8, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			e := partEngine(b, true, true)
+			// Chain: fanout 1.
+			root := buildTree(b, e, depth, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				comps, err := e.ComponentsOf(root, core.QueryOpts{})
+				if err != nil || len(comps) != depth {
+					b.Fatalf("components = %d, %v", len(comps), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComponentsOfFanout(b *testing.B) {
+	for _, fanout := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			e := partEngine(b, true, true)
+			root := buildTree(b, e, 2, fanout)
+			want := fanout + fanout*fanout
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				comps, err := e.ComponentsOf(root, core.QueryOpts{})
+				if err != nil || len(comps) != want {
+					b.Fatalf("components = %d, %v", len(comps), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParentsOf measures the payoff of §2.4's reverse composite
+// references: parents-of is O(parents), not a scan of all objects.
+func BenchmarkParentsOf(b *testing.B) {
+	for _, parents := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("parents=%d", parents), func(b *testing.B) {
+			e := partEngine(b, false, false) // shared so many parents are legal
+			child, _ := e.New("Part", nil)
+			for i := 0; i < parents; i++ {
+				p, _ := e.New("Part", nil)
+				if err := e.Attach(p.UID(), "Subparts", child.UID()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := e.ParentsOf(child.UID(), core.QueryOpts{})
+				if err != nil || len(ps) != parents {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Deletion Rule cascades
+// ---------------------------------------------------------------------
+
+func BenchmarkDeletionCascade(b *testing.B) {
+	for _, cfg := range []struct {
+		name      string
+		exclusive bool
+		depth     int
+		fanout    int
+	}{
+		{"DX/n=100", true, 2, 9},   // 1+9+81 = 91 objects
+		{"DX/n=1000", true, 3, 9},  // ~820
+		{"DX/n=10000", true, 4, 9}, // ~7381
+		{"DS/n=1000", false, 3, 9}, // shared chain, single parent each
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			// Fixture rebuild stays in the timed region (see
+			// evolutionRun); "delete-ns/op" isolates the cascade.
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				e := partEngine(b, cfg.exclusive, true)
+				root := buildTree(b, e, cfg.depth, cfg.fanout)
+				n := e.Len()
+				start := time.Now()
+				deleted, err := e.Delete(root)
+				total += time.Since(start)
+				if err != nil || len(deleted) != n {
+					b.Fatalf("deleted %d of %d: %v", len(deleted), n, err)
+				}
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "delete-ns/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation (§2.4): reverse references in the object vs an external index
+// ---------------------------------------------------------------------
+
+// externalIndex simulates the design the paper rejected: reverse
+// references kept in a separate data structure, costing a level of
+// indirection on every parent lookup.
+type externalIndex struct {
+	parents map[uid.UID][]uid.UID
+}
+
+func BenchmarkReverseRefsInObject(b *testing.B) {
+	e := partEngine(b, false, false)
+	child, _ := e.New("Part", nil)
+	for i := 0; i < 8; i++ {
+		p, _ := e.New("Part", nil)
+		e.Attach(p.UID(), "Subparts", child.UID())
+	}
+	o, _ := e.Get(child.UID())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(o.Parents()) != 8 {
+			b.Fatal("wrong parents")
+		}
+	}
+}
+
+func BenchmarkReverseRefsExternalIndex(b *testing.B) {
+	idx := &externalIndex{parents: make(map[uid.UID][]uid.UID)}
+	child := uid.UID{Class: 1, Serial: 1}
+	for i := 0; i < 8; i++ {
+		idx.parents[child] = append(idx.parents[child], uid.UID{Class: 1, Serial: uint64(i + 2)})
+	}
+	// Fill the index with unrelated entries so the map lookup is honest.
+	for i := 0; i < 10000; i++ {
+		u := uid.UID{Class: 2, Serial: uint64(i)}
+		idx.parents[u] = []uid.UID{{Class: 3, Serial: uint64(i)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(idx.parents[child]) != 8 {
+			b.Fatal("wrong parents")
+		}
+	}
+}
+
+// BenchmarkObjectSizeWithReverseRefs quantifies the cost side of §2.4's
+// trade-off: reverse references grow the stored object.
+func BenchmarkObjectSizeWithReverseRefs(b *testing.B) {
+	for _, parents := range []int{0, 1, 8, 64} {
+		b.Run(fmt.Sprintf("parents=%d", parents), func(b *testing.B) {
+			e := partEngine(b, false, false)
+			child, _ := e.New("Part", map[string]value.Value{"Name": value.Str("bench-part")})
+			for i := 0; i < parents; i++ {
+				p, _ := e.New("Part", nil)
+				e.Attach(p.UID(), "Subparts", child.UID())
+			}
+			o, _ := e.Get(child.UID())
+			var size int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				size = len(encoding.EncodeObject(o))
+			}
+			b.ReportMetric(float64(size), "bytes/object")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Clustering (§2.3): page reads to scan a composite object
+// ---------------------------------------------------------------------
+
+// clusteringRun contrasts the two creation patterns §2.3's clustering
+// targets. "On" models top-down creation: each composite object's
+// components are created with :parent right after their root, landing on
+// the root's page. "Off" models bottom-up assembly of pre-existing parts:
+// the parts of all composites were created earlier, interleaved, so each
+// composite's records scatter across pages. A small buffer pool then
+// measures page reads needed to scan one whole composite object.
+func clusteringRun(b *testing.B, clustered bool) {
+	const nComposites = 64
+	const fanout = 8
+	dev := storage.NewMemDevice()
+	pool := storage.NewBufferPool(dev, 4) // small pool: locality matters
+	st := storage.NewStore(pool)
+	seg, _ := st.CreateSegment("all")
+	payload := make([]byte, 400) // ~9 records per 4 KiB page
+	type composite struct {
+		root  uid.UID
+		parts []uid.UID
+	}
+	comps := make([]composite, nComposites)
+	serial := uint64(1)
+	next := func() uid.UID { serial++; return uid.UID{Class: 1, Serial: serial} }
+	put := func(id, near uid.UID) {
+		if err := st.Put(seg, id, payload, near); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if clustered {
+		// Top-down: root, then its components clustered with it.
+		for i := range comps {
+			comps[i].root = next()
+			put(comps[i].root, uid.Nil)
+			for f := 0; f < fanout; f++ {
+				id := next()
+				put(id, comps[i].root)
+				comps[i].parts = append(comps[i].parts, id)
+			}
+		}
+	} else {
+		// Bottom-up: all parts pre-exist, created interleaved across the
+		// future composites; roots assembled afterwards.
+		for f := 0; f < fanout; f++ {
+			for i := range comps {
+				id := next()
+				put(id, uid.Nil)
+				comps[i].parts = append(comps[i].parts, id)
+			}
+		}
+		for i := range comps {
+			comps[i].root = next()
+			put(comps[i].root, uid.Nil)
+		}
+	}
+	b.ResetTimer()
+	pool.ResetStats()
+	for i := 0; i < b.N; i++ {
+		c := comps[i%len(comps)]
+		if _, err := st.Get(c.root); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range c.parts {
+			if _, err := st.Get(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	stats := pool.Stats()
+	b.ReportMetric(float64(stats.Misses)/float64(b.N), "pagereads/op")
+}
+
+func BenchmarkClusteringOn(b *testing.B)  { clusteringRun(b, true) }
+func BenchmarkClusteringOff(b *testing.B) { clusteringRun(b, false) }
+
+// ---------------------------------------------------------------------
+// Schema evolution (§4.3): immediate vs deferred flag rewriting
+// ---------------------------------------------------------------------
+
+// evolutionRun performs an I2 change over nRefs referenced instances and
+// then accesses a fraction of them; deferred should win when the accessed
+// fraction is small (the paper's motivation for the operation log). The
+// per-iteration fixture rebuild is inside the timed region (so go test's
+// iteration calibration stays sane); the reported "evolution-ns/op"
+// metric isolates the change-plus-access cost, which is the number
+// EXPERIMENTS.md compares.
+func evolutionRun(b *testing.B, deferred bool, nRefs, accessed int) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		cat := schema.NewCatalog()
+		cat.DefineClass(schema.ClassDef{Name: "C"})
+		cat.DefineClass(schema.ClassDef{Name: "Cp", Attributes: []schema.AttrSpec{
+			schema.NewCompositeSetAttr("A", "C"),
+		}})
+		e := core.NewEngine(cat)
+		parent, _ := e.New("Cp", nil)
+		children := make([]uid.UID, nRefs)
+		for j := 0; j < nRefs; j++ {
+			c, _ := e.New("C", nil, core.ParentSpec{Parent: parent.UID(), Attr: "A"})
+			children[j] = c.UID()
+		}
+		start := time.Now()
+		if err := e.ChangeAttributeType("Cp", "A", schema.ChangeToShared, deferred); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < accessed; j++ {
+			if _, err := e.Get(children[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		total += time.Since(start)
+	}
+	b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "evolution-ns/op")
+}
+
+func BenchmarkSchemaEvolution(b *testing.B) {
+	const nRefs = 1000
+	for _, accessed := range []int{0, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("immediate/touch=%d", accessed), func(b *testing.B) {
+			evolutionRun(b, false, nRefs, accessed)
+		})
+		b.Run(fmt.Sprintf("deferred/touch=%d", accessed), func(b *testing.B) {
+			evolutionRun(b, true, nRefs, accessed)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Locking (§7, Figures 7–9)
+// ---------------------------------------------------------------------
+
+func BenchmarkLockCompat(b *testing.B) {
+	modes := lock.Modes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := modes[i%len(modes)]
+		c := modes[(i/len(modes))%len(modes)]
+		lock.Compatible(a, c)
+	}
+}
+
+// protocolBench acquires and releases the full composite protocol lock
+// set against a hierarchy with nClasses component classes.
+func protocolBench(b *testing.B, shared bool) {
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Leaf"})
+	prev := "Leaf"
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("L%d", i)
+		cat.DefineClass(schema.ClassDef{Name: name, Attributes: []schema.AttrSpec{
+			schema.NewCompositeSetAttr("Kids", prev).WithExclusive(!shared).WithDependent(false),
+		}})
+		prev = name
+	}
+	e := core.NewEngine(cat)
+	root, _ := e.New(prev, nil)
+	p := lock.NewProtocol(lock.NewManager(), e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := lock.TxID(i + 1)
+		if err := p.LockCompositeWrite(tx, root.UID()); err != nil {
+			b.Fatal(err)
+		}
+		p.M.ReleaseAll(tx)
+	}
+}
+
+func BenchmarkLockExclusiveProtocol(b *testing.B) { protocolBench(b, false) }
+func BenchmarkLockSharedProtocol(b *testing.B)    { protocolBench(b, true) }
+
+// BenchmarkRootLockVsHierarchical compares the [GARZ88] root-locking
+// algorithm (lock the roots of the accessed component) with the
+// hierarchical protocol (lock the instance + class intents) for direct
+// component access in a deep exclusive hierarchy.
+func BenchmarkRootLockVsHierarchical(b *testing.B) {
+	e := partEngine(b, true, false)
+	root := buildTree(b, e, 6, 1) // depth-6 chain
+	comps, _ := e.ComponentsOf(root, core.QueryOpts{})
+	leaf := comps[len(comps)-1]
+	b.Run("rootlock", func(b *testing.B) {
+		p := lock.NewProtocol(lock.NewManager(), e)
+		for i := 0; i < b.N; i++ {
+			tx := lock.TxID(i + 1)
+			if err := p.LockViaRoots(tx, leaf, false); err != nil {
+				b.Fatal(err)
+			}
+			p.M.ReleaseAll(tx)
+		}
+	})
+	b.Run("hierarchical", func(b *testing.B) {
+		p := lock.NewProtocol(lock.NewManager(), e)
+		for i := 0; i < b.N; i++ {
+			tx := lock.TxID(i + 1)
+			if err := p.LockInstance(tx, leaf, false); err != nil {
+				b.Fatal(err)
+			}
+			p.M.ReleaseAll(tx)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Authorization (§6, Figures 4–6)
+// ---------------------------------------------------------------------
+
+// authFixture: one composite object with n components, alice granted sR
+// on the root.
+func authFixture(b *testing.B, n int) (*core.Engine, *authz.Store, uid.UID, []uid.UID) {
+	e := partEngine(b, false, false)
+	root, _ := e.New("Part", nil)
+	comps := make([]uid.UID, n)
+	for i := 0; i < n; i++ {
+		c, _ := e.New("Part", nil, core.ParentSpec{Parent: root.UID(), Attr: "Subparts"})
+		comps[i] = c.UID()
+	}
+	st := authz.NewStore(e)
+	if err := st.GrantObject("alice", root.UID(), authz.SR); err != nil {
+		b.Fatal(err)
+	}
+	return e, st, root.UID(), comps
+}
+
+// BenchmarkImplicitAuthCheck: one stored grant, checks deduce through the
+// graph (the paper's storage-minimizing design).
+func BenchmarkImplicitAuthCheck(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("components=%d", n), func(b *testing.B) {
+			_, st, _, comps := authFixture(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := st.Check("alice", comps[i%len(comps)], authz.Read)
+				if err != nil || !ok {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPerObjectAuthCheck: the alternative the paper's implicit
+// authorization avoids — one materialized grant per component. Checks are
+// O(1) map hits, but the grant storage is O(components); the benchmark
+// reports grants stored so EXPERIMENTS.md can show the trade-off.
+func BenchmarkPerObjectAuthCheck(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("components=%d", n), func(b *testing.B) {
+			grants := make(map[uid.UID]map[string]authz.Auth, n+1)
+			e := partEngine(b, false, false)
+			root, _ := e.New("Part", nil)
+			comps := make([]uid.UID, n)
+			grants[root.UID()] = map[string]authz.Auth{"alice": authz.SR}
+			for i := 0; i < n; i++ {
+				c, _ := e.New("Part", nil, core.ParentSpec{Parent: root.UID(), Attr: "Subparts"})
+				comps[i] = c.UID()
+				grants[c.UID()] = map[string]authz.Auth{"alice": authz.SR}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, ok := grants[comps[i%len(comps)]]["alice"]
+				if !ok || !a.Positive {
+					b.Fatal("missing grant")
+				}
+			}
+			b.ReportMetric(float64(n+1), "grants-stored")
+		})
+	}
+}
+
+// BenchmarkGrantOnComposite measures grant-time conflict checking, which
+// walks the composite object.
+func BenchmarkGrantOnComposite(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("components=%d", n), func(b *testing.B) {
+			_, st, root, _ := authFixture(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sub := fmt.Sprintf("user%d", i)
+				if err := st.GrantObject(sub, root, authz.WR); err != nil {
+					b.Fatal(err)
+				}
+				st.RevokeObject(sub, root)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Versions (§5, Figures 1–3)
+// ---------------------------------------------------------------------
+
+func versionFixture(b *testing.B) (*core.Engine, *version.Manager, uid.UID, uid.UID) {
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "D", Versionable: true})
+	cat.DefineClass(schema.ClassDef{Name: "C", Versionable: true, Attributes: []schema.AttrSpec{
+		schema.NewAttr("Name", schema.StringDomain),
+		schema.NewCompositeAttr("A", "D").WithDependent(false),
+	}})
+	e := core.NewEngine(cat)
+	m := version.NewManager(e)
+	_, dv, err := m.CreateVersionable("D", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, cv, err := m.CreateVersionable("C", map[string]value.Value{"Name": value.Str("x")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Attach(cv, "A", dv); err != nil {
+		b.Fatal(err)
+	}
+	return e, m, g, cv
+}
+
+func BenchmarkDeriveVersion(b *testing.B) {
+	_, m, _, cv := versionFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Derive(cv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicBind(b *testing.B) {
+	_, m, g, _ := versionFixture(b)
+	for i := 0; i < 10; i++ {
+		info, _ := m.Info(g)
+		if _, err := m.Derive(info.Versions[len(info.Versions)-1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Resolve(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Creation paths: extended model vs the KIM87b baseline
+// ---------------------------------------------------------------------
+
+func BenchmarkMakeTopDown(b *testing.B) {
+	// Creating components under an existing parent (the only path in the
+	// legacy model).
+	e := partEngine(b, true, true)
+	root, _ := e.New("Part", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.New("Part", nil, core.ParentSpec{Parent: root.UID(), Attr: "Subparts"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMakeBottomUp(b *testing.B) {
+	// Assembling pre-existing objects (the extended model's addition).
+	e := partEngine(b, true, false)
+	ids := make([]uid.UID, b.N)
+	for i := range ids {
+		o, _ := e.New("Part", nil)
+		ids[i] = o.UID()
+	}
+	root, _ := e.New("Part", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Attach(root.UID(), "Subparts", ids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMakeComponentCheck(b *testing.B) {
+	// The §2.4 algorithm alone: verify + insert reverse ref on attach,
+	// measured via attach/detach pairs on a single child.
+	e := partEngine(b, true, false)
+	root, _ := e.New("Part", nil)
+	child, _ := e.New("Part", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Attach(root.UID(), "Subparts", child.UID()); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Detach(root.UID(), "Subparts", child.UID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Storage substrate
+// ---------------------------------------------------------------------
+
+func BenchmarkEncodeObject(b *testing.B) {
+	e := partEngine(b, false, false)
+	o, _ := e.New("Part", map[string]value.Value{"Name": value.Str("a part with a name")})
+	for i := 0; i < 4; i++ {
+		p, _ := e.New("Part", nil)
+		e.Attach(p.UID(), "Subparts", o.UID())
+	}
+	obj, _ := e.Get(o.UID())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encoding.EncodeObject(obj)
+	}
+}
+
+func BenchmarkDecodeObject(b *testing.B) {
+	e := partEngine(b, false, false)
+	o, _ := e.New("Part", map[string]value.Value{"Name": value.Str("a part with a name")})
+	for i := 0; i < 4; i++ {
+		p, _ := e.New("Part", nil)
+		e.Attach(p.UID(), "Subparts", o.UID())
+	}
+	obj, _ := e.Get(o.UID())
+	rec := encoding.EncodeObject(obj)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encoding.DecodeObject(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	st := storage.NewStore(storage.NewBufferPool(storage.NewMemDevice(), 64))
+	seg, _ := st.CreateSegment("bench")
+	rec := make([]byte, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uid.UID{Class: 1, Serial: uint64(i + 1)}
+		if err := st.Put(seg, id, rec, uid.Nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Associative queries over the part hierarchy (internal/query)
+// ---------------------------------------------------------------------
+
+func BenchmarkQuerySelect(b *testing.B) {
+	// A fleet of vehicles; predicates of increasing depth.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Body", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Weight", schema.IntDomain),
+	}})
+	cat.DefineClass(schema.ClassDef{Name: "Car", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Id", schema.IntDomain),
+		schema.NewCompositeAttr("Body", "Body").WithDependent(false),
+	}})
+	e := core.NewEngine(cat)
+	const fleet = 1000
+	for i := 0; i < fleet; i++ {
+		body, _ := e.New("Body", map[string]value.Value{"Weight": value.Int(int64(i % 200))})
+		if _, err := e.New("Car", map[string]value.Value{
+			"Id":   value.Int(int64(i)),
+			"Body": value.Ref(body.UID()),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("scalar", func(b *testing.B) {
+		pred := query.Attr("Id").Lt(value.Int(100))
+		for i := 0; i < b.N; i++ {
+			got, err := query.Select(e, "Car", false, pred)
+			if err != nil || len(got) != 100 {
+				b.Fatalf("%d, %v", len(got), err)
+			}
+		}
+	})
+	b.Run("path-1-hop", func(b *testing.B) {
+		pred := query.Attr("Body", "Weight").Ge(value.Int(150))
+		for i := 0; i < b.N; i++ {
+			got, err := query.Select(e, "Car", false, pred)
+			if err != nil || len(got) != fleet/4 {
+				b.Fatalf("%d, %v", len(got), err)
+			}
+		}
+	})
+}
+
+// BenchmarkIndexedVsScan: equality selection with and without a hash
+// index over a 10k-instance extent.
+func BenchmarkIndexedVsScan(b *testing.B) {
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Part", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Material", schema.StringDomain),
+	}})
+	e := core.NewEngine(cat)
+	ix := index.NewManager(e)
+	e.SetHook(core.MultiHook{ix})
+	mats := []string{"steel", "alu", "brass", "nylon"}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, err := e.New("Part", map[string]value.Value{
+			"Material": value.Str(mats[i%len(mats)]),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ix.CreateIndex("Part", "Material"); err != nil {
+		b.Fatal(err)
+	}
+	pred := query.Attr("Material").Eq(value.Str("brass"))
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, err := query.Select(e, "Part", false, pred)
+			if err != nil || len(got) != n/len(mats) {
+				b.Fatalf("%d, %v", len(got), err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, err := query.SelectIndexed(e, ix, "Part", false, pred)
+			if err != nil || len(got) != n/len(mats) {
+				b.Fatalf("%d, %v", len(got), err)
+			}
+		}
+	})
+}

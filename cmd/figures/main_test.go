@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each figure function must produce the key artifacts; these tests keep
+// the reproduction tool honest as the implementation evolves.
+
+func TestFigure1Output(t *testing.T) {
+	out := figure1()
+	for _, want := range []string{
+		"independent exclusive:",
+		"rewritten to generic instance",
+		"dependent reference set to Nil",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure1 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	out := figure2()
+	if !strings.Contains(out, "rejected: true") {
+		t.Errorf("figure2 must show the CV-2X rejection\n%s", out)
+	}
+}
+
+func TestFigure3Output(t *testing.T) {
+	out := figure3()
+	for _, want := range []string{"(rc=2)", "(rc=1)", "(removed)", "parents-of"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure3 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Output(t *testing.T) {
+	out := figure4()
+	if strings.Count(out, "Read=true") != 5 {
+		t.Errorf("figure4 must grant read on all five objects\n%s", out)
+	}
+	if !strings.Contains(out, "Read=false (outside") {
+		t.Errorf("figure4 must deny outside the composite object\n%s", out)
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	out := figure5()
+	if !strings.Contains(out, "effective on o' = sW") {
+		t.Errorf("figure5: sR+sW must resolve to sW\n%s", out)
+	}
+}
+
+func TestFigure6Output(t *testing.T) {
+	out := figure6()
+	for _, want := range []string{"Conflict", "s¬R", "sW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure6 missing %q", want)
+		}
+	}
+}
+
+func TestFigure7And8Output(t *testing.T) {
+	f7, f8 := figure7(), figure8()
+	if !strings.Contains(f7, "SIXO") || strings.Contains(f7, "SIXOS") {
+		t.Errorf("figure7 mode set wrong\n%s", f7)
+	}
+	if !strings.Contains(f8, "SIXOS") {
+		t.Errorf("figure8 missing shared modes\n%s", f8)
+	}
+}
+
+func TestFigure9Output(t *testing.T) {
+	out := figure9()
+	for _, want := range []string{"GRANTED alongside 1", "BLOCKED", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure9 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestGarz88Output(t *testing.T) {
+	out := garz88()
+	if !strings.Contains(out, "undetected implicit conflicts: 1") {
+		t.Errorf("garz88 must show exactly one undetected conflict\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Command orion-shell is an interactive REPL over the composite-object
+// database, speaking the paper's ORION-flavored s-expression language:
+//
+//	$ orion-shell
+//	orion> (make-class 'Vehicle :attributes '((Body :domain AutoBody :composite true)))
+//	orion> (define v (make Vehicle))
+//	orion> (components-of v)
+//
+// Flags:
+//
+//	-db DIR   open (or create) a persistent database in DIR
+//	-e EXPR   evaluate EXPR and exit
+//	-f FILE   evaluate the file (then drop into the REPL unless -e/-q)
+//	-q        quit after -f/-e instead of starting the REPL
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/sexpr"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	expr := flag.String("e", "", "expression to evaluate")
+	file := flag.String("f", "", "file to load")
+	quit := flag.Bool("q", false, "exit after -e/-f")
+	flag.Parse()
+
+	d, err := db.Open(db.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+	in := sexpr.NewInterp(d)
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		v, err := in.EvalString(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(v)
+	}
+	if *expr != "" {
+		v, err := in.EvalString(*expr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(v)
+	}
+	if *quit || *expr != "" {
+		return
+	}
+
+	fmt.Println("ORION-style composite object shell — (make-class ...), (make ...), (components-of ...), ctrl-D to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := "orion> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		pending.WriteString(sc.Text())
+		pending.WriteString("\n")
+		src := pending.String()
+		if !balanced(src) {
+			prompt = "  ...> "
+			continue
+		}
+		pending.Reset()
+		prompt = "orion> "
+		if strings.TrimSpace(src) == "" {
+			continue
+		}
+		v, err := in.EvalString(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(v)
+	}
+}
+
+// balanced reports whether every '(' has been closed (ignoring strings
+// and comments), so multi-line input works.
+func balanced(src string) bool {
+	depth := 0
+	inStr := false
+	inComment := false
+	esc := false
+	for _, r := range src {
+		switch {
+		case inComment:
+			if r == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if esc {
+				esc = false
+			} else if r == '\\' {
+				esc = true
+			} else if r == '"' {
+				inStr = false
+			}
+		case r == '"':
+			inStr = true
+		case r == ';':
+			inComment = true
+		case r == '(':
+			depth++
+		case r == ')':
+			depth--
+		}
+	}
+	return depth <= 0 && !inStr
+}

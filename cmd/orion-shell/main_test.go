@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestBalanced(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"", true},
+		{"(a b)", true},
+		{"(a (b c))", true},
+		{"(a (b c)", false},
+		{"(a))", true}, // over-closed still submits (the evaluator errors)
+		{`(a "(((" b)`, true},
+		{`(a "unclosed`, false},
+		{"(a ; comment with ( paren\n)", true},
+		{"; just a comment (", true},
+		{`(s "esc \" quote")`, true},
+		{"(multi\nline\n(ok))", true},
+	}
+	for _, c := range cases {
+		if got := balanced(c.src); got != c.want {
+			t.Errorf("balanced(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Documents: the paper's Example 2 (§2.3) — a LOGICAL part hierarchy with
+// shared composite references, run through the ORION-style s-expression
+// surface so the class definitions match the paper's text.
+//
+//   - Document.Sections    : shared dependent   (a chapter may belong to
+//     two books; it exists while at least one book holds it)
+//   - Section.Content      : shared dependent   (paragraphs, same logic)
+//   - Document.Figures     : shared independent (images outlive documents)
+//   - Document.Annotations : exclusive dependent (private to one document)
+//
+// Run: go run ./examples/documents
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/db"
+	"repro/internal/sexpr"
+)
+
+const program = `
+(make-class 'Paragraph :superclasses nil)
+(make-class 'Image :superclasses nil)
+(make-class 'Section :superclasses nil
+  :attribute '(
+    (Content :domain (set-of Paragraph) :composite true :exclusive nil :dependent true)))
+(make-class 'Document :superclasses nil
+  :attribute '(
+    (Title       :domain string)
+    (Authors     :domain (set-of string))
+    (Sections    :domain (set-of Section)   :composite true :exclusive nil :dependent true)
+    (Figures     :domain (set-of Image)     :composite true :exclusive nil :dependent nil)
+    (Annotations :domain (set-of Paragraph) :composite true :exclusive true :dependent true)))
+
+(define p1   (make Paragraph))
+(define p2   (make Paragraph))
+(define ch   (make Section))          ; the chapter both books will share
+(attach ch Content p1)
+(attach ch Content p2)
+(define img  (make Image))
+
+(define book1 (make Document :Title "Composite Objects"))
+(attach book1 Sections ch)
+(attach book1 Figures img)
+(define note (make Paragraph :parent ((book1 Annotations))))
+
+(define book2 (make Document :Title "Objects Revisited"))
+(attach book2 Sections ch)            ; an identical chapter in two books
+`
+
+func main() {
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	in := sexpr.NewInterp(d)
+	if _, err := in.EvalString(program); err != nil {
+		log.Fatal(err)
+	}
+	eval := func(src string) string {
+		v, err := in.EvalString(src)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return v.String()
+	}
+
+	fmt.Println("the chapter is a shared component of both books:")
+	fmt.Printf("  (parents-of ch)                = %s\n", eval("(parents-of ch)"))
+	fmt.Printf("  (shared-component-of ch book1) = %s\n", eval("(shared-component-of ch book1)"))
+	fmt.Printf("  (components-of book1)          = %s\n", eval("(components-of book1)"))
+	fmt.Printf("  (components-of book1 :level 1) = %s\n", eval("(components-of book1 :level 1)"))
+
+	fmt.Println("\nannotations are exclusive — sharing one is a topology violation:")
+	fmt.Printf("  (attach book2 Annotations note) -> %s\n", eval("(attach book2 Annotations note)"))
+
+	fmt.Println("\ndeleting book1 (the chapter survives in book2; the private")
+	fmt.Println("annotation dies; the independent image survives):")
+	fmt.Printf("  (delete book1) removed %s\n", eval("(delete book1)"))
+	fmt.Printf("  chapter still exists: (parents-of ch) = %s\n", eval("(parents-of ch)"))
+
+	fmt.Println("\ndeleting book2 — the last book holding the chapter — cascades")
+	fmt.Println("through the chapter to its paragraphs (dependent shared, last")
+	fmt.Println("parent gone):")
+	fmt.Printf("  (delete book2) removed %s\n", eval("(delete book2)"))
+	fmt.Println("\n\"For a paragraph to exist, there must be at least one section")
+	fmt.Println("containing it and thus a document containing it.\" — §2.3")
+}

@@ -1,0 +1,101 @@
+// Quickstart: the paper's Example 1 (§2.3) through the Go API.
+//
+// A Vehicle holds its Body, Drivetrain, and Tires through INDEPENDENT
+// EXCLUSIVE composite references: a part serves at most one vehicle at a
+// time (exclusive), but survives the vehicle's deletion and can be reused
+// (independent) — exactly the semantics the original ORION model could
+// not express.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func main() {
+	d, err := db.Open(db.Options{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// --- schema: the make-class definitions of Example 1 ---
+	for _, n := range []string{"Company", "AutoBody", "AutoDrivetrain", "AutoTires"} {
+		if _, err := d.DefineClass(schema.ClassDef{Name: n}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := d.DefineClass(schema.ClassDef{
+		Name: "Vehicle",
+		Attributes: []schema.AttrSpec{
+			schema.NewAttr("Id", schema.IntDomain),
+			schema.NewAttr("Manufacturer", schema.ClassDomain("Company")), // weak reference
+			schema.NewCompositeAttr("Body", "AutoBody").WithDependent(false),
+			schema.NewCompositeAttr("Drivetrain", "AutoDrivetrain").WithDependent(false),
+			schema.NewCompositeSetAttr("Tires", "AutoTires").WithDependent(false),
+			schema.NewAttr("Color", schema.StringDomain),
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- build parts bottom-up (impossible under the 1987 model) ---
+	body, _ := d.Make("AutoBody", nil)
+	drivetrain, _ := d.Make("AutoDrivetrain", nil)
+	var tires []value.Value
+	for i := 0; i < 4; i++ {
+		tr, _ := d.Make("AutoTires", nil)
+		tires = append(tires, value.Ref(tr.UID()))
+	}
+	acme, _ := d.Make("Company", nil)
+
+	fmt.Println("assembling a vehicle from pre-existing parts (bottom-up creation):")
+	vehicle, err := d.Make("Vehicle", map[string]value.Value{
+		"Id":           value.Int(1),
+		"Color":        value.Str("red"),
+		"Body":         value.Ref(body.UID()),
+		"Drivetrain":   value.Ref(drivetrain.UID()),
+		"Tires":        value.SetOf(tires...),
+		"Manufacturer": value.Ref(acme.UID()),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps, _ := d.ComponentsOf(vehicle.UID(), core.QueryOpts{})
+	fmt.Printf("  vehicle %v has %d components\n", vehicle.UID(), len(comps))
+
+	// Exclusivity: the body cannot serve a second vehicle.
+	_, err = d.Make("Vehicle", map[string]value.Value{"Body": value.Ref(body.UID())})
+	fmt.Printf("  using the same body for a second vehicle: %v\n", err != nil)
+
+	// parents-of / child-of, §3.
+	parents, _ := d.ParentsOf(body.UID(), core.QueryOpts{})
+	fmt.Printf("  (parents-of body) = %v\n", parents)
+	isChild, _ := d.ChildOf(body.UID(), vehicle.UID())
+	fmt.Printf("  (child-of body vehicle) = %v\n", isChild)
+	isExcl, _ := d.ExclusiveComponentOf(body.UID(), vehicle.UID())
+	fmt.Printf("  (exclusive-component-of body vehicle) = %v\n", isExcl)
+
+	// --- dismantle: independence keeps the parts alive ---
+	fmt.Println("\ndismantling the vehicle:")
+	deleted, _ := d.Delete(vehicle.UID())
+	fmt.Printf("  deleted %d object(s): just the vehicle\n", len(deleted))
+	fmt.Printf("  body still exists: %v\n", d.Engine().Exists(body.UID()))
+
+	// --- reuse for a new vehicle ---
+	v2, err := d.Make("Vehicle", map[string]value.Value{
+		"Id":   value.Int(2),
+		"Body": value.Ref(body.UID()),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparts reused for vehicle %v — the re-use the extended model exists for\n", v2.UID())
+}

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program and the figures tool as
+// real processes, asserting on their key output lines — the examples are
+// living documentation and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess examples skipped in -short mode")
+	}
+	cases := []struct {
+		path string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"deleted 1 object(s)",
+			"body still exists: true",
+			"parts reused",
+		}},
+		{"./examples/documents", []string{
+			"(shared-component-of ch book1) = true",
+			"chapter still exists",
+		}},
+		{"./examples/cadversions", []string{
+			"after set-default v1",
+			"rejected = true",
+		}},
+		{"./examples/locking", []string{
+			"reader observed torn composite states: 0",
+			"undetected implicit conflicts: 1",
+		}},
+		{"./examples/authorization", []string{
+			"effective on std-bearing: sW",
+			"carol read loose-part (not under any Library) = false",
+		}},
+		{"./examples/evolution", []string{
+			"integrity clean after the whole migration",
+			"manual gone: true",
+		}},
+		{"./cmd/figures", []string{
+			"Figure 6",
+			"SIXOS",
+			"undetected implicit conflicts: 1",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.path, "./"), func(t *testing.T) {
+			t.Parallel()
+			args := []string{"run", c.path}
+			if c.path == "./cmd/figures" {
+				args = append(args, "-fig", "all")
+			}
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.path, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output of %s missing %q\n%s", c.path, want, out)
+				}
+			}
+		})
+	}
+}

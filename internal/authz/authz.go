@@ -1,0 +1,534 @@
+// Package authz implements §6 of the paper: composite objects as a unit
+// of authorization, on the ORION authorization model of [RABI88].
+//
+// The model's three concepts:
+//
+//   - implicit authorization: authorizations are deduced from explicitly
+//     stored ones instead of materializing a grant per object. A grant on
+//     a class implies the same authorization on all its instances and on
+//     all components of those instances; a grant on a composite object
+//     implies it on every component of the composite object.
+//   - positive and negative authorizations: prohibition (¬R, ¬W) is
+//     distinct from absence.
+//   - strong and weak authorizations: weak authorizations can be
+//     overridden by others; strong ones (and everything they imply)
+//     cannot.
+//
+// Implication between rights: a positive Write implies a positive Read; a
+// negative Read implies a negative Write.
+//
+// When an object is a component of several composite objects, it receives
+// implied authorizations from each; the resulting authorization is
+// resolved right-by-right: a strong authorization beats a weak one, equal
+// strength with opposite signs is a conflict (the paper's Figure 6), and
+// the paper's rule "the resulting authorization is the strongest of all
+// the implied authorizations" falls out (sR + sW = sW; s¬R + s¬W = s¬R).
+// Grant time enforces the same rule: a new authorization that would
+// conflict with existing explicit or implied authorizations on any
+// affected object is rejected.
+package authz
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/uid"
+)
+
+// Right is an authorization type.
+type Right uint8
+
+// The two authorization types of Figure 6. (The full ORION model has
+// more; R and W are the ones the paper's composite-object discussion
+// uses.)
+const (
+	Read Right = iota
+	Write
+)
+
+// String returns "R" or "W".
+func (r Right) String() string {
+	if r == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Strength distinguishes weak (overridable) from strong authorizations.
+type Strength uint8
+
+// Strengths.
+const (
+	Weak Strength = iota
+	Strong
+)
+
+// Auth is one authorization: sign × strength × right.
+type Auth struct {
+	Positive bool
+	Strength Strength
+	Right    Right
+}
+
+// Convenience constructors matching the paper's notation.
+var (
+	SR  = Auth{Positive: true, Strength: Strong, Right: Read}
+	SW  = Auth{Positive: true, Strength: Strong, Right: Write}
+	SNR = Auth{Positive: false, Strength: Strong, Right: Read}  // s¬R
+	SNW = Auth{Positive: false, Strength: Strong, Right: Write} // s¬W
+	WR  = Auth{Positive: true, Strength: Weak, Right: Read}
+	WW  = Auth{Positive: true, Strength: Weak, Right: Write}
+	WNR = Auth{Positive: false, Strength: Weak, Right: Read}  // w¬R
+	WNW = Auth{Positive: false, Strength: Weak, Right: Write} // w¬W
+)
+
+// AllAuths lists the eight authorizations in Figure 6's order.
+var AllAuths = []Auth{SR, SW, SNR, SNW, WR, WW, WNR, WNW}
+
+// String renders the paper's notation: sR, s¬W, wR, ...
+func (a Auth) String() string {
+	s := "w"
+	if a.Strength == Strong {
+		s = "s"
+	}
+	if !a.Positive {
+		s += "¬"
+	}
+	return s + a.Right.String()
+}
+
+// closure expands an authorization through the implication rules:
+// +W ⇒ +R, ¬R ⇒ ¬W.
+func (a Auth) closure() []Auth {
+	out := []Auth{a}
+	if a.Positive && a.Right == Write {
+		out = append(out, Auth{Positive: true, Strength: a.Strength, Right: Read})
+	}
+	if !a.Positive && a.Right == Read {
+		out = append(out, Auth{Positive: false, Strength: a.Strength, Right: Write})
+	}
+	return out
+}
+
+// outcome is the resolved authorization state for one right.
+type outcome struct {
+	defined  bool
+	positive bool
+	strength Strength
+	conflict bool
+}
+
+// Resolution is the combined effect of a set of authorizations.
+type Resolution struct {
+	// Conflict is true when two equal-strength authorizations with
+	// opposite signs meet on some right.
+	Conflict bool
+	// Generators is a minimal set of authorizations whose closure equals
+	// the resolved state (empty when Conflict or when nothing applies).
+	Generators []Auth
+}
+
+// String renders the resolution like a Figure 6 cell.
+func (r Resolution) String() string {
+	if r.Conflict {
+		return "Conflict"
+	}
+	if len(r.Generators) == 0 {
+		return "—"
+	}
+	parts := make([]string, len(r.Generators))
+	for i, g := range r.Generators {
+		parts[i] = g.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Combine resolves a set of authorizations (implied on one object from
+// several sources) into the resulting authorization, right by right.
+// Implications are materialized first (+W contributes +R, ¬R contributes
+// ¬W); then, per right, strong authorizations are applied before weak ones
+// so the result is independent of input order: equal-strength opposite
+// signs conflict, and a strong authorization overrides weak opposition.
+func Combine(auths ...Auth) Resolution {
+	var items []Auth
+	for _, a := range auths {
+		items = append(items, a.closure()...)
+	}
+	per := map[Right]*outcome{Read: {}, Write: {}}
+	for _, pass := range []Strength{Strong, Weak} {
+		for _, c := range items {
+			if c.Strength != pass {
+				continue
+			}
+			o := per[c.Right]
+			if o.conflict {
+				continue
+			}
+			if !o.defined {
+				o.defined = true
+				o.positive = c.Positive
+				o.strength = c.Strength
+				continue
+			}
+			if o.positive == c.Positive {
+				continue // same sign; strength already maximal (strong pass ran first)
+			}
+			if c.Strength < o.strength {
+				continue // weak opposition to an established strong outcome
+			}
+			o.conflict = true
+		}
+	}
+	res := Resolution{}
+	if per[Read].conflict || per[Write].conflict {
+		res.Conflict = true
+		return res
+	}
+	res.Generators = minimalGenerators(per)
+	return res
+}
+
+// minimalGenerators reconstructs the smallest set of Auth values whose
+// closure produces the per-right outcomes.
+func minimalGenerators(per map[Right]*outcome) []Auth {
+	var gens []Auth
+	r, w := per[Read], per[Write]
+	// Positive side: +W covers +R at the same strength.
+	if w.defined && w.positive {
+		gens = append(gens, Auth{Positive: true, Strength: w.strength, Right: Write})
+		if r.defined && r.positive && r.strength > w.strength {
+			gens = append(gens, Auth{Positive: true, Strength: r.strength, Right: Read})
+		}
+	} else if r.defined && r.positive {
+		gens = append(gens, Auth{Positive: true, Strength: r.strength, Right: Read})
+	}
+	// Negative side: ¬R covers ¬W at the same strength.
+	if r.defined && !r.positive {
+		gens = append(gens, Auth{Positive: false, Strength: r.strength, Right: Read})
+		if w.defined && !w.positive && w.strength > r.strength {
+			gens = append(gens, Auth{Positive: false, Strength: w.strength, Right: Write})
+		}
+	} else if w.defined && !w.positive {
+		gens = append(gens, Auth{Positive: false, Strength: w.strength, Right: Write})
+	}
+	return gens
+}
+
+// ErrConflict is returned when a grant would conflict with existing
+// explicit or implied authorizations.
+var ErrConflict = errors.New("authz: authorization conflict")
+
+// Store holds explicit authorizations and answers implicit-authorization
+// queries against the composite-object graph.
+type Store struct {
+	mu     sync.Mutex
+	e      *core.Engine
+	class  map[string]map[string][]Auth  // class -> subject -> auths
+	object map[uid.UID]map[string][]Auth // object -> subject -> auths
+	// Grant authority (§6 opening sentence; see grantauth.go).
+	objOwner   map[uid.UID]string
+	classOwner map[string]string
+	grantAuth  map[uid.UID]map[string]bool
+}
+
+// NewStore returns an empty authorization store over the engine.
+func NewStore(e *core.Engine) *Store {
+	return &Store{
+		e:      e,
+		class:  make(map[string]map[string][]Auth),
+		object: make(map[uid.UID]map[string][]Auth),
+	}
+}
+
+// GrantObject grants a on the composite object rooted at obj to subject.
+// The grant implies the same authorization on every component; it is
+// rejected with ErrConflict if it would conflict with the authorizations
+// (explicit or implied) already in effect on obj or any component.
+func (s *Store) GrantObject(subject string, obj uid.UID, a Auth) error {
+	affected, err := s.withComponents(obj)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range affected {
+		existing, err := s.impliedLocked(subject, id)
+		if err != nil {
+			return err
+		}
+		if Combine(append(existing, a)...).Conflict {
+			return fmt.Errorf("authz: granting %s on %v to %q conflicts on component %v: %w",
+				a, obj, subject, id, ErrConflict)
+		}
+	}
+	m := s.object[obj]
+	if m == nil {
+		m = make(map[string][]Auth)
+		s.object[obj] = m
+	}
+	m[subject] = append(m[subject], a)
+	return nil
+}
+
+// GrantClass grants a on the composite class to subject: it implies the
+// same authorization on all instances of the class and on all components
+// of those instances. Conflicting grants are rejected.
+func (s *Store) GrantClass(subject, class string, a Auth) error {
+	if _, err := s.e.Catalog().Class(class); err != nil {
+		return err
+	}
+	instances, err := s.e.Extent(class, true)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	checked := uid.NewSet()
+	for _, inst := range instances {
+		affected, err := s.withComponents(inst)
+		if err != nil {
+			return err
+		}
+		for _, id := range affected {
+			if !checked.Add(id) {
+				continue
+			}
+			existing, err := s.impliedLocked(subject, id)
+			if err != nil {
+				return err
+			}
+			if Combine(append(existing, a)...).Conflict {
+				return fmt.Errorf("authz: granting %s on class %q to %q conflicts on %v: %w",
+					a, class, subject, id, ErrConflict)
+			}
+		}
+	}
+	m := s.class[class]
+	if m == nil {
+		m = make(map[string][]Auth)
+		s.class[class] = m
+	}
+	m[subject] = append(m[subject], a)
+	return nil
+}
+
+// RevokeObject removes every authorization subject holds explicitly on
+// obj.
+func (s *Store) RevokeObject(subject string, obj uid.UID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.object[obj]; m != nil {
+		delete(m, subject)
+	}
+}
+
+// RevokeClass removes every authorization subject holds explicitly on the
+// class.
+func (s *Store) RevokeClass(subject, class string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.class[class]; m != nil {
+		delete(m, subject)
+	}
+}
+
+// withComponents returns obj plus all its components.
+func (s *Store) withComponents(obj uid.UID) ([]uid.UID, error) {
+	comps, err := s.e.ComponentsOf(obj, core.QueryOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return append([]uid.UID{obj}, comps...), nil
+}
+
+// impliedLocked collects every authorization subject holds on obj, from:
+// explicit object grants on obj; explicit grants on any composite object
+// containing obj (ancestors); class grants on obj's class; and class
+// grants on the class of any ancestor (composite class authorization).
+func (s *Store) impliedLocked(subject string, obj uid.UID) ([]Auth, error) {
+	var out []Auth
+	add := func(target uid.UID) error {
+		if m := s.object[target]; m != nil {
+			out = append(out, m[subject]...)
+		}
+		cl, err := s.e.ClassOf(target)
+		if err != nil {
+			return err
+		}
+		// A grant on a superclass covers instances of subclasses.
+		for name, grants := range s.class {
+			if s.e.Catalog().IsA(cl.Name, name) {
+				out = append(out, grants[subject]...)
+			}
+		}
+		return nil
+	}
+	if err := add(obj); err != nil {
+		return nil, err
+	}
+	ancestors, err := s.e.AncestorsOf(obj, core.QueryOpts{})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range ancestors {
+		if err := add(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Effective resolves the authorizations subject holds on obj.
+func (s *Store) Effective(subject string, obj uid.UID) (Resolution, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	auths, err := s.impliedLocked(subject, obj)
+	if err != nil {
+		return Resolution{}, err
+	}
+	return Combine(auths...), nil
+}
+
+// Check reports whether subject may exercise right on obj: the resolved
+// authorizations must positively include the right. Absence of
+// authorization denies; a conflict denies (grant-time checking makes
+// conflicts unreachable through this store, but implied states are
+// re-checked defensively).
+func (s *Store) Check(subject string, obj uid.UID, right Right) (bool, error) {
+	res, err := s.Effective(subject, obj)
+	if err != nil {
+		return false, err
+	}
+	if res.Conflict {
+		return false, nil
+	}
+	for _, g := range res.Generators {
+		for _, c := range g.closure() {
+			if c.Right == right {
+				return c.Positive, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Figure6 computes the paper's Figure 6: for every pair (a, b) of
+// authorizations implied on a shared component from two composite-object
+// grants, the resulting authorization or "Conflict". Rows and columns are
+// in AllAuths order.
+func Figure6() [][]Resolution {
+	out := make([][]Resolution, len(AllAuths))
+	for i, a := range AllAuths {
+		out[i] = make([]Resolution, len(AllAuths))
+		for j, b := range AllAuths {
+			out[i][j] = Combine(a, b)
+		}
+	}
+	return out
+}
+
+// FormatFigure6 renders the Figure 6 matrix.
+func FormatFigure6() string {
+	m := Figure6()
+	const w = 9
+	pad := func(s string) string {
+		// Pad by rune count (¬ is multibyte).
+		n := len([]rune(s))
+		for ; n < w; n++ {
+			s += " "
+		}
+		return s
+	}
+	var b strings.Builder
+	b.WriteString(pad(""))
+	for _, a := range AllAuths {
+		b.WriteString(pad(a.String()))
+	}
+	b.WriteString("\n")
+	for i, a := range AllAuths {
+		b.WriteString(pad(a.String()))
+		for j := range AllAuths {
+			b.WriteString(pad(m[i][j].String()))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// storeState is the serialized form of the explicit grants, owners, and
+// delegations.
+type storeState struct {
+	Class      map[string]map[string][]Auth  `json:"class,omitempty"`
+	Object     map[uid.UID]map[string][]Auth `json:"object,omitempty"`
+	ObjOwner   map[uid.UID]string            `json:"obj_owner,omitempty"`
+	ClassOwner map[string]string             `json:"class_owner,omitempty"`
+	GrantAuth  map[uid.UID]map[string]bool   `json:"grant_auth,omitempty"`
+}
+
+// Save serializes the explicit grants, owners, and grant delegations.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	st := storeState{
+		Class: s.class, Object: s.object,
+		ObjOwner: s.objOwner, ClassOwner: s.classOwner, GrantAuth: s.grantAuth,
+	}
+	b, err := json.Marshal(&st)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Load restores state saved by Save, replacing current contents.
+func (s *Store) Load(r io.Reader) error {
+	var st storeState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("authz: load: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.class = st.Class
+	if s.class == nil {
+		s.class = make(map[string]map[string][]Auth)
+	}
+	s.object = st.Object
+	if s.object == nil {
+		s.object = make(map[uid.UID]map[string][]Auth)
+	}
+	s.objOwner = st.ObjOwner
+	s.classOwner = st.ClassOwner
+	s.grantAuth = st.GrantAuth
+	return nil
+}
+
+// Subjects returns all subjects with explicit grants, sorted (for the
+// figures tool).
+func (s *Store) Subjects() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for _, m := range s.class {
+		for sub := range m {
+			set[sub] = true
+		}
+	}
+	for _, m := range s.object {
+		for sub := range m {
+			set[sub] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for sub := range set {
+		out = append(out, sub)
+	}
+	sort.Strings(out)
+	return out
+}

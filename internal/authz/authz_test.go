@@ -1,0 +1,449 @@
+package authz
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+func TestAuthStringNotation(t *testing.T) {
+	cases := map[Auth]string{
+		SR: "sR", SW: "sW", SNR: "s¬R", SNW: "s¬W",
+		WR: "wR", WW: "wW", WNR: "w¬R", WNW: "w¬W",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%+v.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestImplicationClosure(t *testing.T) {
+	// +W ⇒ +R.
+	c := SW.closure()
+	if len(c) != 2 || c[1] != SR {
+		t.Fatalf("closure(sW) = %v", c)
+	}
+	// ¬R ⇒ ¬W.
+	c = SNR.closure()
+	if len(c) != 2 || c[1] != SNW {
+		t.Fatalf("closure(s¬R) = %v", c)
+	}
+	// +R and ¬W imply nothing further.
+	if len(SR.closure()) != 1 || len(WNW.closure()) != 1 {
+		t.Fatal("closure of sR/w¬W should be singletons")
+	}
+}
+
+func TestCombinePaperExamples(t *testing.T) {
+	// "if a user receives a strong R authorization from Instance[j] and a
+	// strong W authorization from Instance[k], the authorization implied
+	// on Instance[o'] is a strong W".
+	res := Combine(SR, SW)
+	if res.Conflict || res.String() != "sW" {
+		t.Fatalf("sR+sW = %v", res)
+	}
+	// "if a user receives a strong ¬R from Instance[j] and a strong ¬W
+	// from Instance[k], the authorization implied is a strong ¬R".
+	res = Combine(SNR, SNW)
+	if res.Conflict || res.String() != "s¬R" {
+		t.Fatalf("s¬R+s¬W = %v", res)
+	}
+	// "a later attempt to grant the user a strong W ... will fail. This is
+	// because a ¬R implies a ¬W, which contradicts the positive strong W".
+	res = Combine(SNR, SW)
+	if !res.Conflict {
+		t.Fatalf("s¬R+sW = %v, want Conflict", res)
+	}
+}
+
+func TestCombineStrongOverridesWeak(t *testing.T) {
+	// A weak authorization can be overridden; a strong one cannot.
+	res := Combine(SW, WNR)
+	if res.Conflict || res.String() != "sW" {
+		t.Fatalf("sW+w¬R = %v", res)
+	}
+	res = Combine(SNR, WW)
+	if res.Conflict || res.String() != "s¬R" {
+		t.Fatalf("s¬R+wW = %v", res)
+	}
+	// Mixed rights at mixed strengths: pointwise resolution keeps the
+	// non-contradicted weak piece.
+	res = Combine(SNW, WW)
+	if res.Conflict || res.String() != "wR,s¬W" {
+		t.Fatalf("s¬W+wW = %v", res)
+	}
+}
+
+func TestCombineWeakWeakConflicts(t *testing.T) {
+	res := Combine(WR, WNR)
+	if !res.Conflict {
+		t.Fatalf("wR+w¬R = %v, want Conflict", res)
+	}
+	res = Combine(WW, WNW)
+	if !res.Conflict {
+		t.Fatalf("wW+w¬W = %v, want Conflict", res)
+	}
+	// w¬W does not contradict wR (different rights, no implication).
+	res = Combine(WR, WNW)
+	if res.Conflict || res.String() != "wR,w¬W" {
+		t.Fatalf("wR+w¬W = %v", res)
+	}
+}
+
+func TestCombineCompatiblePairs(t *testing.T) {
+	cases := []struct {
+		a, b Auth
+		want string
+	}{
+		{SR, SR, "sR"},
+		{SR, SNW, "sR,s¬W"},
+		{SR, WR, "sR"},
+		{SR, WW, "wW,sR"},
+		{SR, WNR, "sR,w¬W"}, // the overridden w¬R still contributes its implied w¬W
+		{SW, WR, "sW"},
+		{SNW, SNR, "s¬R"},
+		{WR, WW, "wW"},
+		{WNR, WNW, "w¬R"},
+	}
+	for _, c := range cases {
+		got := Combine(c.a, c.b)
+		if got.Conflict {
+			t.Errorf("%s+%s = Conflict, want %q", c.a, c.b, c.want)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("%s+%s = %q, want %q", c.a, c.b, got.String(), c.want)
+		}
+	}
+}
+
+// figure6Expected is the reconstructed Figure 6: the resulting implicit
+// authorization on a component shared by two composite objects, for every
+// pair of authorizations granted on the two roots. Order: sR sW s¬R s¬W
+// wR wW w¬R w¬W. "C" = Conflict.
+var figure6Expected = [][]string{
+	/* sR  */ {"sR", "sW", "C", "sR,s¬W", "sR", "wW,sR", "sR,w¬W", "sR,w¬W"},
+	/* sW  */ {"sW", "sW", "C", "C", "sW", "sW", "sW", "sW"},
+	/* s¬R */ {"C", "C", "s¬R", "s¬R", "s¬R", "s¬R", "s¬R", "s¬R"},
+	/* s¬W */ {"sR,s¬W", "C", "s¬R", "s¬W", "wR,s¬W", "wR,s¬W", "w¬R,s¬W", "s¬W"},
+	/* wR  */ {"sR", "sW", "s¬R", "wR,s¬W", "wR", "wW", "C", "wR,w¬W"},
+	/* wW  */ {"wW,sR", "sW", "s¬R", "wR,s¬W", "wW", "wW", "C", "C"},
+	/* w¬R */ {"sR,w¬W", "sW", "s¬R", "w¬R,s¬W", "C", "C", "w¬R", "w¬R"},
+	/* w¬W */ {"sR,w¬W", "sW", "s¬R", "s¬W", "wR,w¬W", "C", "w¬R", "w¬W"},
+}
+
+func TestFigure6Matrix(t *testing.T) {
+	m := Figure6()
+	for i := range AllAuths {
+		for j := range AllAuths {
+			want := figure6Expected[i][j]
+			got := m[i][j].String()
+			if want == "C" {
+				want = "Conflict"
+			}
+			if got != want {
+				t.Errorf("Figure 6 [%s, %s] = %q, want %q", AllAuths[i], AllAuths[j], got, want)
+			}
+		}
+	}
+}
+
+func TestFigure6Symmetric(t *testing.T) {
+	m := Figure6()
+	for i := range AllAuths {
+		for j := range AllAuths {
+			if m[i][j].Conflict != m[j][i].Conflict || m[i][j].String() != m[j][i].String() {
+				t.Errorf("Figure 6 asymmetric at [%s,%s]", AllAuths[i], AllAuths[j])
+			}
+		}
+	}
+}
+
+// figure45Engine builds the object graph of the paper's Figures 4 and 5:
+//
+//	Figure 4: Instance[i] -> k, m; m -> n; n -> o   (one composite object)
+//	Figure 5: Instance[j] and Instance[k] share Instance[o'];
+//	          j -> p, k -> o, q as private components.
+type figEngine struct {
+	e                 *core.Engine
+	st                *Store
+	i, k4, m4, n4, o4 uid.UID
+	j, k, op, p, o, q uid.UID
+}
+
+func newFigEngine(t *testing.T) *figEngine {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Node", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Parts", "Node").WithExclusive(false).WithDependent(false),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(cat)
+	f := &figEngine{e: e, st: NewStore(e)}
+	mk := func() uid.UID {
+		o, err := e.New("Node", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	// Figure 4 chain.
+	f.i, f.k4, f.m4, f.n4, f.o4 = mk(), mk(), mk(), mk(), mk()
+	for _, pair := range [][2]uid.UID{{f.i, f.k4}, {f.i, f.m4}, {f.m4, f.n4}, {f.n4, f.o4}} {
+		if err := e.Attach(pair[0], "Parts", pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Figure 5 graph.
+	f.j, f.k, f.op, f.p, f.o, f.q = mk(), mk(), mk(), mk(), mk(), mk()
+	for _, pair := range [][2]uid.UID{{f.j, f.op}, {f.k, f.op}, {f.j, f.p}, {f.k, f.o}, {f.k, f.q}} {
+		if err := e.Attach(pair[0], "Parts", pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFigure4ImplicitAuth(t *testing.T) {
+	// A Read grant on the composite object root implies Read on every
+	// component (Figure 4).
+	f := newFigEngine(t)
+	if err := f.st.GrantObject("alice", f.i, SR); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uid.UID{f.i, f.k4, f.m4, f.n4, f.o4} {
+		ok, err := f.st.Check("alice", id, Read)
+		if err != nil || !ok {
+			t.Fatalf("alice cannot read %v: %v", id, err)
+		}
+		// Read does not imply Write.
+		ok, _ = f.st.Check("alice", id, Write)
+		if ok {
+			t.Fatalf("alice can write %v from a Read grant", id)
+		}
+	}
+	// No authorization on unrelated objects.
+	if ok, _ := f.st.Check("alice", f.j, Read); ok {
+		t.Fatal("grant leaked outside the composite object")
+	}
+	// Other subjects receive nothing.
+	if ok, _ := f.st.Check("bob", f.o4, Read); ok {
+		t.Fatal("grant leaked to another subject")
+	}
+}
+
+func TestFigure5SharedComponentTwoGrants(t *testing.T) {
+	// Instance[o'] is a component of both composite objects; grants on
+	// both roots combine.
+	f := newFigEngine(t)
+	if err := f.st.GrantObject("alice", f.j, SR); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.st.GrantObject("alice", f.k, SW); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.st.Effective("alice", f.op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per the paper: sR from j + sW from k = sW on o'.
+	if res.Conflict || res.String() != "sW" {
+		t.Fatalf("effective on o' = %v", res)
+	}
+	if ok, _ := f.st.Check("alice", f.op, Write); !ok {
+		t.Fatal("alice cannot write o'")
+	}
+	// Private components receive only their own root's grant.
+	if ok, _ := f.st.Check("alice", f.p, Write); ok {
+		t.Fatal("write leaked to j's private component")
+	}
+	if ok, _ := f.st.Check("alice", f.p, Read); !ok {
+		t.Fatal("read missing on j's private component")
+	}
+}
+
+func TestGrantConflictRejected(t *testing.T) {
+	// The paper's example: strong ¬R from Instance[j], then strong W on
+	// Instance[k] must fail (they meet on o').
+	f := newFigEngine(t)
+	if err := f.st.GrantObject("alice", f.j, SNR); err != nil {
+		t.Fatal(err)
+	}
+	err := f.st.GrantObject("alice", f.k, SW)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting grant accepted: %v", err)
+	}
+	// The failed grant left no trace: k's private components have nothing.
+	if ok, _ := f.st.Check("alice", f.o, Write); ok {
+		t.Fatal("failed grant took effect")
+	}
+	// A compatible grant on k still works (weak W is overridden on o').
+	if err := f.st.GrantObject("alice", f.k, WW); err != nil {
+		t.Fatalf("weak grant rejected: %v", err)
+	}
+	res, _ := f.st.Effective("alice", f.op)
+	if res.Conflict || res.String() != "s¬R" {
+		t.Fatalf("effective on o' = %v", res)
+	}
+	// On k's private components the weak W stands.
+	if ok, _ := f.st.Check("alice", f.o, Write); !ok {
+		t.Fatal("weak W not effective on private component")
+	}
+}
+
+func TestClassGrantImpliesInstancesAndComponents(t *testing.T) {
+	// §6: "An authorization on a composite class C implies the same
+	// authorization on all instances of C and on all objects which are
+	// components of the instances of C" — here via the Vehicle example.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "AutoBody"})
+	cat.DefineClass(schema.ClassDef{Name: "AutoDrivetrain"})
+	cat.DefineClass(schema.ClassDef{Name: "Vehicle", Attributes: []schema.AttrSpec{
+		schema.NewCompositeAttr("Body", "AutoBody").WithDependent(false),
+		schema.NewCompositeAttr("Drivetrain", "AutoDrivetrain").WithDependent(false),
+	}})
+	e := core.NewEngine(cat)
+	st := NewStore(e)
+	body, _ := e.New("AutoBody", nil)
+	dt, _ := e.New("AutoDrivetrain", nil)
+	veh, _ := e.New("Vehicle", map[string]value.Value{
+		"Body":       value.Ref(body.UID()),
+		"Drivetrain": value.Ref(dt.UID()),
+	})
+	// A free-standing body that is NOT a component of any vehicle.
+	freeBody, _ := e.New("AutoBody", nil)
+
+	if err := st.GrantClass("alice", "Vehicle", SR); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uid.UID{veh.UID(), body.UID(), dt.UID()} {
+		if ok, _ := st.Check("alice", id, Read); !ok {
+			t.Fatalf("class grant did not reach %v", id)
+		}
+	}
+	// "the authorization on Vehicle does not imply the same authorization
+	// on all instances of Autobody ... since not all instances ... may be
+	// components of Vehicle."
+	if ok, _ := st.Check("alice", freeBody.UID(), Read); ok {
+		t.Fatal("class grant leaked to a non-component AutoBody")
+	}
+}
+
+func TestClassGrantConflictOnComponent(t *testing.T) {
+	// "a new authorization issued on a component class may conflict with
+	// an authorization on the class which is implied by a previously
+	// granted authorization."
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "AutoBody"})
+	cat.DefineClass(schema.ClassDef{Name: "Vehicle", Attributes: []schema.AttrSpec{
+		schema.NewCompositeAttr("Body", "AutoBody").WithDependent(false),
+	}})
+	e := core.NewEngine(cat)
+	st := NewStore(e)
+	body, _ := e.New("AutoBody", nil)
+	if _, err := e.New("Vehicle", map[string]value.Value{"Body": value.Ref(body.UID())}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.GrantClass("alice", "Vehicle", SR); err != nil {
+		t.Fatal(err)
+	}
+	// s¬R on the component class contradicts the implied sR on body.
+	if err := st.GrantClass("alice", "AutoBody", SNR); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting component-class grant accepted: %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	f := newFigEngine(t)
+	if err := f.st.GrantObject("alice", f.i, SR); err != nil {
+		t.Fatal(err)
+	}
+	f.st.RevokeObject("alice", f.i)
+	if ok, _ := f.st.Check("alice", f.o4, Read); ok {
+		t.Fatal("revoked grant still effective")
+	}
+	// After revocation, a previously conflicting grant becomes possible.
+	if err := f.st.GrantObject("alice", f.j, SNR); err != nil {
+		t.Fatal(err)
+	}
+	f.st.RevokeObject("alice", f.j)
+	if err := f.st.GrantObject("alice", f.k, SW); err != nil {
+		t.Fatalf("grant after revoke rejected: %v", err)
+	}
+	f.st.RevokeClass("alice", "Node") // no-op, must not panic
+}
+
+func TestCheckDeniesWithoutGrant(t *testing.T) {
+	f := newFigEngine(t)
+	ok, err := f.st.Check("nobody", f.i, Read)
+	if err != nil || ok {
+		t.Fatalf("Check without grants = %v, %v", ok, err)
+	}
+	if _, err := f.st.Check("nobody", uid.UID{Class: 99, Serial: 1}, Read); err == nil {
+		t.Fatal("Check on ghost object succeeded")
+	}
+}
+
+func TestSubjects(t *testing.T) {
+	f := newFigEngine(t)
+	f.st.GrantObject("bob", f.i, WR)
+	f.st.GrantClass("alice", "Node", WR)
+	got := f.st.Subjects()
+	if len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("Subjects = %v", got)
+	}
+}
+
+func TestFormatFigure6(t *testing.T) {
+	out := FormatFigure6()
+	if len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+	for _, want := range []string{"sR", "Conflict", "s¬R"} {
+		if !contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCombineOrderIndependent(t *testing.T) {
+	// Resolution must not depend on the order grants are considered in.
+	triples := [][]Auth{
+		{SR, WR, WNR},
+		{WNR, WR, SR},
+		{SW, WNW, WW},
+		{WNW, SW, WW},
+		{SNR, WW, WR},
+		{WR, WW, SNR},
+	}
+	for i := 0; i+1 < len(triples); i += 2 {
+		a := Combine(triples[i]...)
+		b := Combine(triples[i+1]...)
+		if a.Conflict != b.Conflict || a.String() != b.String() {
+			t.Errorf("order dependence: %v vs %v -> %q vs %q", triples[i], triples[i+1], a, b)
+		}
+	}
+	// A strong authorization resolves what would be a weak-weak conflict.
+	if res := Combine(WR, WNR, SR); res.Conflict {
+		t.Errorf("strong did not resolve weak-weak opposition: %v", res)
+	}
+}

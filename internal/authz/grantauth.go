@@ -1,0 +1,122 @@
+package authz
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/uid"
+)
+
+// Grant authority, per §6's opening: "the user (who created the composite
+// object or who has the grant authorization on it) needs to grant
+// authorization on the composite object as a single unit". The Store
+// tracks an owner per composite object (and per class) plus delegated
+// grant authority; GrantObjectAs/GrantClassAs enforce that only the owner
+// or a delegate may grant. The plain GrantObject/GrantClass methods remain
+// the administrative path (no authority check), used by the system itself.
+
+// ErrNotAuthorized is returned when a granter lacks grant authority.
+var ErrNotAuthorized = errors.New("authz: granter lacks grant authority")
+
+// SetObjectOwner records the creator/owner of a composite object.
+func (s *Store) SetObjectOwner(obj uid.UID, owner string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.objOwner == nil {
+		s.objOwner = make(map[uid.UID]string)
+	}
+	s.objOwner[obj] = owner
+}
+
+// ObjectOwner returns the recorded owner of obj ("" if none).
+func (s *Store) ObjectOwner(obj uid.UID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objOwner[obj]
+}
+
+// SetClassOwner records the owner of a class.
+func (s *Store) SetClassOwner(class, owner string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.classOwner == nil {
+		s.classOwner = make(map[string]string)
+	}
+	s.classOwner[class] = owner
+}
+
+// ClassOwner returns the recorded owner of the class ("" if none).
+func (s *Store) ClassOwner(class string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.classOwner[class]
+}
+
+// DelegateGrant gives subject the grant authorization on obj. Only the
+// owner (or an existing delegate) may delegate.
+func (s *Store) DelegateGrant(granter, subject string, obj uid.UID) error {
+	if !s.CanGrant(granter, obj) {
+		return fmt.Errorf("%q on %v: %w", granter, obj, ErrNotAuthorized)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.grantAuth == nil {
+		s.grantAuth = make(map[uid.UID]map[string]bool)
+	}
+	m := s.grantAuth[obj]
+	if m == nil {
+		m = make(map[string]bool)
+		s.grantAuth[obj] = m
+	}
+	m[subject] = true
+	return nil
+}
+
+// RevokeGrantAuthority removes a delegation (owner-only).
+func (s *Store) RevokeGrantAuthority(owner, subject string, obj uid.UID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.objOwner[obj] != owner {
+		return fmt.Errorf("%q is not the owner of %v: %w", owner, obj, ErrNotAuthorized)
+	}
+	if m := s.grantAuth[obj]; m != nil {
+		delete(m, subject)
+	}
+	return nil
+}
+
+// CanGrant reports whether subject may grant authorizations on obj: the
+// owner always can; delegates can.
+func (s *Store) CanGrant(subject string, obj uid.UID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.objOwner[obj] == subject && subject != "" {
+		return true
+	}
+	if m := s.grantAuth[obj]; m != nil && m[subject] {
+		return true
+	}
+	return false
+}
+
+// GrantObjectAs grants a on the composite object rooted at obj to
+// subject, on behalf of granter, enforcing grant authority before the
+// usual conflict checking.
+func (s *Store) GrantObjectAs(granter, subject string, obj uid.UID, a Auth) error {
+	if !s.CanGrant(granter, obj) {
+		return fmt.Errorf("%q granting on %v: %w", granter, obj, ErrNotAuthorized)
+	}
+	return s.GrantObject(subject, obj, a)
+}
+
+// GrantClassAs grants a on the class to subject on behalf of granter, who
+// must be the class owner.
+func (s *Store) GrantClassAs(granter, subject, class string, a Auth) error {
+	s.mu.Lock()
+	owner := s.classOwner[class]
+	s.mu.Unlock()
+	if owner == "" || owner != granter {
+		return fmt.Errorf("%q granting on class %q: %w", granter, class, ErrNotAuthorized)
+	}
+	return s.GrantClass(subject, class, a)
+}

@@ -1,0 +1,119 @@
+package authz
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestOwnerMayGrant(t *testing.T) {
+	f := newFigEngine(t)
+	f.st.SetObjectOwner(f.i, "owner")
+	if got := f.st.ObjectOwner(f.i); got != "owner" {
+		t.Fatalf("ObjectOwner = %q", got)
+	}
+	if !f.st.CanGrant("owner", f.i) {
+		t.Fatal("owner cannot grant")
+	}
+	if f.st.CanGrant("stranger", f.i) {
+		t.Fatal("stranger can grant")
+	}
+	if err := f.st.GrantObjectAs("owner", "alice", f.i, SR); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := f.st.Check("alice", f.o4, Read); !ok {
+		t.Fatal("grant via owner not effective")
+	}
+	if err := f.st.GrantObjectAs("stranger", "bob", f.i, SR); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("stranger grant: %v", err)
+	}
+}
+
+func TestDelegatedGrantAuthority(t *testing.T) {
+	f := newFigEngine(t)
+	f.st.SetObjectOwner(f.i, "owner")
+	// Delegation requires authority itself.
+	if err := f.st.DelegateGrant("stranger", "deputy", f.i); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("stranger delegation: %v", err)
+	}
+	if err := f.st.DelegateGrant("owner", "deputy", f.i); err != nil {
+		t.Fatal(err)
+	}
+	if !f.st.CanGrant("deputy", f.i) {
+		t.Fatal("deputy cannot grant after delegation")
+	}
+	if err := f.st.GrantObjectAs("deputy", "carol", f.i, WR); err != nil {
+		t.Fatal(err)
+	}
+	// A delegate may even delegate further (has grant authority).
+	if err := f.st.DelegateGrant("deputy", "subdeputy", f.i); err != nil {
+		t.Fatal(err)
+	}
+	// Revocation is owner-only.
+	if err := f.st.RevokeGrantAuthority("deputy", "subdeputy", f.i); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("non-owner revoke: %v", err)
+	}
+	if err := f.st.RevokeGrantAuthority("owner", "deputy", f.i); err != nil {
+		t.Fatal(err)
+	}
+	if f.st.CanGrant("deputy", f.i) {
+		t.Fatal("deputy can still grant after revocation")
+	}
+}
+
+func TestClassOwnerGrants(t *testing.T) {
+	f := newFigEngine(t)
+	f.st.SetClassOwner("Node", "dba")
+	if got := f.st.ClassOwner("Node"); got != "dba" {
+		t.Fatalf("ClassOwner = %q", got)
+	}
+	if err := f.st.GrantClassAs("dba", "alice", "Node", WR); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := f.st.Check("alice", f.q, Read); !ok {
+		t.Fatal("class grant not effective")
+	}
+	if err := f.st.GrantClassAs("alice", "bob", "Node", WR); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("non-owner class grant: %v", err)
+	}
+	// Unowned class: nobody can use the As path.
+	if err := f.st.GrantClassAs("dba", "x", "Ghost", WR); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("unowned class: %v", err)
+	}
+}
+
+func TestGrantAuthorityDoesNotBypassConflicts(t *testing.T) {
+	f := newFigEngine(t)
+	f.st.SetObjectOwner(f.j, "owner")
+	f.st.SetObjectOwner(f.k, "owner")
+	if err := f.st.GrantObjectAs("owner", "alice", f.j, SNR); err != nil {
+		t.Fatal(err)
+	}
+	// Even the owner's grant is subject to the Figure 6 conflict rules.
+	if err := f.st.GrantObjectAs("owner", "alice", f.k, SW); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting owner grant: %v", err)
+	}
+}
+
+func TestGrantAuthorityPersists(t *testing.T) {
+	f := newFigEngine(t)
+	f.st.SetObjectOwner(f.i, "owner")
+	f.st.SetClassOwner("Node", "dba")
+	if err := f.st.DelegateGrant("owner", "deputy", f.i); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewStore(f.e)
+	if err := st2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st2.ObjectOwner(f.i) != "owner" || st2.ClassOwner("Node") != "dba" {
+		t.Fatal("owners lost in round trip")
+	}
+	if !st2.CanGrant("deputy", f.i) {
+		t.Fatal("delegation lost in round trip")
+	}
+}

@@ -1,0 +1,297 @@
+// Package checkout implements design transactions over composite objects
+// — the long-duration-transaction gap the paper closes §7 with:
+//
+//	"Unfortunately, they [the composite locking protocols] may not be
+//	suitable for long-duration transactions. For long-duration
+//	transactions, it may be better to lock individual component objects
+//	as needed. An appropriate locking protocol for long-duration
+//	transactions is still a research issue."
+//
+// This package provides the mechanism ORION's CAD applications actually
+// used: CHECKOUT a whole composite object into a private workspace under
+// one long-held composite lock, edit the private copies without touching
+// the shared database (and without holding short locks over think time),
+// then CHECKIN the accumulated changes atomically through an ordinary
+// short transaction — or Release to discard them.
+//
+// A write checkout holds the §7 composite write locks (IX root class, X
+// root, IXO/IXOS component classes) for its whole duration, so concurrent
+// short transactions and other checkouts on the same composite object are
+// excluded exactly as the paper's protocol prescribes, while checkouts of
+// different composite objects proceed in parallel.
+package checkout
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/txn"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// Sentinel errors.
+var (
+	ErrNotCheckedOut = errors.New("checkout: object is not part of this checkout")
+	ErrReadOnly      = errors.New("checkout: read-only checkout")
+	ErrDone          = errors.New("checkout: already checked in or released")
+	ErrStale         = errors.New("checkout: object changed underneath a read-only checkout")
+)
+
+// Manager creates checkouts. Checkouts coexist with ordinary short
+// transactions from the same txn.Manager: they share its lock manager.
+type Manager struct {
+	tm   *txn.Manager
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewManager returns a checkout manager sharing the transaction manager's
+// locks.
+func NewManager(tm *txn.Manager) *Manager {
+	return &Manager{tm: tm}
+}
+
+// Checkout is a private workspace holding copies of one composite object.
+type Checkout struct {
+	m        *Manager
+	lockTx   *txn.Txn // holds the long-duration locks
+	root     uid.UID
+	write    bool
+	copies   map[uid.UID]*object.Object
+	baseline map[uid.UID]*object.Object // pristine copies for diffing at checkin
+	done     bool
+}
+
+// Checkout copies the composite object rooted at root into a workspace.
+// With write=true the §7 composite write locks are held until Checkin or
+// Release; with write=false only the read locks are taken to produce a
+// consistent snapshot and are RELEASED immediately (optimistic read:
+// Checkin of a read checkout is not possible, and staleness can be
+// detected with Validate).
+func (m *Manager) Checkout(root uid.UID, write bool) (*Checkout, error) {
+	lt := m.tm.Begin()
+	e := m.tm.Engine()
+	proto := m.tm.Protocol()
+	var err error
+	if write {
+		err = proto.LockCompositeWrite(lt.ID(), root)
+	} else {
+		err = proto.LockCompositeRead(lt.ID(), root)
+	}
+	if err != nil {
+		lt.Abort()
+		return nil, err
+	}
+	co := &Checkout{
+		m:        m,
+		lockTx:   lt,
+		root:     root,
+		write:    write,
+		copies:   make(map[uid.UID]*object.Object),
+		baseline: make(map[uid.UID]*object.Object),
+	}
+	ids, err := e.ComponentsOf(root, core.QueryOpts{})
+	if err != nil {
+		lt.Abort()
+		return nil, err
+	}
+	for _, id := range append([]uid.UID{root}, ids...) {
+		snap, err := e.Snapshot(id)
+		if err != nil {
+			lt.Abort()
+			return nil, err
+		}
+		co.copies[id] = snap
+		co.baseline[id] = snap.Clone()
+	}
+	if !write {
+		// Snapshot taken consistently; drop the read locks.
+		lt.Abort()
+		co.lockTx = nil
+	}
+	return co, nil
+}
+
+// Root returns the checked-out composite object's root.
+func (c *Checkout) Root() uid.UID { return c.root }
+
+// Objects returns the UIDs in the workspace (root first, then BFS order
+// of the components at checkout time).
+func (c *Checkout) Objects() []uid.UID {
+	out := make([]uid.UID, 0, len(c.copies))
+	out = append(out, c.root)
+	for id := range c.copies {
+		if id != c.root {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Get returns the workspace copy of id. The caller may read it freely;
+// mutations must go through Set.
+func (c *Checkout) Get(id uid.UID) (*object.Object, error) {
+	if c.done {
+		return nil, ErrDone
+	}
+	o, ok := c.copies[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNotCheckedOut)
+	}
+	return o, nil
+}
+
+// Set edits an attribute of a workspace copy. The domain is validated
+// against the catalog immediately; composite bookkeeping (reverse
+// references, topology rules) is applied by the engine at Checkin.
+func (c *Checkout) Set(id uid.UID, attr string, v value.Value) error {
+	if c.done {
+		return ErrDone
+	}
+	if !c.write {
+		return ErrReadOnly
+	}
+	o, ok := c.copies[id]
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrNotCheckedOut)
+	}
+	e := c.m.tm.Engine()
+	cl, err := e.ClassOf(id)
+	if err != nil {
+		return err
+	}
+	if err := e.Catalog().ValidateValue(cl.Name, attr, v); err != nil {
+		return err
+	}
+	o.Set(attr, v)
+	return nil
+}
+
+// Dirty returns the UIDs whose workspace copy differs from the baseline.
+func (c *Checkout) Dirty() []uid.UID {
+	var out []uid.UID
+	for id, o := range c.copies {
+		if !sameAttrs(o, c.baseline[id]) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sameAttrs(a, b *object.Object) bool {
+	an, bn := a.AttrNames(), b.AttrNames()
+	if len(an) != len(bn) {
+		return false
+	}
+	for i, n := range an {
+		if n != bn[i] || !a.Get(n).Equal(b.Get(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkin applies the workspace edits to the database (per-attribute
+// WriteAttr, so all composite semantics and topology rules run) through
+// the checkout's own lock-holding transaction — a fresh transaction would
+// deadlock against the checkout's long-held IXO locks — then commits,
+// releasing the long-duration locks. On failure the applied edits are
+// rolled back and the checkout ENDS (its locks are released with the
+// abort); re-checkout to try again.
+func (c *Checkout) Checkin() error {
+	if c.done {
+		return ErrDone
+	}
+	if !c.write {
+		return ErrReadOnly
+	}
+	t := c.lockTx
+	apply := func() error {
+		for _, id := range c.Dirty() {
+			cur := c.copies[id]
+			base := c.baseline[id]
+			// Apply changed/new attributes.
+			for _, n := range cur.AttrNames() {
+				if !cur.Get(n).Equal(base.Get(n)) {
+					if err := t.WriteAttr(id, n, cur.Get(n)); err != nil {
+						return err
+					}
+				}
+			}
+			// Clear removed attributes.
+			for _, n := range base.AttrNames() {
+				if !cur.Has(n) {
+					if err := t.WriteAttr(id, n, value.Nil); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := apply(); err != nil {
+		c.done = true
+		c.lockTx = nil
+		t.Abort() // rolls the applied edits back and releases the locks
+		return err
+	}
+	c.done = true
+	c.lockTx = nil
+	return t.Commit()
+}
+
+// Validate reports whether the database still matches the checkout's
+// baseline (useful before acting on a read-only snapshot).
+func (c *Checkout) Validate() error {
+	if c.done {
+		return ErrDone
+	}
+	e := c.m.tm.Engine()
+	for id, base := range c.baseline {
+		cur, err := e.Snapshot(id)
+		if err != nil {
+			return fmt.Errorf("%v: %w", id, ErrStale)
+		}
+		if !sameAttrs(cur, base) {
+			return fmt.Errorf("%v: %w", id, ErrStale)
+		}
+	}
+	return nil
+}
+
+// Release discards the workspace and the locks.
+func (c *Checkout) Release() error {
+	if c.done {
+		return ErrDone
+	}
+	c.finish()
+	return nil
+}
+
+func (c *Checkout) finish() {
+	c.done = true
+	if c.lockTx != nil {
+		c.lockTx.Abort() // held no writes; Abort just releases the locks
+		c.lockTx = nil
+	}
+	c.copies = nil
+	c.baseline = nil
+}
+
+// HeldLocks reports whether the checkout still holds database locks (true
+// only for live write checkouts).
+func (c *Checkout) HeldLocks() bool { return !c.done && c.lockTx != nil }
+
+// LockTx exposes the lock-holding transaction's ID for observation in
+// tests and tools.
+func (c *Checkout) LockTx() (lock.TxID, bool) {
+	if c.lockTx == nil {
+		return 0, false
+	}
+	return c.lockTx.ID(), true
+}

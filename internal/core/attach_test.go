@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+func TestMakeComponentRuleExclusive(t *testing.T) {
+	// Rule 1: an exclusive composite attribute requires the child to have
+	// no composite reference at all (exclusive or shared).
+	e := documentEngine(t)
+	para := mustNew(t, e, "Paragraph", nil)
+	doc1 := mustNew(t, e, "Document", nil)
+	doc2 := mustNew(t, e, "Document", nil)
+	sec := mustNew(t, e, "Section", nil)
+
+	// Fresh paragraph becomes an exclusive annotation: OK.
+	if err := e.Attach(doc1.UID(), "Annotations", para.UID()); err != nil {
+		t.Fatal(err)
+	}
+	// A second exclusive parent: violates Topology Rule 1.
+	if err := e.Attach(doc2.UID(), "Annotations", para.UID()); !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("second exclusive parent: %v", err)
+	}
+	// A shared parent on top of the exclusive one: violates Rule 3.
+	if err := e.Attach(sec.UID(), "Content", para.UID()); !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("shared over exclusive: %v", err)
+	}
+	checkClean(t, e)
+}
+
+func TestMakeComponentRuleShared(t *testing.T) {
+	// Rule 2: a shared composite attribute only requires the child to have
+	// no exclusive composite reference; many shared parents are fine.
+	e := documentEngine(t)
+	para := mustNew(t, e, "Paragraph", nil)
+	var secs []uid.UID
+	for i := 0; i < 5; i++ {
+		sec := mustNew(t, e, "Section", nil)
+		if err := e.Attach(sec.UID(), "Content", para.UID()); err != nil {
+			t.Fatalf("shared parent %d: %v", i, err)
+		}
+		secs = append(secs, sec.UID())
+	}
+	po, _ := e.Get(para.UID())
+	if len(po.DS()) != 5 {
+		t.Fatalf("DS = %v", po.DS())
+	}
+	// An exclusive parent on top of shared ones: violates Rule 3.
+	doc := mustNew(t, e, "Document", nil)
+	if err := e.Attach(doc.UID(), "Annotations", para.UID()); !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("exclusive over shared: %v", err)
+	}
+	_ = secs
+	checkClean(t, e)
+}
+
+func TestWeakReferencesUnlimited(t *testing.T) {
+	// Topology Rule 4: any number of weak references, even alongside
+	// composite references.
+	e := vehicleEngine(t)
+	co := mustNew(t, e, "Company", nil)
+	for i := 0; i < 3; i++ {
+		v := mustNew(t, e, "Vehicle", nil)
+		if err := e.Attach(v.UID(), "Manufacturer", co.UID()); err != nil {
+			t.Fatalf("weak ref %d: %v", i, err)
+		}
+	}
+	// Weak references leave no reverse refs.
+	coObj, _ := e.Get(co.UID())
+	if coObj.HasAnyReverse() {
+		t.Fatal("weak reference created a reverse composite reference")
+	}
+	checkClean(t, e)
+}
+
+func TestAttachSingleValuedOccupied(t *testing.T) {
+	e := vehicleEngine(t)
+	v := mustNew(t, e, "Vehicle", nil)
+	b1 := mustNew(t, e, "AutoBody", nil)
+	b2 := mustNew(t, e, "AutoBody", nil)
+	if err := e.Attach(v.UID(), "Body", b1.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(v.UID(), "Body", b2.UID()); !errors.Is(err, ErrAttrOccupied) {
+		t.Fatalf("second body: %v", err)
+	}
+	// Re-attaching the same child is a no-op.
+	if err := e.Attach(v.UID(), "Body", b1.UID()); err != nil {
+		t.Fatal(err)
+	}
+	vo, _ := e.Get(v.UID())
+	if r, _ := vo.Get("Body").AsRef(); r != b1.UID() {
+		t.Fatalf("Body = %v", vo.Get("Body"))
+	}
+	checkClean(t, e)
+}
+
+func TestAttachDomainChecked(t *testing.T) {
+	e := vehicleEngine(t)
+	v := mustNew(t, e, "Vehicle", nil)
+	tire := mustNew(t, e, "AutoTires", nil)
+	if err := e.Attach(v.UID(), "Body", tire.UID()); !errors.Is(err, schema.ErrDomainMismatch) {
+		t.Fatalf("tire as body: %v", err)
+	}
+	// Primitive-domain attribute cannot take a parent role.
+	if err := e.Attach(v.UID(), "Id", tire.UID()); !errors.Is(err, schema.ErrDomainMismatch) {
+		t.Fatalf("attach through primitive attr: %v", err)
+	}
+	if err := e.Attach(v.UID(), "Ghost", tire.UID()); !errors.Is(err, schema.ErrNoAttr) {
+		t.Fatalf("ghost attr: %v", err)
+	}
+	if err := e.Attach(uid.UID{Class: 99, Serial: 9}, "Body", tire.UID()); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ghost parent: %v", err)
+	}
+	if err := e.Attach(v.UID(), "Body", uid.UID{Class: 99, Serial: 9}); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ghost child: %v", err)
+	}
+}
+
+func TestSelfAttachmentRejected(t *testing.T) {
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Part", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Subparts", "Part").WithExclusive(false),
+	}})
+	e := NewEngine(cat)
+	p := mustNew(t, e, "Part", nil)
+	if err := e.Attach(p.UID(), "Subparts", p.UID()); !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("self attachment: %v", err)
+	}
+	// Via Set too.
+	if err := e.Set(p.UID(), "Subparts", value.RefSet(p.UID())); !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("self set: %v", err)
+	}
+}
+
+func TestDetachAndReuse(t *testing.T) {
+	e := vehicleEngine(t)
+	v1 := mustNew(t, e, "Vehicle", nil)
+	v2 := mustNew(t, e, "Vehicle", nil)
+	body := mustNew(t, e, "AutoBody", nil)
+	if err := e.Attach(v1.UID(), "Body", body.UID()); err != nil {
+		t.Fatal(err)
+	}
+	// Detach frees the part for another vehicle.
+	if err := e.Detach(v1.UID(), "Body", body.UID()); err != nil {
+		t.Fatal(err)
+	}
+	bo, _ := e.Get(body.UID())
+	if bo.HasAnyReverse() {
+		t.Fatal("reverse ref survived detach")
+	}
+	v1o, _ := e.Get(v1.UID())
+	if !v1o.Get("Body").IsNil() {
+		t.Fatalf("forward ref survived detach: %v", v1o.Get("Body"))
+	}
+	if err := e.Attach(v2.UID(), "Body", body.UID()); err != nil {
+		t.Fatalf("re-use after detach: %v", err)
+	}
+	// Detaching an absent reference errors.
+	if err := e.Detach(v1.UID(), "Body", body.UID()); !errors.Is(err, ErrNotReferenced) {
+		t.Fatalf("detach absent: %v", err)
+	}
+	checkClean(t, e)
+}
+
+func TestSetCompositeDiffSemantics(t *testing.T) {
+	// Set on a composite set-valued attribute attaches the added refs and
+	// detaches the removed ones.
+	e := vehicleEngine(t)
+	v := mustNew(t, e, "Vehicle", nil)
+	a := mustNew(t, e, "AutoTires", nil)
+	b := mustNew(t, e, "AutoTires", nil)
+	c := mustNew(t, e, "AutoTires", nil)
+	if err := e.Set(v.UID(), "Tires", value.RefSet(a.UID(), b.UID())); err != nil {
+		t.Fatal(err)
+	}
+	// Replace b with c: b must be unlinked, c linked, a untouched.
+	if err := e.Set(v.UID(), "Tires", value.RefSet(a.UID(), c.UID())); err != nil {
+		t.Fatal(err)
+	}
+	ao, _ := e.Get(a.UID())
+	bo, _ := e.Get(b.UID())
+	co, _ := e.Get(c.UID())
+	if !ao.HasReverse(v.UID()) || bo.HasAnyReverse() || !co.HasReverse(v.UID()) {
+		t.Fatal("diff semantics wrong")
+	}
+	// Re-setting the identical value is a no-op and must not trip the
+	// Make-Component Rule against the already-linked children.
+	if err := e.Set(v.UID(), "Tires", value.RefSet(a.UID(), c.UID())); err != nil {
+		t.Fatalf("idempotent set: %v", err)
+	}
+	checkClean(t, e)
+}
+
+func TestSetRejectsViolationAtomically(t *testing.T) {
+	e := vehicleEngine(t)
+	v1 := mustNew(t, e, "Vehicle", nil)
+	v2 := mustNew(t, e, "Vehicle", nil)
+	a := mustNew(t, e, "AutoTires", nil)
+	b := mustNew(t, e, "AutoTires", nil)
+	if err := e.Set(v1.UID(), "Tires", value.RefSet(a.UID())); err != nil {
+		t.Fatal(err)
+	}
+	// v2 tries to take both b (free) and a (taken): the whole Set fails
+	// and b must remain unlinked.
+	if err := e.Set(v2.UID(), "Tires", value.RefSet(b.UID(), a.UID())); !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("violating set: %v", err)
+	}
+	bo, _ := e.Get(b.UID())
+	if bo.HasAnyReverse() {
+		t.Fatal("failed Set left a partial link on b")
+	}
+	v2o, _ := e.Get(v2.UID())
+	if !v2o.Get("Tires").IsNil() {
+		t.Fatalf("failed Set wrote the forward value: %v", v2o.Get("Tires"))
+	}
+	checkClean(t, e)
+}
+
+func TestNewWithMultipleParents(t *testing.T) {
+	// §2.3: a new instance may be made part of several composite objects
+	// at creation — but only through shared composite attributes (a
+	// consequence of Topology Rule 3).
+	e := documentEngine(t)
+	doc1 := mustNew(t, e, "Document", nil)
+	doc2 := mustNew(t, e, "Document", nil)
+	sec := mustNew(t, e, "Section", nil,
+		ParentSpec{Parent: doc1.UID(), Attr: "Sections"},
+		ParentSpec{Parent: doc2.UID(), Attr: "Sections"},
+	)
+	so, _ := e.Get(sec.UID())
+	if len(so.DS()) != 2 {
+		t.Fatalf("DS = %v", so.DS())
+	}
+	d1, _ := e.Get(doc1.UID())
+	if !d1.Get("Sections").ContainsRef(sec.UID()) {
+		t.Fatal("forward ref missing in doc1")
+	}
+	checkClean(t, e)
+}
+
+func TestNewWithMultipleExclusiveParentsRejected(t *testing.T) {
+	e := documentEngine(t)
+	doc1 := mustNew(t, e, "Document", nil)
+	doc2 := mustNew(t, e, "Document", nil)
+	before := e.Len()
+	_, err := e.New("Paragraph", nil,
+		ParentSpec{Parent: doc1.UID(), Attr: "Annotations"},
+		ParentSpec{Parent: doc2.UID(), Attr: "Annotations"},
+	)
+	if !errors.Is(err, ErrTopologyViolation) {
+		t.Fatalf("multiple exclusive parents: %v", err)
+	}
+	if e.Len() != before {
+		t.Fatal("failed New leaked an object")
+	}
+	checkClean(t, e)
+}
+
+func TestNewWithSingleExclusiveParentOK(t *testing.T) {
+	// One parent may use any composite attribute, including exclusive —
+	// this is classic top-down creation.
+	e := documentEngine(t)
+	doc := mustNew(t, e, "Document", nil)
+	note := mustNew(t, e, "Paragraph", nil, ParentSpec{Parent: doc.UID(), Attr: "Annotations"})
+	no, _ := e.Get(note.UID())
+	if len(no.DX()) != 1 || no.DX()[0] != doc.UID() {
+		t.Fatalf("DX = %v", no.DX())
+	}
+	checkClean(t, e)
+}
+
+func TestRootMayChange(t *testing.T) {
+	// §2.1: under the extended model the root of a composite object may
+	// change — the current root can become the target of a composite
+	// reference from another object.
+	e := documentEngine(t)
+	sec := mustNew(t, e, "Section", nil)
+	para := mustNew(t, e, "Paragraph", nil, ParentSpec{Parent: sec.UID(), Attr: "Content"})
+	roots, _ := e.RootsOf(para.UID())
+	if len(roots) != 1 || roots[0] != sec.UID() {
+		t.Fatalf("roots = %v, want section", roots)
+	}
+	// Now a document adopts the section: the root changes to the document.
+	doc := mustNew(t, e, "Document", nil)
+	if err := e.Attach(doc.UID(), "Sections", sec.UID()); err != nil {
+		t.Fatal(err)
+	}
+	roots, _ = e.RootsOf(para.UID())
+	if len(roots) != 1 || roots[0] != doc.UID() {
+		t.Fatalf("roots after adoption = %v, want document", roots)
+	}
+	checkClean(t, e)
+}
+
+func TestLegacyModeRestrictions(t *testing.T) {
+	// The three §1 shortcomings of [KIM87b], demonstrated as errors of the
+	// legacy baseline.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Chapter"})
+	cat.DefineClass(schema.ClassDef{Name: "Book", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Chapters", "Chapter"), // dependent exclusive
+	}})
+	cat.DefineClass(schema.ClassDef{Name: "Anthology", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Chapters", "Chapter").WithExclusive(false),
+	}})
+	e := NewEngine(cat)
+	e.SetLegacy(true)
+	if !e.Legacy() {
+		t.Fatal("legacy flag not set")
+	}
+
+	book := mustNew(t, e, "Book", nil)
+	// Top-down creation is the only path: OK.
+	ch := mustNew(t, e, "Chapter", nil, ParentSpec{Parent: book.UID(), Attr: "Chapters"})
+
+	// Shortcoming 1: strict hierarchy — shared references rejected.
+	anth := mustNew(t, e, "Anthology", nil)
+	if _, err := e.New("Chapter", nil, ParentSpec{Parent: anth.UID(), Attr: "Chapters"}); !errors.Is(err, ErrLegacyRestriction) {
+		t.Fatalf("shared composite in legacy: %v", err)
+	}
+
+	// Shortcoming 2: no bottom-up creation.
+	free := mustNew(t, e, "Chapter", nil)
+	book2 := mustNew(t, e, "Book", nil)
+	if err := e.Attach(book2.UID(), "Chapters", free.UID()); !errors.Is(err, ErrLegacyRestriction) {
+		t.Fatalf("bottom-up attach in legacy: %v", err)
+	}
+	if _, err := e.New("Book", map[string]value.Value{
+		"Chapters": value.RefSet(free.UID()),
+	}); !errors.Is(err, ErrLegacyRestriction) {
+		t.Fatalf("bottom-up assembly in legacy: %v", err)
+	}
+	if err := e.Detach(book.UID(), "Chapters", ch.UID()); !errors.Is(err, ErrLegacyRestriction) {
+		t.Fatalf("detach in legacy: %v", err)
+	}
+
+	// Shortcoming 3: existence dependency — deleting the book deletes the
+	// chapter.
+	deleted, err := e.Delete(book.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("legacy delete = %v, want book+chapter", deleted)
+	}
+	if e.Exists(ch.UID()) {
+		t.Fatal("dependent chapter survived")
+	}
+
+	// Back to the extended model: all three operations succeed.
+	e.SetLegacy(false)
+	if err := e.Attach(book2.UID(), "Chapters", free.UID()); err != nil {
+		t.Fatalf("attach after leaving legacy: %v", err)
+	}
+	checkClean(t, e)
+}

@@ -1,0 +1,366 @@
+// Package core implements the paper's primary contribution: the extended
+// model of composite objects (§2–§3).
+//
+// An Engine maintains the object graph against a schema catalog and
+// enforces, on every mutation:
+//
+//   - the five reference types (weak, dependent/independent ×
+//     exclusive/shared composite) carried by attribute specifications;
+//   - Topology Rules 1–4 (§2.2), via the Make-Component Rule: an object
+//     acquiring an exclusive composite parent must have no composite
+//     parent at all, and one acquiring a shared composite parent must have
+//     no exclusive composite parent;
+//   - the Deletion Rule (§2.2): deleting an object recursively deletes the
+//     objects it references through dependent exclusive references, and
+//     through dependent shared references when it is the last
+//     dependent-shared parent;
+//   - reverse composite references (§2.4): every component records its
+//     parents with D and X flags, kept in the component object itself.
+//
+// The Engine also supports the legacy [KIM87b] model as a baseline
+// (SetLegacy): only dependent exclusive composite references, strict
+// top-down creation, no re-parenting — the three shortcomings §1 calls
+// out become errors, which the tests demonstrate and the benches compare.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// Sentinel errors for composite-object operations.
+var (
+	ErrNoObject          = errors.New("core: no such object")
+	ErrNotComposite      = errors.New("core: attribute is not composite")
+	ErrTopologyViolation = errors.New("core: topology rule violation")
+	ErrAttrOccupied      = errors.New("core: single-valued attribute already references an object")
+	ErrNotReferenced     = errors.New("core: parent does not reference child through attribute")
+	ErrLegacyRestriction = errors.New("core: operation not allowed under the KIM87b legacy model")
+	ErrChangeRejected    = errors.New("core: state-dependent schema change rejected")
+)
+
+// Hook receives write-through notifications so a persistence layer can
+// mirror the in-memory graph. Near is the clustering hint (the first
+// parent at creation, §2.3), valid only for the creating write.
+type Hook interface {
+	OnWrite(o *object.Object, near uid.UID) error
+	OnDelete(id uid.UID) error
+}
+
+// MultiHook fans write-through notifications out to several hooks in
+// order (e.g. the persistence hook plus index maintenance). A failing
+// hook aborts the chain.
+type MultiHook []Hook
+
+// OnWrite implements Hook.
+func (m MultiHook) OnWrite(o *object.Object, near uid.UID) error {
+	for _, h := range m {
+		if err := h.OnWrite(o, near); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnDelete implements Hook.
+func (m MultiHook) OnDelete(id uid.UID) error {
+	for _, h := range m {
+		if err := h.OnDelete(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParentSpec names one (ParentObject.i ParentAttributeName.i) pair of the
+// make message (§2.3).
+type ParentSpec struct {
+	Parent uid.UID
+	Attr   string
+}
+
+// Engine is the composite-object manager. It is safe for concurrent use;
+// operations take a coarse engine latch (concurrency control at the
+// transaction level is the lock manager's job, §7).
+type Engine struct {
+	mu      sync.RWMutex
+	cat     *schema.Catalog
+	gen     *uid.Generator
+	objects map[uid.UID]*object.Object
+	extents map[uid.ClassID]*uid.Set
+	hook    Hook
+	legacy  bool
+}
+
+// NewEngine returns an empty engine over the catalog.
+func NewEngine(cat *schema.Catalog) *Engine {
+	return &Engine{
+		cat:     cat,
+		gen:     uid.NewGenerator(),
+		objects: make(map[uid.UID]*object.Object),
+		extents: make(map[uid.ClassID]*uid.Set),
+	}
+}
+
+// Catalog returns the engine's schema catalog.
+func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+
+// SetHook installs the persistence hook (nil to disable).
+func (e *Engine) SetHook(h Hook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = h
+}
+
+// SetLegacy toggles the [KIM87b] baseline model. In legacy mode composite
+// attributes must be dependent exclusive, objects may only be composed at
+// creation time under an already-existing parent (top-down), and existing
+// objects cannot be attached (no bottom-up assembly, no shared parts, no
+// re-use after dismantling).
+func (e *Engine) SetLegacy(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.legacy = on
+}
+
+// Legacy reports whether the engine runs the [KIM87b] baseline model.
+func (e *Engine) Legacy() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.legacy
+}
+
+// Generator exposes the UID generator (the version layer derives instance
+// UIDs from it).
+func (e *Engine) Generator() *uid.Generator { return e.gen }
+
+// Restore overwrites (or re-creates) the engine's record for o.UID() with
+// o, without running any composite semantics. It is the transaction
+// layer's undo primitive: before-images captured with Snapshot are put
+// back verbatim on abort.
+func (e *Engine) Restore(o *object.Object) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objects[o.UID()] = o
+	e.extentFor(o.Class()).Add(o.UID())
+	e.gen.Seed(o.UID().Serial)
+}
+
+// Evict removes the object without running the Deletion Rule — the undo
+// primitive for aborted creations. It is a no-op if the object is absent.
+func (e *Engine) Evict(id uid.UID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.objects, id)
+	if ext := e.extents[id.Class]; ext != nil {
+		ext.Remove(id)
+	}
+}
+
+// Snapshot returns a deep copy of the object for undo logging.
+func (e *Engine) Snapshot(id uid.UID) (*object.Object, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err := e.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return o.Clone(), nil
+}
+
+// Load installs an object restored from storage without running creation
+// semantics. It is used when reopening a database.
+func (e *Engine) Load(o *object.Object) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.cat.ClassByID(o.Class()); err != nil {
+		return err
+	}
+	e.objects[o.UID()] = o
+	e.extentFor(o.Class()).Add(o.UID())
+	e.gen.Seed(o.UID().Serial)
+	return nil
+}
+
+func (e *Engine) extentFor(c uid.ClassID) *uid.Set {
+	s := e.extents[c]
+	if s == nil {
+		s = uid.NewSet()
+		e.extents[c] = s
+	}
+	return s
+}
+
+// get returns the live object, applying pending deferred schema changes
+// (§4.3) first. Caller holds e.mu (read or write; ApplyPending mutates the
+// object, so concurrent readers rely on the engine latch being held for
+// writing during mutation — get with only the read lock is used on paths
+// that tolerate the benign flag rewrite because the catalog applies each
+// entry at most once per object).
+func (e *Engine) get(id uid.UID) (*object.Object, error) {
+	o, ok := e.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
+	}
+	cl, err := e.cat.ClassByID(id.Class)
+	if err != nil {
+		return nil, err
+	}
+	e.cat.ApplyPending(cl.Name, o)
+	return o, nil
+}
+
+// Get returns the object with the given UID. The returned object is the
+// engine's live record: callers must treat it as read-only and go through
+// Engine methods for mutation.
+func (e *Engine) Get(id uid.UID) (*object.Object, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.get(id)
+}
+
+// Exists reports whether the object is present.
+func (e *Engine) Exists(id uid.UID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.objects[id]
+	return ok
+}
+
+// Len returns the number of live objects.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.objects)
+}
+
+// ClassOf returns the class metaobject of an object.
+func (e *Engine) ClassOf(id uid.UID) (*schema.Class, error) {
+	return e.cat.ClassByID(id.Class)
+}
+
+// Extent returns the UIDs of the instances of the class, optionally
+// including instances of subclasses, in UID order.
+func (e *Engine) Extent(class string, includeSubclasses bool) ([]uid.UID, error) {
+	names := []string{class}
+	if includeSubclasses {
+		names = e.cat.AllSubclasses(class)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []uid.UID
+	for _, n := range names {
+		cl, err := e.cat.Class(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e.extents[cl.ID].Slice()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// New creates an instance of class per the make message (§2.3): attrs are
+// the initial attribute values, parents the (ParentObject.i
+// ParentAttributeName.i) pairs making the new instance a part of existing
+// composite objects at creation time. When several parents are given, all
+// the named attributes must be shared composite attributes (a consequence
+// of Topology Rule 3, enforced here as the paper prescribes). The new
+// object is clustered with the first parent.
+func (e *Engine) New(class string, attrs map[string]value.Value, parents ...ParentSpec) (*object.Object, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cl, err := e.cat.Class(class)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := e.cat.Attributes(class)
+	if err != nil {
+		return nil, err
+	}
+	// Validate parent specs before allocating anything.
+	if len(parents) > 1 {
+		for _, p := range parents {
+			pcl, err := e.cat.ClassByID(p.Parent.Class)
+			if err != nil {
+				return nil, err
+			}
+			a, err := e.cat.Attribute(pcl.Name, p.Attr)
+			if err != nil {
+				return nil, err
+			}
+			if !a.Composite || a.Exclusive {
+				return nil, fmt.Errorf("core: multiple parents require shared composite attributes; %s.%s is %s: %w",
+					pcl.Name, p.Attr, a.RefKind(), ErrTopologyViolation)
+			}
+		}
+	}
+	o := object.New(e.gen.Next(cl.ID))
+	o.SetCC(e.cat.CurrentCC())
+	// Apply :init defaults, then explicit values.
+	for _, s := range specs {
+		if !s.Initial.IsNil() {
+			o.Set(s.Name, s.Initial.Clone())
+		}
+	}
+	e.objects[o.UID()] = o
+	e.extentFor(cl.ID).Add(o.UID())
+	cleanup := func() {
+		delete(e.objects, o.UID())
+		e.extents[cl.ID].Remove(o.UID())
+	}
+	dirty := newDirtySet()
+	for name, v := range attrs {
+		if err := e.setAttrLocked(o, name, v, dirty); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	var near uid.UID
+	for i, p := range parents {
+		if err := e.attachLocked(p.Parent, p.Attr, o.UID(), dirty); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if i == 0 {
+			near = p.Parent
+		}
+	}
+	dirty.add(o.UID())
+	return o, e.flush(dirty, o.UID(), near)
+}
+
+// dirtySet accumulates mutated objects for write-through.
+type dirtySet struct{ ids *uid.Set }
+
+func newDirtySet() *dirtySet       { return &dirtySet{ids: uid.NewSet()} }
+func (d *dirtySet) add(id uid.UID) { d.ids.Add(id) }
+
+// flush pushes dirty objects to the hook. created/near carry the
+// clustering hint for the newly created object, if any.
+func (e *Engine) flush(d *dirtySet, created, near uid.UID) error {
+	if e.hook == nil {
+		return nil
+	}
+	for _, id := range d.ids.Slice() {
+		o, ok := e.objects[id]
+		if !ok {
+			continue // deleted during the same operation
+		}
+		hint := uid.Nil
+		if id == created {
+			hint = near
+		}
+		if err := e.hook.OnWrite(o, hint); err != nil {
+			return err
+		}
+	}
+	return nil
+}

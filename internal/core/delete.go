@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/uid"
+)
+
+// Delete removes the object, applying the Deletion Rule (§2.2):
+//
+//	del(O') => del(O) if any of:
+//	 1. O' has a dependent exclusive reference to O;
+//	 2. O' has a dependent shared reference to O and DS(O) = {O'};
+//	 3. an object O'' with del(O') => del(O'') exists such that (3.a) O''
+//	    has a dependent exclusive reference to O, or (3.b) O'' has a
+//	    dependent shared reference to O and DS(O) = {O''}.
+//
+// Condition 3 is the recursive case, handled by cascading. Independent
+// references (exclusive or shared) never propagate deletion; the
+// referenced components merely lose this parent. The forward references
+// held by surviving parents of every deleted object are removed; weak
+// references from unrelated objects are left dangling, as in ORION.
+//
+// It returns the UIDs actually deleted, in UID order.
+func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.objects[id]; !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
+	}
+	dirty := newDirtySet()
+	deleted := uid.NewSet()
+	e.deleteLocked(id, deleted, dirty)
+	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
+		return nil, err
+	}
+	if e.hook != nil {
+		for _, d := range deleted.Slice() {
+			if err := e.hook.OnDelete(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := append([]uid.UID(nil), deleted.Slice()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// deleteLocked removes id and cascades. deleted accumulates the casualty
+// list and doubles as the visited set for cyclic part hierarchies.
+func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
+	if deleted.Contains(id) {
+		return
+	}
+	o, ok := e.objects[id]
+	if !ok {
+		return
+	}
+	deleted.Add(id)
+	cl, err := e.cat.ClassByID(id.Class)
+	if err != nil {
+		// Class dropped out from under the instance; just unlink it.
+		e.unlinkFromParents(id, deleted, dirty)
+		delete(e.objects, id)
+		return
+	}
+	// Make sure the flags consulted below are current.
+	e.cat.ApplyPending(cl.Name, o)
+	attrs, err := e.cat.Attributes(cl.Name)
+	if err == nil {
+		for _, spec := range attrs {
+			if !spec.Composite {
+				continue
+			}
+			for _, childID := range o.Get(spec.Name).Refs(nil) {
+				e.reapAfterUnlink(id, childID, spec.Dependent, spec.Exclusive, deleted, dirty)
+			}
+		}
+	}
+	// Remove forward references to id from its surviving composite parents.
+	e.unlinkFromParents(id, deleted, dirty)
+	delete(e.objects, id)
+	if ext := e.extents[id.Class]; ext != nil {
+		ext.Remove(id)
+	}
+}
+
+// reapAfterUnlink removes the reverse reference from childID to parent and
+// cascades deletion per the Deletion Rule given the (dependent, exclusive)
+// flags of the severed reference.
+func (e *Engine) reapAfterUnlink(parent, childID uid.UID, dependent, exclusive bool, deleted *uid.Set, dirty *dirtySet) {
+	child, ok := e.objects[childID]
+	if !ok || deleted.Contains(childID) {
+		return
+	}
+	child.RemoveReverse(parent)
+	if dependent && (exclusive || len(child.DS()) == 0) {
+		// Rule 1 (dependent exclusive) or Rule 2 (last dependent-shared
+		// parent is gone).
+		e.deleteLocked(childID, deleted, dirty)
+		return
+	}
+	dirty.add(childID)
+}
+
+// unlinkFromParents strips forward references to id from every surviving
+// composite parent of id.
+func (e *Engine) unlinkFromParents(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
+	o := e.objects[id]
+	if o == nil {
+		return
+	}
+	for _, r := range o.Reverse() {
+		if deleted.Contains(r.Parent) {
+			continue
+		}
+		p, ok := e.objects[r.Parent]
+		if !ok {
+			continue
+		}
+		for _, name := range p.AttrNames() {
+			if v := p.Get(name); v.ContainsRef(id) {
+				p.Set(name, v.WithoutRef(id))
+			}
+		}
+		dirty.add(r.Parent)
+	}
+}
+
+// TopologyViolation describes one broken invariant found by CheckTopology
+// or Integrity.
+type TopologyViolation struct {
+	Object uid.UID
+	Rule   string
+}
+
+func (v TopologyViolation) String() string {
+	return fmt.Sprintf("%v: %s", v.Object, v.Rule)
+}
+
+// CheckTopology verifies Topology Rules 1–3 (§2.2) plus reverse/forward
+// consistency for one object, returning every violation found. The
+// operational checks make violations unreachable through the public API;
+// this is the oracle the property tests use.
+func (e *Engine) CheckTopology(id uid.UID) []TopologyViolation {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.checkTopologyLocked(id)
+}
+
+func (e *Engine) checkTopologyLocked(id uid.UID) []TopologyViolation {
+	var out []TopologyViolation
+	o, ok := e.objects[id]
+	if !ok {
+		return []TopologyViolation{{id, "object does not exist"}}
+	}
+	ix, dx := len(o.IX()), len(o.DX())
+	is, ds := len(o.IS()), len(o.DS())
+	if ix > 1 {
+		out = append(out, TopologyViolation{id, fmt.Sprintf("rule 1: card(IX)=%d > 1", ix)})
+	}
+	if dx > 1 {
+		out = append(out, TopologyViolation{id, fmt.Sprintf("rule 1: card(DX)=%d > 1", dx)})
+	}
+	if ix >= 1 && dx >= 1 {
+		out = append(out, TopologyViolation{id, "rule 2: both IX and DX references present"})
+	}
+	if (ix >= 1 || dx >= 1) && (is >= 1 || ds >= 1) {
+		out = append(out, TopologyViolation{id, "rule 3: exclusive and shared references mixed"})
+	}
+	// Reverse references must be mirrored by a forward composite reference
+	// with the same flags. Reverse composite *generic* references (§5.3,
+	// Count > 0) summarize version-level references and have no forward
+	// mirror of their own; they are exempt.
+	for _, r := range o.Reverse() {
+		if r.Count > 0 {
+			continue
+		}
+		p, ok := e.objects[r.Parent]
+		if !ok {
+			out = append(out, TopologyViolation{id, fmt.Sprintf("reverse ref to missing parent %v", r.Parent)})
+			continue
+		}
+		pcl, err := e.cat.ClassByID(p.Class())
+		if err != nil {
+			out = append(out, TopologyViolation{id, fmt.Sprintf("parent %v has unknown class", r.Parent)})
+			continue
+		}
+		found := false
+		attrs, _ := e.cat.Attributes(pcl.Name)
+		for _, spec := range attrs {
+			if !spec.Composite || !p.Get(spec.Name).ContainsRef(id) {
+				continue
+			}
+			if spec.Dependent == r.Dependent && spec.Exclusive == r.Exclusive {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, TopologyViolation{id, fmt.Sprintf("reverse ref %v not mirrored by a matching forward reference", r)})
+		}
+	}
+	return out
+}
+
+// Integrity verifies the whole graph: topology rules on every object,
+// every forward composite reference mirrored by a reverse reference, and
+// no composite reference dangling. It returns all violations (dangling
+// weak references are permitted, as in ORION, and not reported).
+func (e *Engine) Integrity() []TopologyViolation {
+	e.mu.RLock()
+	ids := make([]uid.UID, 0, len(e.objects))
+	for id := range e.objects {
+		ids = append(ids, id)
+	}
+	e.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+
+	var out []TopologyViolation
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, id := range ids {
+		out = append(out, e.checkTopologyLocked(id)...)
+		o := e.objects[id]
+		if o == nil {
+			continue
+		}
+		cl, err := e.cat.ClassByID(id.Class)
+		if err != nil {
+			out = append(out, TopologyViolation{id, "unknown class"})
+			continue
+		}
+		attrs, err := e.cat.Attributes(cl.Name)
+		if err != nil {
+			continue
+		}
+		for _, spec := range attrs {
+			if !spec.Composite {
+				continue
+			}
+			for _, r := range o.Get(spec.Name).Refs(nil) {
+				child, ok := e.objects[r]
+				if !ok {
+					out = append(out, TopologyViolation{id, fmt.Sprintf("composite reference %s -> %v dangles", spec.Name, r)})
+					continue
+				}
+				if !child.HasReverse(id) {
+					out = append(out, TopologyViolation{id, fmt.Sprintf("composite reference %s -> %v lacks a reverse reference", spec.Name, r)})
+				}
+			}
+		}
+	}
+	return out
+}

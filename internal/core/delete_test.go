@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// refKindEngine defines one parent class per reference type, all over the
+// same component class, to exercise the four Deletion Rule cases directly.
+func refKindEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Comp"}); err != nil {
+		t.Fatal(err)
+	}
+	defs := []struct {
+		name            string
+		excl, dep, weak bool
+	}{
+		{"DXParent", true, true, false},
+		{"IXParent", true, false, false},
+		{"DSParent", false, true, false},
+		{"ISParent", false, false, false},
+		{"WeakParent", false, false, true},
+	}
+	for _, d := range defs {
+		spec := schema.NewCompositeSetAttr("Parts", "Comp").WithExclusive(d.excl).WithDependent(d.dep)
+		if d.weak {
+			spec = schema.NewSetAttr("Parts", schema.ClassDomain("Comp"))
+		}
+		if _, err := cat.DefineClass(schema.ClassDef{Name: d.name, Attributes: []schema.AttrSpec{spec}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewEngine(cat)
+}
+
+func TestDeletionRuleDependentExclusive(t *testing.T) {
+	// Rule 1: del(O') => del(O) for dependent exclusive references.
+	e := refKindEngine(t)
+	p := mustNew(t, e, "DXParent", nil)
+	c := mustNew(t, e, "Comp", nil, ParentSpec{Parent: p.UID(), Attr: "Parts"})
+	deleted, err := e.Delete(p.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("deleted = %v", deleted)
+	}
+	if e.Exists(c.UID()) {
+		t.Fatal("dependent exclusive component survived")
+	}
+	checkClean(t, e)
+}
+
+func TestDeletionRuleIndependentExclusive(t *testing.T) {
+	// del(O') =/=> del(O) for independent exclusive references.
+	e := refKindEngine(t)
+	p := mustNew(t, e, "IXParent", nil)
+	c := mustNew(t, e, "Comp", nil, ParentSpec{Parent: p.UID(), Attr: "Parts"})
+	deleted, err := e.Delete(p.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 1 {
+		t.Fatalf("deleted = %v", deleted)
+	}
+	co, _ := e.Get(c.UID())
+	if co.HasAnyReverse() {
+		t.Fatal("stale reverse ref on surviving component")
+	}
+	checkClean(t, e)
+}
+
+func TestDeletionRuleDependentSharedLastParent(t *testing.T) {
+	// Rule 2: del(O') => del(O) only if DS(O) = {O'}.
+	e := refKindEngine(t)
+	p1 := mustNew(t, e, "DSParent", nil)
+	p2 := mustNew(t, e, "DSParent", nil)
+	c := mustNew(t, e, "Comp", nil,
+		ParentSpec{Parent: p1.UID(), Attr: "Parts"},
+		ParentSpec{Parent: p2.UID(), Attr: "Parts"},
+	)
+	// First parent dies: DS(c) = {p2} != {p1}, so c survives.
+	deleted, err := e.Delete(p1.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 1 || !e.Exists(c.UID()) {
+		t.Fatalf("deleted = %v; component must survive while p2 holds it", deleted)
+	}
+	co, _ := e.Get(c.UID())
+	if len(co.DS()) != 1 {
+		t.Fatalf("DS = %v", co.DS())
+	}
+	// Last parent dies: now DS(c) = {p2}, so c goes too.
+	deleted, err = e.Delete(p2.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 || e.Exists(c.UID()) {
+		t.Fatalf("deleted = %v; component must die with its last dependent parent", deleted)
+	}
+	checkClean(t, e)
+}
+
+func TestDeletionRuleIndependentShared(t *testing.T) {
+	e := refKindEngine(t)
+	p1 := mustNew(t, e, "ISParent", nil)
+	p2 := mustNew(t, e, "ISParent", nil)
+	c := mustNew(t, e, "Comp", nil,
+		ParentSpec{Parent: p1.UID(), Attr: "Parts"},
+		ParentSpec{Parent: p2.UID(), Attr: "Parts"},
+	)
+	for _, p := range []uid.UID{p1.UID(), p2.UID()} {
+		deleted, err := e.Delete(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(deleted) != 1 {
+			t.Fatalf("deleted = %v", deleted)
+		}
+	}
+	if !e.Exists(c.UID()) {
+		t.Fatal("independent shared component deleted")
+	}
+	co, _ := e.Get(c.UID())
+	if co.HasAnyReverse() {
+		t.Fatal("stale reverse refs")
+	}
+	checkClean(t, e)
+}
+
+func TestDeletionRuleTransitive(t *testing.T) {
+	// Rule 3: cascades chain through intermediate deleted objects.
+	e := refKindEngine(t)
+	top := mustNew(t, e, "DXParent", nil)
+	// DXParent -> Comp is the only edge available, so build a chain of
+	// DSParents under it instead: top -DX-> mid (Comp)… Comp has no
+	// composite attrs, so use DSParent chain: top(DX) is Comp-typed…
+	// Simpler: a three-level DS chain where each level has exactly one
+	// dependent parent.
+	_ = top
+	cat := e.Catalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Node", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Kids", "Node").WithExclusive(false), // dependent shared
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	a := mustNew(t, e, "Node", nil)
+	b := mustNew(t, e, "Node", nil, ParentSpec{Parent: a.UID(), Attr: "Kids"})
+	c := mustNew(t, e, "Node", nil, ParentSpec{Parent: b.UID(), Attr: "Kids"})
+	d := mustNew(t, e, "Node", nil, ParentSpec{Parent: c.UID(), Attr: "Kids"})
+	deleted, err := e.Delete(a.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 4 {
+		t.Fatalf("transitive cascade deleted %v", deleted)
+	}
+	for _, id := range []uid.UID{b.UID(), c.UID(), d.UID()} {
+		if e.Exists(id) {
+			t.Fatalf("%v survived a transitive cascade", id)
+		}
+	}
+	checkClean(t, e)
+}
+
+func TestDeletionRuleTransitiveStopsAtSharedSurvivor(t *testing.T) {
+	// a -DS-> b -DS-> c, and x -DS-> c. Deleting a kills b (sole parent)
+	// but c survives: DS(c) = {b, x} and only b died.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Node", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Kids", "Node").WithExclusive(false),
+	}})
+	e := NewEngine(cat)
+	a := mustNew(t, e, "Node", nil)
+	b := mustNew(t, e, "Node", nil, ParentSpec{Parent: a.UID(), Attr: "Kids"})
+	c := mustNew(t, e, "Node", nil, ParentSpec{Parent: b.UID(), Attr: "Kids"})
+	x := mustNew(t, e, "Node", nil)
+	if err := e.Attach(x.UID(), "Kids", c.UID()); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := e.Delete(a.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("deleted = %v, want a and b only", deleted)
+	}
+	if !e.Exists(c.UID()) {
+		t.Fatal("c deleted despite a surviving dependent parent")
+	}
+	co, _ := e.Get(c.UID())
+	if len(co.DS()) != 1 || co.DS()[0] != x.UID() {
+		t.Fatalf("DS(c) = %v", co.DS())
+	}
+	checkClean(t, e)
+}
+
+func TestDeleteCyclicPartHierarchy(t *testing.T) {
+	// Dependent-shared cycles must not hang or double-free.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Node", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Kids", "Node").WithExclusive(false),
+	}})
+	e := NewEngine(cat)
+	a := mustNew(t, e, "Node", nil)
+	b := mustNew(t, e, "Node", nil, ParentSpec{Parent: a.UID(), Attr: "Kids"})
+	// Close the cycle b -> a.
+	if err := e.Attach(b.UID(), "Kids", a.UID()); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := e.Delete(a.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("cycle delete = %v", deleted)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("%d objects survived", e.Len())
+	}
+}
+
+func TestDeleteRemovesForwardRefsInSurvivingParents(t *testing.T) {
+	e := refKindEngine(t)
+	p := mustNew(t, e, "ISParent", nil)
+	c := mustNew(t, e, "Comp", nil, ParentSpec{Parent: p.UID(), Attr: "Parts"})
+	if _, err := e.Delete(c.UID()); err != nil {
+		t.Fatal(err)
+	}
+	po, _ := e.Get(p.UID())
+	if po.Get("Parts").ContainsRef(c.UID()) {
+		t.Fatal("surviving parent still references the deleted component")
+	}
+	checkClean(t, e)
+}
+
+func TestDeleteErrors(t *testing.T) {
+	e := refKindEngine(t)
+	if _, err := e.Delete(uid.UID{Class: 1, Serial: 99}); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("delete ghost: %v", err)
+	}
+}
+
+func TestDeleteWeakReferencesDangle(t *testing.T) {
+	// Weak references carry no semantics: the referenced object's deletion
+	// leaves the weak reference dangling (as in ORION), and Integrity does
+	// not report it.
+	e := refKindEngine(t)
+	w := mustNew(t, e, "WeakParent", nil)
+	c := mustNew(t, e, "Comp", nil)
+	if err := e.Set(w.UID(), "Parts", value.RefSet(c.UID())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Delete(c.UID()); err != nil {
+		t.Fatal(err)
+	}
+	wo, _ := e.Get(w.UID())
+	if !wo.Get("Parts").ContainsRef(c.UID()) {
+		t.Fatal("weak reference was cleaned up; expected it to dangle")
+	}
+	checkClean(t, e)
+}
+
+func TestDeepCascadeLargeHierarchy(t *testing.T) {
+	// A 3-level tree with fanout 10 under dependent-exclusive references:
+	// deleting the root kills all 111 objects.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "N", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Kids", "N"),
+	}})
+	e := NewEngine(cat)
+	root := mustNew(t, e, "N", nil)
+	level := []uid.UID{root.UID()}
+	total := 1
+	for depth := 0; depth < 2; depth++ {
+		var next []uid.UID
+		for _, p := range level {
+			for i := 0; i < 10; i++ {
+				c := mustNew(t, e, "N", nil, ParentSpec{Parent: p, Attr: "Kids"})
+				next = append(next, c.UID())
+				total++
+			}
+		}
+		level = next
+	}
+	deleted, err := e.Delete(root.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != total {
+		t.Fatalf("deleted %d, want %d", len(deleted), total)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("%d survivors", e.Len())
+	}
+}
+
+func TestCheckTopologyReportsMissing(t *testing.T) {
+	e := refKindEngine(t)
+	ghost := uid.UID{Class: 1, Serial: 404}
+	v := e.CheckTopology(ghost)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Object != ghost {
+		t.Fatalf("violation object = %v", v[0].Object)
+	}
+	if v[0].String() == "" {
+		t.Fatal("empty violation string")
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/uid"
+)
+
+// propEngine builds a schema with one parent class per reference kind plus
+// a recursive class, for randomized operation sequences.
+func propEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Leaf"}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, excl, dep bool) {
+		if _, err := cat.DefineClass(schema.ClassDef{Name: name, Attributes: []schema.AttrSpec{
+			schema.NewCompositeSetAttr("Parts", "Leaf").WithExclusive(excl).WithDependent(dep),
+			schema.NewCompositeSetAttr("Subs", name).WithExclusive(excl).WithDependent(dep),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("DX", true, true)
+	mk("IX", true, false)
+	mk("DS", false, true)
+	mk("IS", false, false)
+	return NewEngine(cat)
+}
+
+// TestPropertyRandomOpsPreserveInvariants drives random creates, attaches,
+// detaches, and deletes and asserts after every step that the graph obeys
+// Topology Rules 1–3 and reverse/forward consistency. Violating operations
+// are expected to error; the property is that the graph never goes bad.
+func TestPropertyRandomOpsPreserveInvariants(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			e := propEngine(t)
+			r := rand.New(rand.NewSource(seed))
+			classes := []string{"Leaf", "DX", "IX", "DS", "IS"}
+			var live []uid.UID
+			pick := func() uid.UID { return live[r.Intn(len(live))] }
+			for step := 0; step < 400; step++ {
+				switch op := r.Intn(10); {
+				case op < 4 || len(live) == 0: // create
+					cl := classes[r.Intn(len(classes))]
+					o, err := e.New(cl, nil)
+					if err != nil {
+						t.Fatalf("step %d New: %v", step, err)
+					}
+					live = append(live, o.UID())
+				case op < 7: // attach
+					p, c := pick(), pick()
+					pc, err := e.ClassOf(p)
+					if err != nil {
+						continue
+					}
+					attr := "Parts"
+					if r.Intn(2) == 0 {
+						attr = "Subs"
+					}
+					// Errors are fine (topology may forbid); the graph just
+					// must stay consistent.
+					_ = func() error { return e.Attach(p, attr, c) }()
+					_ = pc
+				case op < 8: // detach
+					p, c := pick(), pick()
+					for _, attr := range []string{"Parts", "Subs"} {
+						_ = e.Detach(p, attr, c)
+					}
+				default: // delete
+					victim := pick()
+					if _, err := e.Delete(victim); err != nil {
+						t.Fatalf("step %d Delete(%v): %v", step, victim, err)
+					}
+					// Rebuild the live list.
+					var nl []uid.UID
+					for _, id := range live {
+						if e.Exists(id) {
+							nl = append(nl, id)
+						}
+					}
+					live = nl
+				}
+				if step%20 == 0 {
+					if v := e.Integrity(); len(v) != 0 {
+						t.Fatalf("seed %d step %d: integrity violations: %v", seed, step, v)
+					}
+				}
+			}
+			if v := e.Integrity(); len(v) != 0 {
+				t.Fatalf("seed %d final: %v", seed, v)
+			}
+		})
+	}
+}
+
+// TestPropertyExclusiveCardinality asserts Topology Rules 1–2 directly:
+// after any sequence of successful attaches, no object ever has more than
+// one exclusive parent nor mixed exclusive/shared parents.
+func TestPropertyExclusiveCardinality(t *testing.T) {
+	e := propEngine(t)
+	r := rand.New(rand.NewSource(99))
+	var leaves, parents []uid.UID
+	for i := 0; i < 30; i++ {
+		o, _ := e.New("Leaf", nil)
+		leaves = append(leaves, o.UID())
+	}
+	for _, cl := range []string{"DX", "IX", "DS", "IS"} {
+		for i := 0; i < 10; i++ {
+			o, _ := e.New(cl, nil)
+			parents = append(parents, o.UID())
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		p := parents[r.Intn(len(parents))]
+		c := leaves[r.Intn(len(leaves))]
+		_ = e.Attach(p, "Parts", c)
+	}
+	for _, l := range leaves {
+		o, _ := e.Get(l)
+		nx := len(o.IX()) + len(o.DX())
+		ns := len(o.IS()) + len(o.DS())
+		if nx > 1 {
+			t.Fatalf("leaf %v has %d exclusive parents", l, nx)
+		}
+		if nx > 0 && ns > 0 {
+			t.Fatalf("leaf %v mixes exclusive and shared parents", l)
+		}
+	}
+}
+
+// TestPropertyDeleteIsComplete asserts that after Delete, no trace of the
+// deleted objects remains reachable through composite references or
+// reverse references.
+func TestPropertyDeleteIsComplete(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		e := propEngine(t)
+		r := rand.New(rand.NewSource(seed))
+		var all []uid.UID
+		for i := 0; i < 50; i++ {
+			cl := []string{"Leaf", "DX", "DS", "IS"}[r.Intn(4)]
+			o, _ := e.New(cl, nil)
+			all = append(all, o.UID())
+		}
+		for i := 0; i < 300; i++ {
+			_ = e.Attach(all[r.Intn(len(all))], "Parts", all[r.Intn(len(all))])
+			_ = e.Attach(all[r.Intn(len(all))], "Subs", all[r.Intn(len(all))])
+		}
+		victim := all[r.Intn(len(all))]
+		deleted, err := e.Delete(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := map[uid.UID]bool{}
+		for _, d := range deleted {
+			dead[d] = true
+		}
+		for _, id := range all {
+			if dead[id] {
+				if e.Exists(id) {
+					t.Fatalf("seed %d: %v reported deleted but exists", seed, id)
+				}
+				continue
+			}
+			o, err := e.Get(id)
+			if err != nil {
+				t.Fatalf("seed %d: survivor %v unreadable: %v", seed, id, err)
+			}
+			for _, rr := range o.Reverse() {
+				if dead[rr.Parent] {
+					t.Fatalf("seed %d: survivor %v has reverse ref to deleted %v", seed, id, rr.Parent)
+				}
+			}
+			cl, _ := e.ClassOf(id)
+			attrs, _ := e.Catalog().Attributes(cl.Name)
+			for _, spec := range attrs {
+				if !spec.Composite {
+					continue
+				}
+				for _, ref := range o.Get(spec.Name).Refs(nil) {
+					if dead[ref] {
+						t.Fatalf("seed %d: survivor %v still composite-references deleted %v", seed, id, ref)
+					}
+				}
+			}
+		}
+		if v := e.Integrity(); len(v) != 0 {
+			t.Fatalf("seed %d: %v", seed, v)
+		}
+	}
+}
+
+// TestPropertyDependentComponentsNeverOrphaned: an object held only
+// through dependent references never survives all its dependent parents.
+func TestPropertyDependentComponentsNeverOrphaned(t *testing.T) {
+	e := propEngine(t)
+	r := rand.New(rand.NewSource(7))
+	// Build DS parents over shared leaves, then delete parents one by one.
+	var parents []uid.UID
+	for i := 0; i < 10; i++ {
+		o, _ := e.New("DS", nil)
+		parents = append(parents, o.UID())
+	}
+	var leaves []uid.UID
+	for i := 0; i < 30; i++ {
+		o, _ := e.New("Leaf", nil)
+		leaves = append(leaves, o.UID())
+		// Attach to 1–3 random DS parents.
+		n := r.Intn(3) + 1
+		for j := 0; j < n; j++ {
+			_ = e.Attach(parents[r.Intn(len(parents))], "Parts", o.UID())
+		}
+	}
+	for _, p := range parents {
+		if _, err := e.Delete(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range leaves {
+		if e.Exists(l) {
+			o, _ := e.Get(l)
+			t.Fatalf("leaf %v survived all dependent parents: reverse=%v", l, o.Reverse())
+		}
+	}
+}

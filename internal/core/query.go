@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+)
+
+// QueryOpts carries the optional arguments of the §3.1 messages:
+//
+//	(components-of Object [ListofClasses] [Exclusive] [Shared] [Level])
+//	(parents-of    Object [ListofClasses] [Exclusive] [Shared])
+//	(ancestors-of  Object [ListofClasses] [Exclusive] [Shared])
+//
+// Classes filters the returned objects to instances of the listed classes
+// (subclasses included). Exclusive restricts traversal to exclusive
+// composite references and Shared to shared ones; both false (or both
+// true) traverses all composite references, mirroring "if both Exclusive
+// and Shared are Nil, all components are retrieved". Level bounds the
+// component depth (0 = unlimited); it applies to components-of only.
+type QueryOpts struct {
+	Classes   []string
+	Exclusive bool
+	Shared    bool
+	Level     int
+}
+
+// wantEdge reports whether an edge with the given exclusivity passes the
+// Exclusive/Shared filter.
+func (q QueryOpts) wantEdge(exclusive bool) bool {
+	if q.Exclusive == q.Shared {
+		return true
+	}
+	if q.Exclusive {
+		return exclusive
+	}
+	return !exclusive
+}
+
+// wantClass reports whether an object of the given class passes the
+// Classes filter.
+func (e *Engine) wantClass(q QueryOpts, id uid.UID) bool {
+	if len(q.Classes) == 0 {
+		return true
+	}
+	cl, err := e.cat.ClassByID(id.Class)
+	if err != nil {
+		return false
+	}
+	for _, want := range q.Classes {
+		if e.cat.IsA(cl.Name, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// compositeChildren returns the UIDs o references through composite
+// attributes passing the edge filter, in attribute order.
+func (e *Engine) compositeChildren(o *object.Object, q QueryOpts) []uid.UID {
+	cl, err := e.cat.ClassByID(o.Class())
+	if err != nil {
+		return nil
+	}
+	attrs, err := e.cat.Attributes(cl.Name)
+	if err != nil {
+		return nil
+	}
+	var out []uid.UID
+	for _, spec := range attrs {
+		if !spec.Composite || !q.wantEdge(spec.Exclusive) {
+			continue
+		}
+		out = o.Get(spec.Name).Refs(out)
+	}
+	return out
+}
+
+// ComponentsOf implements (components-of Object ...): the objects directly
+// or indirectly referenced from the object via composite references, in
+// BFS order (so level-n components appear before level-n+1 components,
+// where the level of a component is the length of the shortest composite
+// path from the object, §2.2).
+func (e *Engine) ComponentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	root, err := e.get(id)
+	if err != nil {
+		return nil, err
+	}
+	type item struct {
+		id    uid.UID
+		level int
+	}
+	seen := uid.NewSet(id)
+	queue := []item{{id, 0}}
+	var out []uid.UID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if q.Level > 0 && cur.level >= q.Level {
+			continue
+		}
+		var o *object.Object
+		if cur.id == id {
+			o = root
+		} else {
+			var err error
+			o, err = e.get(cur.id)
+			if err != nil {
+				continue // dangling composite ref would be an integrity bug; skip defensively
+			}
+		}
+		for _, child := range e.compositeChildren(o, q) {
+			if !seen.Add(child) {
+				continue
+			}
+			if _, ok := e.objects[child]; !ok {
+				continue
+			}
+			if e.wantClass(q, child) {
+				out = append(out, child)
+			}
+			queue = append(queue, item{child, cur.level + 1})
+		}
+	}
+	return out, nil
+}
+
+// ParentsOf implements (parents-of Object ...): the objects holding direct
+// composite references to the object, read from its reverse composite
+// references (§2.4).
+func (e *Engine) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err := e.get(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []uid.UID
+	for _, r := range o.Reverse() {
+		if q.wantEdge(r.Exclusive) && e.wantClass(q, r.Parent) {
+			out = append(out, r.Parent)
+		}
+	}
+	return out, nil
+}
+
+// AncestorsOf implements (ancestors-of Object ...): the transitive closure
+// of ParentsOf, in BFS order.
+func (e *Engine) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.get(id); err != nil {
+		return nil, err
+	}
+	seen := uid.NewSet(id)
+	queue := []uid.UID{id}
+	var out []uid.UID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		o, ok := e.objects[cur]
+		if !ok {
+			continue
+		}
+		for _, r := range o.Reverse() {
+			if !q.wantEdge(r.Exclusive) {
+				continue
+			}
+			if !seen.Add(r.Parent) {
+				continue
+			}
+			if e.wantClass(q, r.Parent) {
+				out = append(out, r.Parent)
+			}
+			queue = append(queue, r.Parent)
+		}
+	}
+	return out, nil
+}
+
+// ComponentOf implements (component-of Object1 Object2): true when a is a
+// direct or indirect component of b. It walks a's ancestor set via the
+// reverse references rather than scanning b's components, as §3.2 suggests
+// the shorthand should.
+func (e *Engine) ComponentOf(a, b uid.UID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.get(a); err != nil {
+		return false, err
+	}
+	if _, err := e.get(b); err != nil {
+		return false, err
+	}
+	if a == b {
+		return false, nil
+	}
+	seen := uid.NewSet(a)
+	queue := []uid.UID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		o, ok := e.objects[cur]
+		if !ok {
+			continue
+		}
+		for _, r := range o.Reverse() {
+			if r.Parent == b {
+				return true, nil
+			}
+			if seen.Add(r.Parent) {
+				queue = append(queue, r.Parent)
+			}
+		}
+	}
+	return false, nil
+}
+
+// ChildOf implements (child-of Object1 Object2): true when a is a direct
+// component of b.
+func (e *Engine) ChildOf(a, b uid.UID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err := e.get(a)
+	if err != nil {
+		return false, err
+	}
+	if _, err := e.get(b); err != nil {
+		return false, err
+	}
+	return o.HasReverse(b), nil
+}
+
+// ExclusiveComponentOf implements (exclusive-component-of Object1
+// Object2): true when a is a component of b held through an exclusive
+// composite reference; Nil (false) when a is not a component at all or is
+// a shared component (§3.2).
+func (e *Engine) ExclusiveComponentOf(a, b uid.UID) (bool, error) {
+	is, err := e.ComponentOf(a, b)
+	if err != nil || !is {
+		return false, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	o := e.objects[a]
+	return o != nil && o.HasExclusiveReverse(), nil
+}
+
+// SharedComponentOf implements (shared-component-of Object1 Object2): true
+// when a is a shared component of b. As §3.2 observes, it is equivalent to
+// component-of followed by a negative exclusive-component-of.
+func (e *Engine) SharedComponentOf(a, b uid.UID) (bool, error) {
+	is, err := e.ComponentOf(a, b)
+	if err != nil || !is {
+		return false, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	o := e.objects[a]
+	return o != nil && !o.HasExclusiveReverse(), nil
+}
+
+// LevelOf returns n such that a is a level-n component of b (the shortest
+// path from b to a counted in composite references, §2.2), or -1 when a is
+// not a component of b.
+func (e *Engine) LevelOf(a, b uid.UID) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.get(a); err != nil {
+		return -1, err
+	}
+	if _, err := e.get(b); err != nil {
+		return -1, err
+	}
+	type item struct {
+		id    uid.UID
+		level int
+	}
+	seen := uid.NewSet(a)
+	queue := []item{{a, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		o, ok := e.objects[cur.id]
+		if !ok {
+			continue
+		}
+		for _, r := range o.Reverse() {
+			if r.Parent == b {
+				return cur.level + 1, nil
+			}
+			if seen.Add(r.Parent) {
+				queue = append(queue, item{r.Parent, cur.level + 1})
+			}
+		}
+	}
+	return -1, nil
+}
+
+// RootsOf returns the roots of the composite objects containing id: the
+// ancestors of id (or id itself) that have no composite parents. The
+// system needs this for locking and authorization (§2.4), and because
+// bottom-up creation lets roots change, it is computed, never cached.
+func (e *Engine) RootsOf(id uid.UID) ([]uid.UID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err := e.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !o.HasAnyReverse() {
+		return []uid.UID{id}, nil
+	}
+	seen := uid.NewSet(id)
+	queue := []uid.UID{id}
+	var roots []uid.UID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		co, ok := e.objects[cur]
+		if !ok {
+			continue
+		}
+		if cur != id && !co.HasAnyReverse() {
+			roots = append(roots, cur)
+			continue
+		}
+		for _, r := range co.Reverse() {
+			if seen.Add(r.Parent) {
+				queue = append(queue, r.Parent)
+			}
+		}
+	}
+	return roots, nil
+}
+
+// Describe renders the object with its class name, for the figures tool.
+func (e *Engine) Describe(id uid.UID) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err := e.get(id)
+	if err != nil {
+		return "", err
+	}
+	cl, err := e.cat.ClassByID(id.Class)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s %s", cl.Name, o), nil
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// docFixture builds a two-document graph shaped like the paper's Figure 5:
+//
+//	doc1 -DS-> s1 -DS-> pShared      doc2 -DS-> s2 -DS-> pShared
+//	doc1 -DX-> note (annotation)     s1  -DS-> p1
+//	doc1 -IS-> img (figure)
+type docFixture struct {
+	e                      *Engine
+	doc1, doc2, s1, s2     uid.UID
+	p1, pShared, note, img uid.UID
+}
+
+func newDocFixture(t *testing.T) *docFixture {
+	t.Helper()
+	e := documentEngine(t)
+	f := &docFixture{e: e}
+	f.p1 = mustNew(t, e, "Paragraph", nil).UID()
+	f.pShared = mustNew(t, e, "Paragraph", nil).UID()
+	f.note = mustNew(t, e, "Paragraph", nil).UID()
+	f.img = mustNew(t, e, "Image", nil).UID()
+	f.s1 = mustNew(t, e, "Section", map[string]value.Value{
+		"Content": value.RefSet(f.p1, f.pShared),
+	}).UID()
+	f.s2 = mustNew(t, e, "Section", map[string]value.Value{
+		"Content": value.RefSet(f.pShared),
+	}).UID()
+	f.doc1 = mustNew(t, e, "Document", map[string]value.Value{
+		"Sections":    value.RefSet(f.s1),
+		"Annotations": value.RefSet(f.note),
+		"Figures":     value.RefSet(f.img),
+	}).UID()
+	f.doc2 = mustNew(t, e, "Document", map[string]value.Value{
+		"Sections": value.RefSet(f.s2),
+	}).UID()
+	checkClean(t, e)
+	return f
+}
+
+func asSet(ids []uid.UID) map[uid.UID]bool {
+	m := make(map[uid.UID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func TestComponentsOfAll(t *testing.T) {
+	f := newDocFixture(t)
+	got, err := f.e.ComponentsOf(f.doc1, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asSet([]uid.UID{f.s1, f.note, f.img, f.p1, f.pShared})
+	if len(got) != len(want) {
+		t.Fatalf("components = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected component %v", id)
+		}
+	}
+	// BFS order: level-1 components (s1, note, img) precede level-2
+	// paragraphs.
+	pos := map[uid.UID]int{}
+	for i, id := range got {
+		pos[id] = i
+	}
+	if pos[f.p1] < pos[f.s1] || pos[f.pShared] < pos[f.s1] {
+		t.Fatalf("BFS order broken: %v", got)
+	}
+}
+
+func TestComponentsOfLevel(t *testing.T) {
+	f := newDocFixture(t)
+	got, err := f.e.ComponentsOf(f.doc1, QueryOpts{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asSet([]uid.UID{f.s1, f.note, f.img})
+	if len(got) != len(want) {
+		t.Fatalf("level-1 components = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected level-1 component %v", id)
+		}
+	}
+}
+
+func TestComponentsOfClassFilter(t *testing.T) {
+	f := newDocFixture(t)
+	got, err := f.e.ComponentsOf(f.doc1, QueryOpts{Classes: []string{"Paragraph"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asSet([]uid.UID{f.p1, f.pShared, f.note})
+	if len(got) != len(want) {
+		t.Fatalf("paragraph components = %v", got)
+	}
+}
+
+func TestComponentsOfExclusiveSharedFilter(t *testing.T) {
+	f := newDocFixture(t)
+	// Exclusive only: just the annotation (the only exclusive edge).
+	got, _ := f.e.ComponentsOf(f.doc1, QueryOpts{Exclusive: true})
+	if !reflect.DeepEqual(got, []uid.UID{f.note}) {
+		t.Fatalf("exclusive components = %v", got)
+	}
+	// Shared only: sections, figures, paragraphs — not the annotation.
+	got, _ = f.e.ComponentsOf(f.doc1, QueryOpts{Shared: true})
+	want := asSet([]uid.UID{f.s1, f.img, f.p1, f.pShared})
+	if len(got) != len(want) {
+		t.Fatalf("shared components = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected shared component %v", id)
+		}
+	}
+	// Both flags set behaves like no filter.
+	both, _ := f.e.ComponentsOf(f.doc1, QueryOpts{Exclusive: true, Shared: true})
+	all, _ := f.e.ComponentsOf(f.doc1, QueryOpts{})
+	if len(both) != len(all) {
+		t.Fatalf("both-flags = %v", both)
+	}
+}
+
+func TestParentsOf(t *testing.T) {
+	f := newDocFixture(t)
+	got, err := f.e.ParentsOf(f.pShared, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asSet([]uid.UID{f.s1, f.s2})
+	if len(got) != len(want) {
+		t.Fatalf("parents = %v", got)
+	}
+	// Class filter.
+	got, _ = f.e.ParentsOf(f.pShared, QueryOpts{Classes: []string{"Document"}})
+	if len(got) != 0 {
+		t.Fatalf("document parents of a paragraph = %v", got)
+	}
+	// Exclusive filter: the note's only parent is exclusive.
+	got, _ = f.e.ParentsOf(f.note, QueryOpts{Exclusive: true})
+	if !reflect.DeepEqual(got, []uid.UID{f.doc1}) {
+		t.Fatalf("exclusive parents = %v", got)
+	}
+	got, _ = f.e.ParentsOf(f.note, QueryOpts{Shared: true})
+	if len(got) != 0 {
+		t.Fatalf("shared parents of note = %v", got)
+	}
+}
+
+func TestAncestorsOf(t *testing.T) {
+	f := newDocFixture(t)
+	got, err := f.e.AncestorsOf(f.pShared, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asSet([]uid.UID{f.s1, f.s2, f.doc1, f.doc2})
+	if len(got) != len(want) {
+		t.Fatalf("ancestors = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected ancestor %v", id)
+		}
+	}
+	// Class filter.
+	got, _ = f.e.AncestorsOf(f.pShared, QueryOpts{Classes: []string{"Document"}})
+	if len(got) != 2 {
+		t.Fatalf("document ancestors = %v", got)
+	}
+}
+
+func TestComponentOfChildOf(t *testing.T) {
+	f := newDocFixture(t)
+	cases := []struct {
+		a, b        uid.UID
+		comp, child bool
+	}{
+		{f.s1, f.doc1, true, true},
+		{f.p1, f.doc1, true, false},
+		{f.pShared, f.doc2, true, false},
+		{f.p1, f.doc2, false, false},
+		{f.doc1, f.s1, false, false}, // direction matters
+		{f.doc1, f.doc1, false, false},
+		{f.img, f.doc1, true, true},
+	}
+	for _, c := range cases {
+		comp, err := f.e.ComponentOf(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if comp != c.comp {
+			t.Errorf("ComponentOf(%v, %v) = %v, want %v", c.a, c.b, comp, c.comp)
+		}
+		child, err := f.e.ChildOf(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if child != c.child {
+			t.Errorf("ChildOf(%v, %v) = %v, want %v", c.a, c.b, child, c.child)
+		}
+	}
+}
+
+func TestExclusiveSharedComponentOf(t *testing.T) {
+	f := newDocFixture(t)
+	// The note is an exclusive component of doc1.
+	if got, _ := f.e.ExclusiveComponentOf(f.note, f.doc1); !got {
+		t.Fatal("ExclusiveComponentOf(note, doc1) = false")
+	}
+	if got, _ := f.e.SharedComponentOf(f.note, f.doc1); got {
+		t.Fatal("SharedComponentOf(note, doc1) = true")
+	}
+	// pShared is a shared component of both documents.
+	if got, _ := f.e.SharedComponentOf(f.pShared, f.doc1); !got {
+		t.Fatal("SharedComponentOf(pShared, doc1) = false")
+	}
+	if got, _ := f.e.ExclusiveComponentOf(f.pShared, f.doc1); got {
+		t.Fatal("ExclusiveComponentOf(pShared, doc1) = true")
+	}
+	// Non-components return false for both.
+	if got, _ := f.e.ExclusiveComponentOf(f.p1, f.doc2); got {
+		t.Fatal("ExclusiveComponentOf of non-component = true")
+	}
+	if got, _ := f.e.SharedComponentOf(f.p1, f.doc2); got {
+		t.Fatal("SharedComponentOf of non-component = true")
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	f := newDocFixture(t)
+	cases := []struct {
+		a, b uid.UID
+		want int
+	}{
+		{f.s1, f.doc1, 1},
+		{f.p1, f.doc1, 2},
+		{f.pShared, f.doc2, 2},
+		{f.p1, f.doc2, -1},
+		{f.doc1, f.p1, -1},
+	}
+	for _, c := range cases {
+		got, err := f.e.LevelOf(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("LevelOf(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Shortest path: attach p1 directly to doc1's annotations is illegal
+	// (shared+exclusive), so test shortest-path with a second section
+	// route instead: doc1 -> s2 (adopt) makes pShared reachable two ways,
+	// level stays 2.
+	if err := f.e.Attach(f.doc1, "Sections", f.s2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.e.LevelOf(f.pShared, f.doc1); got != 2 {
+		t.Fatalf("LevelOf after extra path = %d", got)
+	}
+}
+
+func TestRootsOf(t *testing.T) {
+	f := newDocFixture(t)
+	roots, err := f.e.RootsOf(f.pShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asSet([]uid.UID{f.doc1, f.doc2})
+	if len(roots) != len(want) {
+		t.Fatalf("roots = %v", roots)
+	}
+	for _, r := range roots {
+		if !want[r] {
+			t.Fatalf("unexpected root %v", r)
+		}
+	}
+	// A root is its own root.
+	roots, _ = f.e.RootsOf(f.doc1)
+	if !reflect.DeepEqual(roots, []uid.UID{f.doc1}) {
+		t.Fatalf("roots of root = %v", roots)
+	}
+}
+
+func TestQueryErrorsOnMissing(t *testing.T) {
+	f := newDocFixture(t)
+	ghost := uid.UID{Class: 1, Serial: 404}
+	if _, err := f.e.ComponentsOf(ghost, QueryOpts{}); err == nil {
+		t.Fatal("ComponentsOf ghost succeeded")
+	}
+	if _, err := f.e.ParentsOf(ghost, QueryOpts{}); err == nil {
+		t.Fatal("ParentsOf ghost succeeded")
+	}
+	if _, err := f.e.AncestorsOf(ghost, QueryOpts{}); err == nil {
+		t.Fatal("AncestorsOf ghost succeeded")
+	}
+	if _, err := f.e.ComponentOf(ghost, f.doc1); err == nil {
+		t.Fatal("ComponentOf ghost succeeded")
+	}
+	if _, err := f.e.ChildOf(f.s1, ghost); err == nil {
+		t.Fatal("ChildOf ghost succeeded")
+	}
+	if _, err := f.e.RootsOf(ghost); err == nil {
+		t.Fatal("RootsOf ghost succeeded")
+	}
+	if _, err := f.e.LevelOf(ghost, f.doc1); err == nil {
+		t.Fatal("LevelOf ghost succeeded")
+	}
+}
+
+func TestComponentsOfSubclassFilter(t *testing.T) {
+	// Class filters accept instances of subclasses.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Part"})
+	cat.DefineClass(schema.ClassDef{Name: "Bolt", Superclasses: []string{"Part"}})
+	cat.DefineClass(schema.ClassDef{Name: "Asm", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Parts", "Part"),
+	}})
+	e := NewEngine(cat)
+	asm := mustNew(t, e, "Asm", nil)
+	bolt := mustNew(t, e, "Bolt", nil, ParentSpec{Parent: asm.UID(), Attr: "Parts"})
+	got, err := e.ComponentsOf(asm.UID(), QueryOpts{Classes: []string{"Part"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uid.UID{bolt.UID()}) {
+		t.Fatalf("subclass filter = %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	f := newDocFixture(t)
+	s, err := f.e.Describe(f.doc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 || s[:8] != "Document" {
+		t.Fatalf("Describe = %q", s)
+	}
+}

@@ -1,0 +1,94 @@
+package db
+
+import (
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/txn"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// DefineClass adds a class (the make-class message, §2.3). Schema changes
+// are checkpointed immediately on durable databases so that WAL replay
+// never sees objects of unknown classes.
+func (d *DB) DefineClass(def schema.ClassDef) (*schema.Class, error) {
+	cl, err := d.cat.DefineClass(def)
+	if err != nil {
+		return nil, err
+	}
+	if d.opts.Dir != "" {
+		if err := d.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Make creates an instance (the make message, §2.3): attribute values
+// plus optional (parent, attribute) pairs placing the new instance into
+// existing composite objects. The instance is clustered with the first
+// parent.
+func (d *DB) Make(class string, attrs map[string]value.Value, parents ...core.ParentSpec) (*object.Object, error) {
+	return d.engine.New(class, attrs, parents...)
+}
+
+// Get returns the object (read-only).
+func (d *DB) Get(id uid.UID) (*object.Object, error) { return d.engine.Get(id) }
+
+// Set assigns an attribute value with full composite semantics.
+func (d *DB) Set(id uid.UID, attr string, v value.Value) error { return d.engine.Set(id, attr, v) }
+
+// Attach makes child a component of parent through attr.
+func (d *DB) Attach(parent uid.UID, attr string, child uid.UID) error {
+	return d.engine.Attach(parent, attr, child)
+}
+
+// Detach removes the parent-child reference.
+func (d *DB) Detach(parent uid.UID, attr string, child uid.UID) error {
+	return d.engine.Detach(parent, attr, child)
+}
+
+// Delete removes the object per the Deletion Rule and returns the
+// casualty list.
+func (d *DB) Delete(id uid.UID) ([]uid.UID, error) { return d.engine.Delete(id) }
+
+// ComponentsOf implements (components-of ...), §3.1.
+func (d *DB) ComponentsOf(id uid.UID, q core.QueryOpts) ([]uid.UID, error) {
+	return d.engine.ComponentsOf(id, q)
+}
+
+// ParentsOf implements (parents-of ...), §3.1.
+func (d *DB) ParentsOf(id uid.UID, q core.QueryOpts) ([]uid.UID, error) {
+	return d.engine.ParentsOf(id, q)
+}
+
+// AncestorsOf implements (ancestors-of ...), §3.1.
+func (d *DB) AncestorsOf(id uid.UID, q core.QueryOpts) ([]uid.UID, error) {
+	return d.engine.AncestorsOf(id, q)
+}
+
+// ComponentOf implements (component-of Object1 Object2), §3.2.
+func (d *DB) ComponentOf(a, b uid.UID) (bool, error) { return d.engine.ComponentOf(a, b) }
+
+// ChildOf implements (child-of Object1 Object2), §3.2.
+func (d *DB) ChildOf(a, b uid.UID) (bool, error) { return d.engine.ChildOf(a, b) }
+
+// ExclusiveComponentOf implements (exclusive-component-of ...), §3.2.
+func (d *DB) ExclusiveComponentOf(a, b uid.UID) (bool, error) {
+	return d.engine.ExclusiveComponentOf(a, b)
+}
+
+// SharedComponentOf implements (shared-component-of ...), §3.2.
+func (d *DB) SharedComponentOf(a, b uid.UID) (bool, error) {
+	return d.engine.SharedComponentOf(a, b)
+}
+
+// RootsOf returns the roots of the composite objects containing id.
+func (d *DB) RootsOf(id uid.UID) ([]uid.UID, error) { return d.engine.RootsOf(id) }
+
+// Begin starts a transaction.
+func (d *DB) Begin() *txn.Txn { return d.txm.Begin() }
+
+// Run executes fn transactionally with deadlock retry.
+func (d *DB) Run(fn func(*txn.Txn) error) error { return d.txm.Run(fn) }

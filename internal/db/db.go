@@ -1,0 +1,371 @@
+// Package db is the public facade of the composite-object database: it
+// wires the schema catalog, the composite-object engine, the paged
+// storage layer with write-ahead logging, the version manager, the
+// authorization store, and the transaction manager into one ORION-like
+// system.
+//
+// A DB opened with an empty Dir runs fully in memory (still through the
+// page store, so clustering and I/O accounting work); a DB opened on a
+// directory persists pages, catalog, and metadata, and recovers committed
+// work from the WAL after a crash.
+package db
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/index"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/uid"
+	"repro/internal/version"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the database directory; empty means in-memory.
+	Dir string
+	// PoolPages is the buffer-pool capacity in pages (default 256).
+	PoolPages int
+	// SyncWAL forces an fsync per logged write (default: sync at
+	// checkpoints only).
+	SyncWAL bool
+}
+
+// ErrClosed is returned when a closed DB is used.
+var ErrClosed = errors.New("db: closed")
+
+// DB is an open database.
+type DB struct {
+	mu     sync.Mutex
+	opts   Options
+	cat    *schema.Catalog
+	engine *core.Engine
+	dev    storage.Device
+	pool   *storage.BufferPool
+	store  *storage.Store
+	wal    *storage.WAL
+	vers   *version.Manager
+	auth   *authz.Store
+	txm    *txn.Manager
+	idx    *index.Manager
+	idxDef [][2]string // persisted (class, attr) index definitions
+	closed bool
+}
+
+const (
+	pagesFile    = "pages.db"
+	walFile      = "wal.log"
+	catalogFile  = "catalog.json"
+	indexFile    = "indexes.json"
+	storeFile    = "store.json"
+	versionsFile = "versions.json"
+	authFile     = "auth.json"
+)
+
+// Open opens (creating or recovering) a database.
+func Open(opts Options) (*DB, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 256
+	}
+	d := &DB{opts: opts, cat: schema.NewCatalog()}
+	d.engine = core.NewEngine(d.cat)
+	if opts.Dir == "" {
+		d.dev = storage.NewMemDevice()
+	} else {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("db: create dir: %w", err)
+		}
+		dev, err := storage.OpenFileDevice(filepath.Join(opts.Dir, pagesFile))
+		if err != nil {
+			return nil, err
+		}
+		d.dev = dev
+	}
+	d.pool = storage.NewBufferPool(d.dev, opts.PoolPages)
+	d.store = storage.NewStore(d.pool)
+	d.vers = version.NewManager(d.engine)
+	d.auth = authz.NewStore(d.engine)
+	d.txm = txn.NewManager(d.engine)
+	d.idx = index.NewManager(d.engine)
+
+	if opts.Dir != "" {
+		if err := d.recover(); err != nil {
+			d.dev.Close()
+			return nil, err
+		}
+		wal, err := storage.OpenWAL(filepath.Join(opts.Dir, walFile))
+		if err != nil {
+			d.dev.Close()
+			return nil, err
+		}
+		d.wal = wal
+	}
+	d.engine.SetHook(core.MultiHook{&hook{d: d}, d.idx, d.vers})
+	return d, nil
+}
+
+// recover loads checkpointed metadata and replays the WAL.
+func (d *DB) recover() error {
+	load := func(name string, fn func(*bytes.Reader) error) error {
+		b, err := os.ReadFile(filepath.Join(d.opts.Dir, name))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		return fn(bytes.NewReader(b))
+	}
+	if err := load(catalogFile, func(r *bytes.Reader) error { return d.cat.Load(r) }); err != nil {
+		return err
+	}
+	if err := load(storeFile, func(r *bytes.Reader) error { return d.store.LoadMeta(r) }); err != nil {
+		return err
+	}
+	if err := load(versionsFile, func(r *bytes.Reader) error { return d.vers.Load(r) }); err != nil {
+		return err
+	}
+	if err := load(authFile, func(r *bytes.Reader) error { return d.auth.Load(r) }); err != nil {
+		return err
+	}
+	if err := load(indexFile, func(r *bytes.Reader) error {
+		return json.NewDecoder(r).Decode(&d.idxDef)
+	}); err != nil {
+		return err
+	}
+	// Replay the WAL into the store.
+	err := storage.ReplayWAL(filepath.Join(d.opts.Dir, walFile), func(rec storage.WALRecord) error {
+		switch rec.Op {
+		case storage.OpPut:
+			seg, err := d.segmentForClass(rec.UID.Class)
+			if err != nil {
+				return err
+			}
+			return d.store.Put(seg, rec.UID, rec.Data, rec.Near)
+		case storage.OpDelete:
+			if err := d.store.Delete(rec.UID); err != nil && !errors.Is(err, storage.ErrNotFound) {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("db: unknown WAL op %d", rec.Op)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("db: WAL replay: %w", err)
+	}
+	// Rebuild the engine from the store.
+	for _, id := range d.store.UIDs() {
+		rec, err := d.store.Get(id)
+		if err != nil {
+			return err
+		}
+		o, err := encoding.DecodeObject(rec)
+		if err != nil {
+			return fmt.Errorf("db: decode %v: %w", id, err)
+		}
+		if err := d.engine.Load(o); err != nil {
+			return err
+		}
+	}
+	// Rebuild the declared indexes over the restored extents.
+	for _, def := range d.idxDef {
+		if err := d.idx.CreateIndex(def[0], def[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentForClass returns (creating if needed) the segment the class is
+// assigned to.
+func (d *DB) segmentForClass(c uid.ClassID) (storage.SegmentID, error) {
+	cl, err := d.cat.ClassByID(c)
+	if err != nil {
+		return 0, err
+	}
+	if seg, ok := d.store.SegmentByName(cl.Segment); ok {
+		return seg, nil
+	}
+	return d.store.CreateSegment(cl.Segment)
+}
+
+// hook mirrors engine mutations into the WAL and page store.
+type hook struct{ d *DB }
+
+func (h *hook) OnWrite(o *object.Object, near uid.UID) error {
+	d := h.d
+	seg, err := d.segmentForClass(o.Class())
+	if err != nil {
+		return err
+	}
+	rec := encoding.EncodeObject(o)
+	if d.wal != nil {
+		if err := d.wal.Append(storage.WALRecord{Op: storage.OpPut, UID: o.UID(), Seg: seg, Near: near, Data: rec}); err != nil {
+			return err
+		}
+		if d.opts.SyncWAL {
+			if err := d.wal.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return d.store.Put(seg, o.UID(), rec, near)
+}
+
+func (h *hook) OnDelete(id uid.UID) error {
+	d := h.d
+	if d.wal != nil {
+		if err := d.wal.Append(storage.WALRecord{Op: storage.OpDelete, UID: id}); err != nil {
+			return err
+		}
+	}
+	if err := d.store.Delete(id); err != nil && !errors.Is(err, storage.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// Checkpoint flushes dirty pages and metadata to disk and truncates the
+// WAL. It is a no-op for in-memory databases.
+func (d *DB) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *DB) checkpointLocked() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.opts.Dir == "" {
+		return nil
+	}
+	if err := d.wal.Sync(); err != nil {
+		return err
+	}
+	if err := d.pool.FlushAll(); err != nil {
+		return err
+	}
+	save := func(name string, fn func(*bytes.Buffer) error) error {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			return err
+		}
+		tmp := filepath.Join(d.opts.Dir, name+".tmp")
+		if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, filepath.Join(d.opts.Dir, name))
+	}
+	if err := save(catalogFile, func(b *bytes.Buffer) error { return d.cat.Save(b) }); err != nil {
+		return err
+	}
+	if err := save(storeFile, func(b *bytes.Buffer) error { return d.store.SaveMeta(b) }); err != nil {
+		return err
+	}
+	if err := save(versionsFile, func(b *bytes.Buffer) error { return d.vers.Save(b) }); err != nil {
+		return err
+	}
+	if err := save(authFile, func(b *bytes.Buffer) error { return d.auth.Save(b) }); err != nil {
+		return err
+	}
+	if err := save(indexFile, func(b *bytes.Buffer) error {
+		return json.NewEncoder(b).Encode(d.idxDef)
+	}); err != nil {
+		return err
+	}
+	return d.wal.Truncate()
+}
+
+// Close checkpoints (for durable databases) and releases resources.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.opts.Dir != "" {
+		if err := d.checkpointLocked(); err != nil {
+			return err
+		}
+		if err := d.wal.Close(); err != nil {
+			return err
+		}
+	}
+	d.closed = true
+	return d.dev.Close()
+}
+
+// Access to the subsystems. The facade re-exports the most common
+// operations below; everything else is reachable through these.
+
+// Catalog returns the schema catalog.
+func (d *DB) Catalog() *schema.Catalog { return d.cat }
+
+// Engine returns the composite-object engine.
+func (d *DB) Engine() *core.Engine { return d.engine }
+
+// Versions returns the version manager.
+func (d *DB) Versions() *version.Manager { return d.vers }
+
+// Authz returns the authorization store.
+func (d *DB) Authz() *authz.Store { return d.auth }
+
+// Txns returns the transaction manager.
+func (d *DB) Txns() *txn.Manager { return d.txm }
+
+// Store returns the object store (for clustering/IO inspection).
+func (d *DB) Store() *storage.Store { return d.store }
+
+// Pool returns the buffer pool (for I/O statistics).
+func (d *DB) Pool() *storage.BufferPool { return d.pool }
+
+// Indexes returns the secondary-index manager.
+func (d *DB) Indexes() *index.Manager { return d.idx }
+
+// CreateIndex declares and builds a secondary index on (class, attr); the
+// declaration persists across reopen (the index itself is rebuilt from
+// the extents at recovery, like ORION's memory-resident structures).
+func (d *DB) CreateIndex(class, attr string) error {
+	if err := d.idx.CreateIndex(class, attr); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.idxDef = append(d.idxDef, [2]string{class, attr})
+	d.mu.Unlock()
+	if d.opts.Dir != "" {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
+// DropIndex removes a secondary index and its persisted declaration.
+func (d *DB) DropIndex(class, attr string) error {
+	if err := d.idx.DropIndex(class, attr); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	for i, def := range d.idxDef {
+		if def[0] == class && def[1] == attr {
+			d.idxDef = append(d.idxDef[:i], d.idxDef[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+	if d.opts.Dir != "" {
+		return d.Checkpoint()
+	}
+	return nil
+}

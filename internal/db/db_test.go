@@ -1,0 +1,421 @@
+package db
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/txn"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+func defineDocSchema(t *testing.T, d *DB) {
+	t.Helper()
+	if _, err := d.DefineClass(schema.ClassDef{Name: "Paragraph", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Text", schema.StringDomain),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DefineClass(schema.ClassDef{Name: "Document", Versionable: true, Attributes: []schema.AttrSpec{
+		schema.NewAttr("Title", schema.StringDomain),
+		schema.NewCompositeSetAttr("Paras", "Paragraph"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInMemoryBasics(t *testing.T) {
+	d, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	defineDocSchema(t, d)
+	doc, err := d.Make("Document", map[string]value.Value{"Title": value.Str("T")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	para, err := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("p")},
+		core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The facade queries work.
+	if ok, _ := d.ChildOf(para.UID(), doc.UID()); !ok {
+		t.Fatal("ChildOf wrong")
+	}
+	comps, _ := d.ComponentsOf(doc.UID(), core.QueryOpts{})
+	if len(comps) != 1 || comps[0] != para.UID() {
+		t.Fatalf("components = %v", comps)
+	}
+	// Objects are mirrored into the page store.
+	if !d.Store().Has(doc.UID()) || !d.Store().Has(para.UID()) {
+		t.Fatal("write-through to the store failed")
+	}
+	// Clustering: the paragraph shares the document's page? Only if same
+	// segment — classes default to distinct segments, so pages differ.
+	dp, _ := d.Store().PageOf(doc.UID())
+	pp, _ := d.Store().PageOf(para.UID())
+	if dp == pp {
+		t.Fatal("cross-segment clustering should not happen")
+	}
+	// Delete propagates to the store.
+	if _, err := d.Delete(doc.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Store().Has(doc.UID()) || d.Store().Has(para.UID()) {
+		t.Fatal("store retains deleted objects")
+	}
+}
+
+func TestClusteringWithinSharedSegment(t *testing.T) {
+	d, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Both classes assigned to one segment: clustering with the first
+	// parent applies (§2.3).
+	if _, err := d.DefineClass(schema.ClassDef{Name: "Part", Segment: "cad"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DefineClass(schema.ClassDef{Name: "Assembly", Segment: "cad", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Parts", "Part"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	asm, _ := d.Make("Assembly", nil)
+	part, err := d.Make("Part", nil, core.ParentSpec{Parent: asm.UID(), Attr: "Parts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := d.Store().PageOf(asm.UID())
+	pp, _ := d.Store().PageOf(part.UID())
+	if ap != pp {
+		t.Fatalf("component not clustered with first parent: pages %d vs %d", ap, pp)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDocSchema(t, d)
+	doc, _ := d.Make("Document", map[string]value.Value{"Title": value.Str("persisted")})
+	para, _ := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("body")},
+		core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	// Schema restored.
+	if !d2.Catalog().Has("Document") {
+		t.Fatal("catalog lost")
+	}
+	// Objects restored with attributes and reverse refs.
+	o, err := d2.Get(doc.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := o.Get("Title").AsString(); s != "persisted" {
+		t.Fatalf("Title = %v", o.Get("Title"))
+	}
+	po, err := d2.Get(para.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !po.HasReverse(doc.UID()) {
+		t.Fatal("reverse ref lost")
+	}
+	// New objects do not collide with restored UIDs.
+	n, err := d2.Make("Paragraph", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.UID() == para.UID() {
+		t.Fatal("UID collision after reopen")
+	}
+	// Composite semantics still work.
+	deleted, err := d2.Delete(doc.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("deleted = %v", deleted)
+	}
+}
+
+func TestCrashRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDocSchema(t, d)
+	doc, _ := d.Make("Document", map[string]value.Value{"Title": value.Str("A")})
+	// Checkpoint, then more work that lives only in the WAL.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	para, _ := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("unflushed")},
+		core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+	if err := d.Set(doc.UID(), "Title", value.Str("B")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop everything without Close/Checkpoint.
+	d.wal.Sync()
+	d.dev.Close()
+
+	d2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer d2.Close()
+	o, err := d2.Get(doc.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := o.Get("Title").AsString(); s != "B" {
+		t.Fatalf("post-checkpoint write lost: Title = %v", o.Get("Title"))
+	}
+	po, err := d2.Get(para.UID())
+	if err != nil {
+		t.Fatalf("WAL-only object lost: %v", err)
+	}
+	if s, _ := po.Get("Text").AsString(); s != "unflushed" {
+		t.Fatalf("Text = %v", po.Get("Text"))
+	}
+	if !po.HasReverse(doc.UID()) {
+		t.Fatal("reverse ref lost in recovery")
+	}
+	if v := d2.Engine().Integrity(); len(v) != 0 {
+		t.Fatalf("integrity after recovery: %v", v)
+	}
+}
+
+func TestCrashRecoveryDelete(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := Open(Options{Dir: dir, SyncWAL: true})
+	defineDocSchema(t, d)
+	doc, _ := d.Make("Document", nil)
+	d.Checkpoint()
+	if _, err := d.Delete(doc.UID()); err != nil {
+		t.Fatal(err)
+	}
+	d.wal.Sync()
+	d.dev.Close() // crash
+
+	d2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.Get(doc.UID()); !errors.Is(err, core.ErrNoObject) {
+		t.Fatalf("deleted object resurrected: %v", err)
+	}
+}
+
+func TestVersionsThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := Open(Options{Dir: dir})
+	defineDocSchema(t, d)
+	g, v0, err := d.Versions().CreateVersionable("Document", map[string]value.Value{
+		"Title": value.Str("v0"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := d.Versions().Derive(v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !d2.Versions().IsGeneric(g) || !d2.Versions().IsVersion(v1) {
+		t.Fatal("version bookkeeping lost across reopen")
+	}
+	def, err := d2.Versions().DefaultVersion(g)
+	if err != nil || def != v1 {
+		t.Fatalf("default = %v, %v", def, err)
+	}
+}
+
+func TestAuthzThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := Open(Options{Dir: dir})
+	defineDocSchema(t, d)
+	doc, _ := d.Make("Document", nil)
+	para, _ := d.Make("Paragraph", nil, core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+	if err := d.Authz().GrantObject("alice", doc.UID(), authz.SR); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	ok, err := d2.Authz().Check("alice", para.UID(), authz.Read)
+	if err != nil || !ok {
+		t.Fatalf("implicit auth lost across reopen: %v %v", ok, err)
+	}
+}
+
+func TestTransactionsThroughFacade(t *testing.T) {
+	d, _ := Open(Options{})
+	defer d.Close()
+	defineDocSchema(t, d)
+	var doc uid.UID
+	err := d.Run(func(tx *txn.Txn) error {
+		o, err := tx.New("Document", map[string]value.Value{"Title": value.Str("tx")})
+		if err != nil {
+			return err
+		}
+		doc = o.UID()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(doc); err != nil {
+		t.Fatal("committed object missing")
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	d, _ := Open(Options{})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint after close: %v", err)
+	}
+}
+
+func TestWALGrowsAndCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := Open(Options{Dir: dir})
+	defineDocSchema(t, d)
+	for i := 0; i < 50; i++ {
+		if _, err := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.wal.Sync()
+	st, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("WAL empty despite writes")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = os.Stat(filepath.Join(dir, walFile))
+	if st.Size() != 0 {
+		t.Fatalf("WAL not truncated by checkpoint: %d bytes", st.Size())
+	}
+	d.Close()
+}
+
+func TestOpenRejectsCorruptMetadata(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := Open(Options{Dir: dir})
+	defineDocSchema(t, d)
+	d.Make("Document", nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the catalog: Open must fail loudly, not half-load.
+	path := filepath.Join(dir, "catalog.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("open with corrupt catalog succeeded")
+	}
+}
+
+func TestOpenRejectsCorruptPages(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := Open(Options{Dir: dir})
+	defineDocSchema(t, d)
+	doc, _ := d.Make("Document", map[string]value.Value{"Title": value.Str("x")})
+	d.Close()
+	// Flip bytes in the page file where the object lives: decode must fail
+	// at recovery.
+	pb, err := os.ReadFile(filepath.Join(dir, "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pb {
+		pb[i] ^= 0xFF
+	}
+	os.WriteFile(filepath.Join(dir, "pages.db"), pb, 0o644)
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("open with corrupt pages succeeded")
+	}
+	_ = doc
+}
+
+func TestOpenOnFileFails(t *testing.T) {
+	// Dir pointing at an existing regular file must error.
+	f := filepath.Join(t.TempDir(), "plain")
+	os.WriteFile(f, []byte("x"), 0o644)
+	if _, err := Open(Options{Dir: f}); err == nil {
+		t.Fatal("open on a regular file succeeded")
+	}
+}
+
+func TestCopyCompositeThroughFacade(t *testing.T) {
+	d, _ := Open(Options{})
+	defer d.Close()
+	defineDocSchema(t, d)
+	doc, _ := d.Make("Document", map[string]value.Value{"Title": value.Str("orig")})
+	para, _ := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("body")},
+		core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+	copyID, mapping, err := d.Engine().CopyComposite(doc.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deep copy is mirrored into the page store by the hook.
+	if !d.Store().Has(copyID) || !d.Store().Has(mapping[para.UID()]) {
+		t.Fatal("copy not persisted through the hook")
+	}
+	v, err := core.CopiedValue(d.Engine(), mapping, para.UID(), "Text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v.AsString(); s != "body" {
+		t.Fatalf("copied Text = %v", v)
+	}
+	if _, err := core.CopiedValue(d.Engine(), mapping, doc.UID(), "Title"); err != nil {
+		t.Fatal(err)
+	}
+	ghost := uid.UID{Class: 9, Serial: 9}
+	if _, err := core.CopiedValue(d.Engine(), mapping, ghost, "Title"); err == nil {
+		t.Fatal("CopiedValue of uncopied object succeeded")
+	}
+}

@@ -1,0 +1,231 @@
+package encoding
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+func u(c uint32, s uint64) uid.UID { return uid.UID{Class: uid.ClassID(c), Serial: s} }
+
+func roundTripValue(t *testing.T, v value.Value) {
+	t.Helper()
+	b := AppendValue(nil, v)
+	got, rest, err := DecodeValue(b)
+	if err != nil {
+		t.Fatalf("DecodeValue(%v): %v", v, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("DecodeValue(%v) left %d bytes", v, len(rest))
+	}
+	if !got.Equal(v) {
+		t.Fatalf("round trip: got %v, want %v", got, v)
+	}
+}
+
+func TestValueRoundTrips(t *testing.T) {
+	cases := []value.Value{
+		value.Nil,
+		value.Int(0),
+		value.Int(-1),
+		value.Int(math.MaxInt64),
+		value.Int(math.MinInt64),
+		value.Real(0),
+		value.Real(-2.75),
+		value.Real(math.Inf(1)),
+		value.Str(""),
+		value.Str("hello, 世界"),
+		value.Bool(true),
+		value.Bool(false),
+		value.Ref(u(7, 9)),
+		value.SetOf(),
+		value.SetOf(value.Int(1), value.Str("a")),
+		value.ListOf(value.ListOf(value.Ref(u(1, 1))), value.Nil),
+	}
+	for _, v := range cases {
+		roundTripValue(t, v)
+	}
+}
+
+func TestValueRoundTripNaN(t *testing.T) {
+	b := AppendValue(nil, value.Real(math.NaN()))
+	got, _, err := DecodeValue(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := got.AsReal()
+	if !math.IsNaN(f) {
+		t.Fatalf("NaN round trip = %v", f)
+	}
+}
+
+func TestUIDRoundTrip(t *testing.T) {
+	for _, id := range []uid.UID{uid.Nil, u(1, 1), u(math.MaxUint32, math.MaxUint64)} {
+		b := AppendUID(nil, id)
+		got, rest, err := DecodeUID(b)
+		if err != nil || len(rest) != 0 || got != id {
+			t.Fatalf("uid round trip %v -> %v, rest %d, err %v", id, got, len(rest), err)
+		}
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	o := object.New(u(3, 44))
+	o.SetCC(17)
+	o.Set("Name", value.Str("chassis"))
+	o.Set("Parts", value.RefSet(u(4, 1), u(4, 2)))
+	o.Set("Weight", value.Real(12.5))
+	o.AddReverse(object.ReverseRef{Parent: u(2, 9), Dependent: true, Exclusive: true})
+	o.AddReverse(object.ReverseRef{Parent: u(2, 10), Dependent: false, Exclusive: false, Count: 3})
+
+	b := EncodeObject(o)
+	got, err := DecodeObject(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID() != o.UID() || got.CC() != o.CC() {
+		t.Fatalf("identity: got %v/%d", got.UID(), got.CC())
+	}
+	for _, n := range o.AttrNames() {
+		if !got.Get(n).Equal(o.Get(n)) {
+			t.Fatalf("attr %s: got %v want %v", n, got.Get(n), o.Get(n))
+		}
+	}
+	if len(got.Reverse()) != 2 {
+		t.Fatalf("reverse count = %d", len(got.Reverse()))
+	}
+	r := got.Reverse()[1]
+	if r.Parent != u(2, 10) || r.Dependent || r.Exclusive || r.Count != 3 {
+		t.Fatalf("reverse[1] = %+v", r)
+	}
+}
+
+func TestObjectEncodingDeterministic(t *testing.T) {
+	mk := func() *object.Object {
+		o := object.New(u(1, 1))
+		o.Set("b", value.Int(2))
+		o.Set("a", value.Int(1))
+		return o
+	}
+	b1 := EncodeObject(mk())
+	// Same attrs inserted in a different order must encode identically.
+	o2 := object.New(u(1, 1))
+	o2.Set("a", value.Int(1))
+	o2.Set("b", value.Int(2))
+	b2 := EncodeObject(o2)
+	if string(b1) != string(b2) {
+		t.Fatal("encoding depends on attribute insertion order")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeObject(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := DecodeObject([]byte{0x00}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, _, err := DecodeValue([]byte{200}); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	// Truncations at every prefix of a valid record must error, not panic.
+	o := object.New(u(3, 44))
+	o.Set("Name", value.Str("x"))
+	o.AddReverse(object.ReverseRef{Parent: u(2, 9), Dependent: true})
+	full := EncodeObject(o)
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeObject(full[:i]); err == nil {
+			t.Fatalf("DecodeObject of %d/%d byte prefix succeeded", i, len(full))
+		}
+	}
+}
+
+func genValue(r *rand.Rand, depth int) value.Value {
+	k := r.Intn(8)
+	if depth <= 0 && k >= 6 {
+		k = r.Intn(6)
+	}
+	switch k {
+	case 0:
+		return value.Nil
+	case 1:
+		return value.Int(r.Int63() - r.Int63())
+	case 2:
+		return value.Real(r.NormFloat64())
+	case 3:
+		buf := make([]byte, r.Intn(20))
+		r.Read(buf)
+		return value.Str(string(buf))
+	case 4:
+		return value.Bool(r.Intn(2) == 0)
+	case 5:
+		return value.Ref(u(uint32(r.Intn(100)+1), uint64(r.Intn(1000)+1)))
+	default:
+		n := r.Intn(5)
+		elems := make([]value.Value, n)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		if k == 6 {
+			return value.SetOf(elems...)
+		}
+		return value.ListOf(elems...)
+	}
+}
+
+func TestPropertyValueRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		roundTripValue(t, genValue(r, 4))
+	}
+}
+
+func TestPropertyObjectRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		o := object.New(u(uint32(r.Intn(50)+1), uint64(i+1)))
+		o.SetCC(uint64(r.Intn(1000)))
+		for a := 0; a < r.Intn(6); a++ {
+			o.Set(string(rune('a'+a)), genValue(r, 3))
+		}
+		for p := 0; p < r.Intn(4); p++ {
+			o.AddReverse(object.ReverseRef{
+				Parent:    u(uint32(r.Intn(10)+1), uint64(p+1)),
+				Dependent: r.Intn(2) == 0,
+				Exclusive: r.Intn(2) == 0,
+				Count:     uint32(r.Intn(5)),
+			})
+		}
+		b := EncodeObject(o)
+		got, err := DecodeObject(b)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got.UID() != o.UID() || got.CC() != o.CC() {
+			t.Fatalf("iter %d identity mismatch", i)
+		}
+		names := o.AttrNames()
+		gnames := got.AttrNames()
+		if len(names) != len(gnames) {
+			t.Fatalf("iter %d attr names %v vs %v", i, names, gnames)
+		}
+		for _, n := range names {
+			if !got.Get(n).Equal(o.Get(n)) {
+				t.Fatalf("iter %d attr %q mismatch", i, n)
+			}
+		}
+		if len(got.Reverse()) != len(o.Reverse()) {
+			t.Fatalf("iter %d reverse count mismatch", i)
+		}
+		for j, rr := range o.Reverse() {
+			if got.Reverse()[j] != rr {
+				t.Fatalf("iter %d reverse[%d] = %+v want %+v", i, j, got.Reverse()[j], rr)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// FuzzDecodeObject: arbitrary bytes must never panic the decoder, and
+// anything that decodes must re-encode to a record that decodes to the
+// same object (encode∘decode is idempotent).
+func FuzzDecodeObject(f *testing.F) {
+	// Seed with real encodings.
+	o := object.New(uid.UID{Class: 3, Serial: 44})
+	o.SetCC(17)
+	o.Set("Name", value.Str("chassis"))
+	o.Set("Parts", value.RefSet(uid.UID{Class: 4, Serial: 1}, uid.UID{Class: 4, Serial: 2}))
+	o.Set("W", value.Real(12.5))
+	o.AddReverse(object.ReverseRef{Parent: uid.UID{Class: 2, Serial: 9}, Dependent: true, Exclusive: true})
+	f.Add(EncodeObject(o))
+	f.Add([]byte{})
+	f.Add([]byte{0xC0})
+	f.Add([]byte{0xC0, 0x01, 0x01, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obj, err := DecodeObject(data)
+		if err != nil {
+			return
+		}
+		re := EncodeObject(obj)
+		again, err := DecodeObject(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.UID() != obj.UID() || again.CC() != obj.CC() {
+			t.Fatal("identity changed across re-encode")
+		}
+		an, bn := obj.AttrNames(), again.AttrNames()
+		if len(an) != len(bn) {
+			t.Fatalf("attr count changed: %v vs %v", an, bn)
+		}
+		for i, n := range an {
+			if n != bn[i] || !obj.Get(n).Equal(again.Get(n)) {
+				t.Fatalf("attr %q changed", n)
+			}
+		}
+		if len(obj.Reverse()) != len(again.Reverse()) {
+			t.Fatal("reverse count changed")
+		}
+		for i, r := range obj.Reverse() {
+			if again.Reverse()[i] != r {
+				t.Fatalf("reverse[%d] changed", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeValue: same contract for the value codec.
+func FuzzDecodeValue(f *testing.F) {
+	for _, v := range []value.Value{
+		value.Int(-5),
+		value.Str("x"),
+		value.SetOf(value.Int(1), value.ListOf(value.Bool(true))),
+		value.Ref(uid.UID{Class: 1, Serial: 2}),
+	} {
+		f.Add(AppendValue(nil, v))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := DecodeValue(data)
+		if err != nil {
+			return
+		}
+		_ = rest
+		re := AppendValue(nil, v)
+		again, rest2, err := DecodeValue(re)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-decode: %v (%d left)", err, len(rest2))
+		}
+		if !again.Equal(v) {
+			t.Fatalf("value changed: %v vs %v", v, again)
+		}
+	})
+}

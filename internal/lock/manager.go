@@ -1,0 +1,276 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/uid"
+)
+
+// TxID identifies a transaction to the lock manager.
+type TxID uint64
+
+// GranuleKind distinguishes lockable granule types: class objects and
+// instance objects (§7 locks both).
+type GranuleKind uint8
+
+// Granule kinds.
+const (
+	GranuleClass GranuleKind = iota
+	GranuleInstance
+)
+
+// Granule is a lockable unit.
+type Granule struct {
+	Kind  GranuleKind
+	Class string  // for GranuleClass
+	Obj   uid.UID // for GranuleInstance
+}
+
+// ClassGranule returns the granule for a class object.
+func ClassGranule(name string) Granule { return Granule{Kind: GranuleClass, Class: name} }
+
+// InstanceGranule returns the granule for an instance object.
+func InstanceGranule(id uid.UID) Granule { return Granule{Kind: GranuleInstance, Obj: id} }
+
+// String renders the granule.
+func (g Granule) String() string {
+	if g.Kind == GranuleClass {
+		return "class:" + g.Class
+	}
+	return "obj:" + g.Obj.String()
+}
+
+// Sentinel errors.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected, request aborted")
+	ErrTimeout  = errors.New("lock: timed out waiting for lock")
+	ErrNotHeld  = errors.New("lock: not held")
+)
+
+// granuleState tracks holders and waiters of one granule.
+type granuleState struct {
+	holders map[TxID][]Mode
+}
+
+// Manager is a blocking lock manager with deadlock detection via a
+// wait-for graph. A transaction is always compatible with itself; a
+// request incompatible with another transaction's holdings blocks until
+// granted or until the wait would close a cycle, in which case the request
+// fails with ErrDeadlock.
+type Manager struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	granules map[string]*granuleState
+	held     map[TxID]map[string]bool // reverse index for ReleaseAll
+	waitsFor map[TxID]map[TxID]bool   // wait-for graph edges
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		granules: make(map[string]*granuleState),
+		held:     make(map[TxID]map[string]bool),
+		waitsFor: make(map[TxID]map[TxID]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *Manager) state(key string) *granuleState {
+	st := m.granules[key]
+	if st == nil {
+		st = &granuleState{holders: make(map[TxID][]Mode)}
+		m.granules[key] = st
+	}
+	return st
+}
+
+// blockers returns the transactions whose holdings conflict with tx
+// requesting mode on st. Caller holds m.mu.
+func (st *granuleState) blockers(tx TxID, mode Mode) []TxID {
+	var out []TxID
+	for other, modes := range st.holders {
+		if other == tx {
+			continue
+		}
+		for _, h := range modes {
+			if !Compatible(h, mode) {
+				out = append(out, other)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// wouldDeadlock reports whether adding edges tx->blockers closes a cycle
+// in the wait-for graph. Caller holds m.mu.
+func (m *Manager) wouldDeadlock(tx TxID, blockers []TxID) bool {
+	// DFS from each blocker looking for tx.
+	seen := map[TxID]bool{}
+	var dfs func(cur TxID) bool
+	dfs = func(cur TxID) bool {
+		if cur == tx {
+			return true
+		}
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		for next := range m.waitsFor[cur] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blockers {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lock acquires mode on g for tx, blocking while incompatible locks are
+// held by other transactions. It returns ErrDeadlock if waiting would
+// close a wait-for cycle (the requester is chosen as the victim).
+// Re-requesting a held mode is a no-op; requesting an additional mode
+// records both (lock conversion by accumulation).
+func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
+	key := g.String()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(key)
+	for {
+		blockers := st.blockers(tx, mode)
+		if len(blockers) == 0 {
+			break
+		}
+		if m.wouldDeadlock(tx, blockers) {
+			return fmt.Errorf("tx %d requesting %s on %s: %w", tx, mode, g, ErrDeadlock)
+		}
+		edges := m.waitsFor[tx]
+		if edges == nil {
+			edges = make(map[TxID]bool)
+			m.waitsFor[tx] = edges
+		}
+		for _, b := range blockers {
+			edges[b] = true
+		}
+		m.cond.Wait()
+		delete(m.waitsFor, tx)
+	}
+	for _, h := range st.holders[tx] {
+		if h == mode {
+			return nil
+		}
+	}
+	st.holders[tx] = append(st.holders[tx], mode)
+	hs := m.held[tx]
+	if hs == nil {
+		hs = make(map[string]bool)
+		m.held[tx] = hs
+	}
+	hs[key] = true
+	return nil
+}
+
+// TryLock acquires mode on g without blocking; ok reports success.
+func (m *Manager) TryLock(tx TxID, g Granule, mode Mode) bool {
+	key := g.String()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(key)
+	if len(st.blockers(tx, mode)) > 0 {
+		return false
+	}
+	for _, h := range st.holders[tx] {
+		if h == mode {
+			return true
+		}
+	}
+	st.holders[tx] = append(st.holders[tx], mode)
+	hs := m.held[tx]
+	if hs == nil {
+		hs = make(map[string]bool)
+		m.held[tx] = hs
+	}
+	hs[key] = true
+	return true
+}
+
+// Holds reports whether tx holds mode on g.
+func (m *Manager) Holds(tx TxID, g Granule, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.granules[g.String()]
+	if st == nil {
+		return false
+	}
+	for _, h := range st.holders[tx] {
+		if h == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldModes returns the modes tx holds on g.
+func (m *Manager) HeldModes(tx TxID, g Granule) []Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.granules[g.String()]
+	if st == nil {
+		return nil
+	}
+	return append([]Mode(nil), st.holders[tx]...)
+}
+
+// Unlock releases every mode tx holds on g.
+func (m *Manager) Unlock(tx TxID, g Granule) error {
+	key := g.String()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.granules[key]
+	if st == nil || len(st.holders[tx]) == 0 {
+		return fmt.Errorf("tx %d on %s: %w", tx, g, ErrNotHeld)
+	}
+	delete(st.holders, tx)
+	if len(st.holders) == 0 {
+		delete(m.granules, key)
+	}
+	if hs := m.held[tx]; hs != nil {
+		delete(hs, key)
+	}
+	m.cond.Broadcast()
+	return nil
+}
+
+// ReleaseAll releases every lock held by tx (commit/abort).
+func (m *Manager) ReleaseAll(tx TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.held[tx] {
+		if st := m.granules[key]; st != nil {
+			delete(st.holders, tx)
+			if len(st.holders) == 0 {
+				delete(m.granules, key)
+			}
+		}
+	}
+	delete(m.held, tx)
+	delete(m.waitsFor, tx)
+	m.cond.Broadcast()
+}
+
+// LockCount returns the number of granules on which tx holds locks.
+func (m *Manager) LockCount(tx TxID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[tx])
+}

@@ -1,0 +1,246 @@
+// Package lock implements §7 of the paper: granularity locking extended
+// with composite-object lock modes.
+//
+// To the classical hierarchy modes IS, IX, S, SIX, X of [GRAY78], the
+// paper adds three modes for component classes of composite hierarchies
+// built from exclusive references — ISO, IXO, SIXO (Figure 7) — and three
+// more for component classes reached through shared references — ISOS,
+// IXOS, SIXOS (Figure 8).
+//
+// Rather than hard-coding the two figures, this package derives the
+// compatibility relation from a small semantic model (the "claims" each
+// mode makes on the class's instances) and the test suite asserts the
+// derived relation equals the matrices, reconstructed from the figures and
+// from every constraint the prose pins down:
+//
+//   - "while IS and IX modes do not conflict, the ISO mode conflicts with
+//     IX mode, and IXO and SIXO modes conflict with both IS and IX";
+//   - "multiple users [may] read and update different composite objects
+//     that share the same composite class hierarchy" — so ISO and IXO are
+//     mutually compatible, actual overlap being arbitrated by the S/X
+//     locks on the composite objects' roots (exclusive references admit
+//     only one root path);
+//   - §7's worked examples on Figure 9: example 1 (IXO on class C) is
+//     compatible with example 2 (ISOS on C) but incompatible with example
+//     3 (IXOS on C), and examples 2 and 3 conflict (ISOS vs IXOS).
+//
+// The model: each mode claims (universe, read|write) pairs over a class's
+// instances. Universes are DIRECT (instances accessed one at a time under
+// their own instance locks), ALL (the whole extent), COMPX (components of
+// locked composite objects reached via exclusive references, arbitrated by
+// root locks) and COMPS (components reached via shared references —
+// reachable from several roots, so root locks arbitrate nothing). Two
+// claims conflict when their universes can overlap, at least one writes,
+// and no finer-grained arbitration covers the pair. COMPX and COMPS are
+// disjoint for well-formed states (Topology Rule 3), which is what lets a
+// composite reader in one regime run against a composite writer in the
+// other; two uninstrumented writers on the same class are serialized
+// regardless of regime, since writes can migrate instances between the
+// regimes (attach/detach, schema changes D2/D3).
+package lock
+
+import "fmt"
+
+// Mode is a lock mode.
+type Mode uint8
+
+// The eleven lock modes of Figures 7 and 8.
+const (
+	IS Mode = iota
+	IX
+	S
+	SIX
+	X
+	ISO   // intention shared, composite objects (exclusive refs)
+	IXO   // intention exclusive, composite objects (exclusive refs)
+	SIXO  // shared + intention exclusive, composite objects (exclusive refs)
+	ISOS  // intention shared, object-shared (shared refs)
+	IXOS  // intention exclusive, object-shared (shared refs)
+	SIXOS // shared + intention exclusive, object-shared (shared refs)
+	numModes
+)
+
+// Modes lists all modes in matrix order (Figure 8's order).
+var Modes = []Mode{IS, IX, S, SIX, X, ISO, IXO, SIXO, ISOS, IXOS, SIXOS}
+
+// ExclusiveHierarchyModes lists the modes of Figure 7 (granularity +
+// exclusive composite locking).
+var ExclusiveHierarchyModes = []Mode{IS, IX, S, SIX, X, ISO, IXO, SIXO}
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	case ISO:
+		return "ISO"
+	case IXO:
+		return "IXO"
+	case SIXO:
+		return "SIXO"
+	case ISOS:
+		return "ISOS"
+	case IXOS:
+		return "IXOS"
+	case SIXOS:
+		return "SIXOS"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// universe classifies which instances of the class a claim touches.
+type universe uint8
+
+const (
+	uDirect universe = iota // individual instances under instance locks
+	uAll                    // the entire extent
+	uCompX                  // components of locked composite objects, exclusive refs
+	uCompS                  // components of locked composite objects, shared refs
+)
+
+// claim is one (universe, write?) access right asserted by a mode.
+type claim struct {
+	u     universe
+	write bool
+}
+
+// claims returns the access rights each mode asserts.
+func (m Mode) claims() []claim {
+	switch m {
+	case IS:
+		return []claim{{uDirect, false}}
+	case IX:
+		return []claim{{uDirect, true}}
+	case S:
+		return []claim{{uAll, false}}
+	case SIX:
+		return []claim{{uAll, false}, {uDirect, true}}
+	case X:
+		return []claim{{uAll, true}}
+	case ISO:
+		return []claim{{uCompX, false}}
+	case IXO:
+		return []claim{{uCompX, true}}
+	case SIXO:
+		return []claim{{uAll, false}, {uCompX, true}}
+	case ISOS:
+		return []claim{{uCompS, false}}
+	case IXOS:
+		return []claim{{uCompS, true}}
+	case SIXOS:
+		return []claim{{uAll, false}, {uCompS, true}}
+	default:
+		return nil
+	}
+}
+
+// overlaps reports whether two universes can contain a common instance.
+// COMPX and COMPS are disjoint by Topology Rule 3; everything else can
+// overlap.
+func overlaps(a, b universe) bool {
+	if (a == uCompX && b == uCompS) || (a == uCompS && b == uCompX) {
+		return false
+	}
+	return true
+}
+
+// arbitrated reports whether a finer-grained lock protocol serializes
+// actual conflicts between the two universes: instance locks for
+// DIRECT×DIRECT, root S/X locks for COMPX×COMPX.
+func arbitrated(a, b universe) bool {
+	return (a == uDirect && b == uDirect) || (a == uCompX && b == uCompX)
+}
+
+// claimsConflict reports whether two claims held by different transactions
+// conflict.
+func claimsConflict(a, b claim) bool {
+	if !a.write && !b.write {
+		return false
+	}
+	// Two composite writers on the same class conflict even across the
+	// exclusive/shared regimes: a writer may migrate instances between
+	// regimes, and neither writer holds instance locks.
+	if (a.u == uCompX || a.u == uCompS) && (b.u == uCompX || b.u == uCompS) &&
+		a.write && b.write && a.u != b.u {
+		return true
+	}
+	if !overlaps(a.u, b.u) {
+		return false
+	}
+	if arbitrated(a.u, b.u) {
+		return false
+	}
+	return true
+}
+
+// Compatible reports whether a lock in mode a held by one transaction is
+// compatible with a request for mode b by another transaction. The
+// relation is symmetric.
+func Compatible(a, b Mode) bool {
+	for _, ca := range a.claims() {
+		for _, cb := range b.claims() {
+			if claimsConflict(ca, cb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompatMatrix returns the full compatibility matrix over the given modes
+// (row = held, column = requested).
+func CompatMatrix(modes []Mode) [][]bool {
+	out := make([][]bool, len(modes))
+	for i, a := range modes {
+		out[i] = make([]bool, len(modes))
+		for j, b := range modes {
+			out[i][j] = Compatible(a, b)
+		}
+	}
+	return out
+}
+
+// FormatMatrix renders a compatibility matrix like the paper's figures
+// ("Y" for compatible, "." for conflict).
+func FormatMatrix(modes []Mode) string {
+	m := CompatMatrix(modes)
+	width := 0
+	for _, mo := range modes {
+		if len(mo.String()) > width {
+			width = len(mo.String())
+		}
+	}
+	pad := func(s string) string {
+		for len(s) < width {
+			s = s + " "
+		}
+		return s
+	}
+	out := pad("") + " |"
+	for _, mo := range modes {
+		out += " " + pad(mo.String())
+	}
+	out += "\n"
+	for i, mo := range modes {
+		out += pad(mo.String()) + " |"
+		for j := range modes {
+			cell := "."
+			if m[i][j] {
+				cell = "Y"
+			}
+			out += " " + pad(cell)
+		}
+		out += "\n"
+		_ = i
+	}
+	return out
+}

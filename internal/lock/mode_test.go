@@ -1,0 +1,228 @@
+package lock
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure7 is the reconstructed compatibility matrix of the paper's Figure
+// 7 (granularity + exclusive composite object locking). Row = held mode,
+// column = requested mode, order IS IX S SIX X ISO IXO SIXO. Y =
+// compatible.
+var figure7 = []string{
+	//        IS IX S  SIX X  ISO IXO SIXO
+	/* IS   */ "Y  Y  Y  Y  .  Y  .  .",
+	/* IX   */ "Y  Y  .  .  .  .  .  .",
+	/* S    */ "Y  .  Y  .  .  Y  .  .",
+	/* SIX  */ "Y  .  .  .  .  .  .  .",
+	/* X    */ ".  .  .  .  .  .  .  .",
+	/* ISO  */ "Y  .  Y  .  .  Y  Y  Y",
+	/* IXO  */ ".  .  .  .  .  Y  Y  .",
+	/* SIXO */ ".  .  .  .  .  Y  .  .",
+}
+
+// figure8 extends Figure 7 with the shared-reference modes ISOS, IXOS,
+// SIXOS, reconstructed from the prose constraints and the §7 worked
+// examples (see the package comment for the derivation).
+var figure8 = []string{
+	//         IS IX S  SIX X  ISO IXO SIXO ISOS IXOS SIXOS
+	/* IS    */ "Y  Y  Y  Y  .  Y  .  .  Y  .  .",
+	/* IX    */ "Y  Y  .  .  .  .  .  .  .  .  .",
+	/* S     */ "Y  .  Y  .  .  Y  .  .  Y  .  .",
+	/* SIX   */ "Y  .  .  .  .  .  .  .  .  .  .",
+	/* X     */ ".  .  .  .  .  .  .  .  .  .  .",
+	/* ISO   */ "Y  .  Y  .  .  Y  Y  Y  Y  Y  Y",
+	/* IXO   */ ".  .  .  .  .  Y  Y  .  Y  .  .",
+	/* SIXO  */ ".  .  .  .  .  Y  .  .  Y  .  .",
+	/* ISOS  */ "Y  .  Y  .  .  Y  Y  Y  Y  .  .",
+	/* IXOS  */ ".  .  .  .  .  Y  .  .  .  .  .",
+	/* SIXOS */ ".  .  .  .  .  Y  .  .  .  .  .",
+}
+
+func parseRow(s string) []bool {
+	var out []bool
+	for _, f := range strings.Fields(s) {
+		out = append(out, f == "Y")
+	}
+	return out
+}
+
+func TestFigure7Matrix(t *testing.T) {
+	modes := ExclusiveHierarchyModes
+	got := CompatMatrix(modes)
+	for i, row := range figure7 {
+		want := parseRow(row)
+		if len(want) != len(modes) {
+			t.Fatalf("fixture row %d has %d cells", i, len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Errorf("Figure 7 [%s held, %s requested] = %v, want %v",
+					modes[i], modes[j], got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestFigure8Matrix(t *testing.T) {
+	modes := Modes
+	got := CompatMatrix(modes)
+	for i, row := range figure8 {
+		want := parseRow(row)
+		if len(want) != len(modes) {
+			t.Fatalf("fixture row %d has %d cells", i, len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Errorf("Figure 8 [%s held, %s requested] = %v, want %v",
+					modes[i], modes[j], got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestCompatibilitySymmetric(t *testing.T) {
+	for _, a := range Modes {
+		for _, b := range Modes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("asymmetric: %s vs %s", a, b)
+			}
+		}
+	}
+}
+
+func TestPaperProseConstraints(t *testing.T) {
+	// "while IS and IX modes do not conflict,
+	if !Compatible(IS, IX) {
+		t.Error("IS-IX must be compatible")
+	}
+	// the ISO mode conflicts with IX mode,
+	if Compatible(ISO, IX) {
+		t.Error("ISO-IX must conflict")
+	}
+	// and IXO and SIXO modes conflict with both IS and IX modes."
+	for _, m := range []Mode{IXO, SIXO} {
+		if Compatible(m, IS) || Compatible(m, IX) {
+			t.Errorf("%s must conflict with IS and IX", m)
+		}
+	}
+	// ISO does not conflict with IS (implied by the contrast above).
+	if !Compatible(ISO, IS) {
+		t.Error("ISO-IS must be compatible")
+	}
+	// "multiple users [may] read and update different composite objects
+	// that share the same composite class hierarchy": ISO/IXO mutually
+	// compatible.
+	if !Compatible(ISO, ISO) || !Compatible(ISO, IXO) || !Compatible(IXO, IXO) {
+		t.Error("ISO/IXO must be mutually compatible (roots arbitrate)")
+	}
+	// "several readers and one writer on a component class of shared
+	// references": readers share...
+	if !Compatible(ISOS, ISOS) {
+		t.Error("ISOS-ISOS must be compatible")
+	}
+	// ...writers are alone.
+	if Compatible(IXOS, IXOS) || Compatible(IXOS, ISOS) {
+		t.Error("IXOS must exclude other shared-mode users")
+	}
+}
+
+func TestSection7Examples(t *testing.T) {
+	// The lock sets of §7's examples on Figure 9.
+	type lockSet map[string][]Mode
+	ex1 := lockSet{"I": {IX}, "i": {X}, "C": {IXO}}
+	ex2 := lockSet{"K": {IS}, "k": {S}, "C": {ISOS}, "W": {ISO}}
+	ex3 := lockSet{"J": {IX}, "j": {X}, "C": {IXOS}, "W": {IXO}}
+
+	compatible := func(a, b lockSet) bool {
+		for g, am := range a {
+			bm, ok := b[g]
+			if !ok {
+				continue
+			}
+			for _, x := range am {
+				for _, y := range bm {
+					if !Compatible(x, y) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	// "examples 1 and 2 are compatible, while example 3 is incompatible
+	// with both 1 and 2."
+	if !compatible(ex1, ex2) {
+		t.Error("examples 1 and 2 must be compatible")
+	}
+	if compatible(ex1, ex3) {
+		t.Error("examples 1 and 3 must conflict")
+	}
+	if compatible(ex2, ex3) {
+		t.Error("examples 2 and 3 must conflict")
+	}
+}
+
+func TestGray78Submatrix(t *testing.T) {
+	// The classical granularity matrix of [GRAY78] must be embedded
+	// exactly.
+	want := map[[2]Mode]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, SIX}: true, {IS, X}: false,
+		{IX, IX}: true, {IX, S}: false, {IX, SIX}: false, {IX, X}: false,
+		{S, S}: true, {S, SIX}: false, {S, X}: false,
+		{SIX, SIX}: false, {SIX, X}: false,
+		{X, X}: false,
+	}
+	for pair, w := range want {
+		if Compatible(pair[0], pair[1]) != w {
+			t.Errorf("GRAY78 %s-%s = %v, want %v", pair[0], pair[1], Compatible(pair[0], pair[1]), w)
+		}
+	}
+}
+
+func TestReadOnlyModesNeverConflict(t *testing.T) {
+	// Property: modes with no write claims are compatible with each other.
+	readers := []Mode{IS, S, ISO, ISOS}
+	for _, a := range readers {
+		for _, b := range readers {
+			if !Compatible(a, b) {
+				t.Errorf("readers conflict: %s vs %s", a, b)
+			}
+		}
+	}
+}
+
+func TestXConflictsWithEverything(t *testing.T) {
+	for _, m := range Modes {
+		if Compatible(X, m) {
+			t.Errorf("X compatible with %s", m)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{
+		IS: "IS", IX: "IX", S: "S", SIX: "SIX", X: "X",
+		ISO: "ISO", IXO: "IXO", SIXO: "SIXO",
+		ISOS: "ISOS", IXOS: "IXOS", SIXOS: "SIXOS",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("String(%d) = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Mode(200).String() != "mode(200)" {
+		t.Errorf("unknown mode string = %q", Mode(200).String())
+	}
+}
+
+func TestFormatMatrix(t *testing.T) {
+	out := FormatMatrix(ExclusiveHierarchyModes)
+	if !strings.Contains(out, "SIXO") {
+		t.Fatalf("matrix rendering missing modes:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(ExclusiveHierarchyModes)+1 {
+		t.Fatalf("matrix has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,269 @@
+package lock
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uid"
+)
+
+// RefNature says how a component class is reached from a composite class
+// hierarchy root: through exclusive references, shared references, or both
+// (different attributes along different paths).
+type RefNature uint8
+
+// Reference natures.
+const (
+	ViaExclusive RefNature = 1 << iota
+	ViaShared
+)
+
+// Protocol implements the composite-object locking protocols of §7 on top
+// of the lock manager: the hierarchical protocol (lock root class, root
+// instance, then every component class in an O-mode matching the
+// reference nature) and the [GARZ88] root-locking algorithm.
+type Protocol struct {
+	M *Manager
+	E *core.Engine
+}
+
+// NewProtocol returns a protocol bound to a manager and engine.
+func NewProtocol(m *Manager, e *core.Engine) *Protocol {
+	return &Protocol{M: m, E: e}
+}
+
+// ComponentClassInfo walks the composite class hierarchy of rootClass and
+// classifies every component class by the nature of the references
+// reaching it. The lock protocol needs exactly this information ("the
+// component classes of a composite class hierarchy, and the nature of the
+// references to the component classes", §7).
+func (p *Protocol) ComponentClassInfo(rootClass string) (map[string]RefNature, error) {
+	cat := p.E.Catalog()
+	if _, err := cat.Class(rootClass); err != nil {
+		return nil, err
+	}
+	out := map[string]RefNature{}
+	queue := []string{rootClass}
+	visited := map[string]bool{rootClass: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		attrs, err := cat.Attributes(cur)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range attrs {
+			if !spec.Composite {
+				continue
+			}
+			nature := ViaShared
+			if spec.Exclusive {
+				nature = ViaExclusive
+			}
+			for _, comp := range cat.AllSubclasses(spec.Domain.Class) {
+				before := out[comp]
+				out[comp] = before | nature
+				if !visited[comp] {
+					visited[comp] = true
+					queue = append(queue, comp)
+				} else if out[comp] != before {
+					// Nature changed; re-propagation is unnecessary since
+					// nature is per-class, not per-path.
+					_ = comp
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// lockComposite runs the §7 protocol:
+//
+//  1. lock the root's class object in IS (read) or IX (write);
+//  2. lock the composite object's root instance in S (read) or X (write);
+//  3. lock each component class in ISO/IXO when reached via exclusive
+//     references and ISOS/IXOS when reached via shared references (both
+//     modes when reached both ways).
+func (p *Protocol) lockComposite(tx TxID, root uid.UID, write bool) error {
+	cl, err := p.E.ClassOf(root)
+	if err != nil {
+		return err
+	}
+	classMode, instMode := IS, S
+	exclMode, sharedMode := ISO, ISOS
+	if write {
+		classMode, instMode = IX, X
+		exclMode, sharedMode = IXO, IXOS
+	}
+	if err := p.M.Lock(tx, ClassGranule(cl.Name), classMode); err != nil {
+		return err
+	}
+	if err := p.M.Lock(tx, InstanceGranule(root), instMode); err != nil {
+		return err
+	}
+	info, err := p.ComponentClassInfo(cl.Name)
+	if err != nil {
+		return err
+	}
+	// Deterministic order to reduce deadlocks between protocol users.
+	names := make([]string, 0, len(info))
+	for n := range info {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		if info[n]&ViaExclusive != 0 {
+			if err := p.M.Lock(tx, ClassGranule(n), exclMode); err != nil {
+				return err
+			}
+		}
+		if info[n]&ViaShared != 0 {
+			if err := p.M.Lock(tx, ClassGranule(n), sharedMode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// LockCompositeRead locks the composite object rooted at root for reading
+// (§7 example 1: IS on the root class, S on the root instance, ISO/ISOS on
+// the component classes).
+func (p *Protocol) LockCompositeRead(tx TxID, root uid.UID) error {
+	return p.lockComposite(tx, root, false)
+}
+
+// LockCompositeWrite locks the composite object rooted at root for
+// updating (§7 example 2: IX, X, IXO/IXOS).
+func (p *Protocol) LockCompositeWrite(tx TxID, root uid.UID) error {
+	return p.lockComposite(tx, root, true)
+}
+
+// LockInstance locks a single object for direct (non-composite) access:
+// IS/IX on its class, S/X on the instance — the classical granularity
+// protocol.
+func (p *Protocol) LockInstance(tx TxID, obj uid.UID, write bool) error {
+	cl, err := p.E.ClassOf(obj)
+	if err != nil {
+		return err
+	}
+	classMode, instMode := IS, S
+	if write {
+		classMode, instMode = IX, X
+	}
+	if err := p.M.Lock(tx, ClassGranule(cl.Name), classMode); err != nil {
+		return err
+	}
+	return p.M.Lock(tx, InstanceGranule(obj), instMode)
+}
+
+// LockViaRoots implements the [GARZ88] root-locking algorithm: to access a
+// component object directly, lock the root of each composite object
+// containing it (S for read, X for write) instead of the component itself;
+// every component of those composite objects is then implicitly locked.
+//
+// As §7 observes, this algorithm CANNOT be used with shared composite
+// references: two components may belong to overlapping composite objects
+// through different roots, so the implicit locks of two transactions can
+// conflict without any explicit lock conflict. TestRootLockAnomaly
+// demonstrates the failure on the paper's Figure 5.
+func (p *Protocol) LockViaRoots(tx TxID, obj uid.UID, write bool) error {
+	roots, err := p.E.RootsOf(obj)
+	if err != nil {
+		return err
+	}
+	mode := S
+	classMode := IS
+	if write {
+		mode = X
+		classMode = IX
+	}
+	for _, r := range roots {
+		cl, err := p.E.ClassOf(r)
+		if err != nil {
+			return err
+		}
+		if err := p.M.Lock(tx, ClassGranule(cl.Name), classMode); err != nil {
+			return err
+		}
+		if err := p.M.Lock(tx, InstanceGranule(r), mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImplicitHold describes the lock a transaction implicitly holds on an
+// instance because it locked a root covering that instance.
+type ImplicitHold struct {
+	Tx   TxID
+	Obj  uid.UID
+	Root uid.UID
+	Mode Mode
+}
+
+// ImplicitConflicts audits the root-locking algorithm: it expands every
+// explicitly held root S/X lock into the implicit locks on all components
+// of the locked composite object and reports pairs of implicit locks from
+// different transactions that conflict. A sound protocol never lets this
+// return a non-empty slice; [GARZ88] with shared references does.
+func (p *Protocol) ImplicitConflicts(txs []TxID) ([][2]ImplicitHold, error) {
+	var holds []ImplicitHold
+	for _, tx := range txs {
+		for _, rootID := range p.lockedInstances(tx) {
+			var mode Mode
+			switch {
+			case p.M.Holds(tx, InstanceGranule(rootID), X):
+				mode = X
+			case p.M.Holds(tx, InstanceGranule(rootID), S):
+				mode = S
+			default:
+				continue
+			}
+			comps, err := p.E.ComponentsOf(rootID, core.QueryOpts{})
+			if err != nil {
+				return nil, err
+			}
+			holds = append(holds, ImplicitHold{tx, rootID, rootID, mode})
+			for _, c := range comps {
+				holds = append(holds, ImplicitHold{tx, c, rootID, mode})
+			}
+		}
+	}
+	var out [][2]ImplicitHold
+	for i := 0; i < len(holds); i++ {
+		for j := i + 1; j < len(holds); j++ {
+			a, b := holds[i], holds[j]
+			if a.Tx == b.Tx || a.Obj != b.Obj {
+				continue
+			}
+			if !Compatible(a.Mode, b.Mode) {
+				out = append(out, [2]ImplicitHold{a, b})
+			}
+		}
+	}
+	return out, nil
+}
+
+// lockedInstances returns the instance granules tx holds locks on.
+func (p *Protocol) lockedInstances(tx TxID) []uid.UID {
+	p.M.mu.Lock()
+	defer p.M.mu.Unlock()
+	var out []uid.UID
+	for key := range p.M.held[tx] {
+		var c uint32
+		var s uint64
+		if n, err := fmt.Sscanf(key, "obj:%d:%d", &c, &s); n == 2 && err == nil {
+			out = append(out, uid.UID{Class: uid.ClassID(c), Serial: s})
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package lock
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// figure9Engine builds the schema of the paper's Figure 9: composite class
+// hierarchies rooted at classes I, J, K over component classes C and W.
+// Class I reaches C through exclusive references; J and K reach C through
+// shared references; J and K also reach W (through exclusive references).
+func figure9Engine(t *testing.T) *core.Engine {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "W"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "C", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Ws", "W").WithDependent(false),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "I", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Cs", "C").WithDependent(false), // exclusive
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"J", "K"} {
+		if _, err := cat.DefineClass(schema.ClassDef{Name: n, Attributes: []schema.AttrSpec{
+			schema.NewCompositeSetAttr("Cs", "C").WithExclusive(false).WithDependent(false), // shared
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return core.NewEngine(cat)
+}
+
+func TestComponentClassInfo(t *testing.T) {
+	e := figure9Engine(t)
+	p := NewProtocol(NewManager(), e)
+	info, err := p.ComponentClassInfo("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["C"] != ViaExclusive {
+		t.Fatalf("I reaches C via %v, want exclusive", info["C"])
+	}
+	if info["W"] != ViaExclusive {
+		t.Fatalf("I reaches W via %v (through C), want exclusive", info["W"])
+	}
+	info, err = p.ComponentClassInfo("J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["C"] != ViaShared {
+		t.Fatalf("J reaches C via %v, want shared", info["C"])
+	}
+	if info["W"] != ViaExclusive {
+		t.Fatalf("J reaches W via %v, want exclusive", info["W"])
+	}
+	if _, err := p.ComponentClassInfo("Ghost"); err == nil {
+		t.Fatal("ghost class accepted")
+	}
+}
+
+func TestComponentClassInfoBothNatures(t *testing.T) {
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Part"})
+	cat.DefineClass(schema.ClassDef{Name: "Root", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Excl", "Part"),
+		schema.NewCompositeSetAttr("Shared", "Part").WithExclusive(false),
+	}})
+	p := NewProtocol(NewManager(), core.NewEngine(cat))
+	info, err := p.ComponentClassInfo("Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["Part"] != ViaExclusive|ViaShared {
+		t.Fatalf("Part nature = %v, want both", info["Part"])
+	}
+}
+
+// buildFigure9 instantiates: i -> c (exclusive); j -> c', k -> c'
+// (shared); c -> w, c' -> w'.
+type fig9 struct {
+	e            *core.Engine
+	p            *Protocol
+	i, j, k      uid.UID
+	c, cp, w, wp uid.UID
+}
+
+func newFig9(t *testing.T) *fig9 {
+	t.Helper()
+	e := figure9Engine(t)
+	f := &fig9{e: e, p: NewProtocol(NewManager(), e)}
+	mk := func(cl string, attrs map[string]value.Value) uid.UID {
+		o, err := e.New(cl, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	f.w = mk("W", nil)
+	f.wp = mk("W", nil)
+	f.c = mk("C", map[string]value.Value{"Ws": value.RefSet(f.w)})
+	f.cp = mk("C", map[string]value.Value{"Ws": value.RefSet(f.wp)})
+	f.i = mk("I", map[string]value.Value{"Cs": value.RefSet(f.c)})
+	f.j = mk("J", map[string]value.Value{"Cs": value.RefSet(f.cp)})
+	f.k = mk("K", map[string]value.Value{"Cs": value.RefSet(f.cp)})
+	return f
+}
+
+func TestFigure9Protocol(t *testing.T) {
+	// §7 examples 1–3: 1 ∥ 2 compatible, 3 conflicts with both.
+	f := newFig9(t)
+
+	// Example 1: update the composite object rooted at i.
+	if err := f.p.LockCompositeWrite(1, f.i); err != nil {
+		t.Fatal(err)
+	}
+	if !f.p.M.Holds(1, ClassGranule("I"), IX) ||
+		!f.p.M.Holds(1, InstanceGranule(f.i), X) ||
+		!f.p.M.Holds(1, ClassGranule("C"), IXO) {
+		t.Fatal("example 1 lock set wrong")
+	}
+
+	// Example 2: access the composite object rooted at k — compatible.
+	done := make(chan error, 1)
+	go func() { done <- f.p.LockCompositeRead(2, f.k) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("example 2 blocked against example 1; they must be compatible")
+	}
+	if !f.p.M.Holds(2, ClassGranule("C"), ISOS) || !f.p.M.Holds(2, ClassGranule("W"), ISO) {
+		t.Fatal("example 2 lock set wrong")
+	}
+
+	// Example 3: update the composite object rooted at j — must block
+	// (IXOS on C conflicts with 1's IXO and 2's ISOS).
+	if ok := f.p.M.TryLock(3, ClassGranule("C"), IXOS); ok {
+		t.Fatal("example 3 granted alongside examples 1 and 2")
+	}
+
+	// After 1 and 2 finish, example 3 proceeds.
+	f.p.M.ReleaseAll(1)
+	f.p.M.ReleaseAll(2)
+	if err := f.p.LockCompositeWrite(3, f.j); err != nil {
+		t.Fatal(err)
+	}
+	if !f.p.M.Holds(3, ClassGranule("C"), IXOS) || !f.p.M.Holds(3, ClassGranule("W"), IXO) {
+		t.Fatal("example 3 lock set wrong")
+	}
+}
+
+func TestLockInstanceProtocol(t *testing.T) {
+	f := newFig9(t)
+	if err := f.p.LockInstance(1, f.c, false); err != nil {
+		t.Fatal(err)
+	}
+	if !f.p.M.Holds(1, ClassGranule("C"), IS) || !f.p.M.Holds(1, InstanceGranule(f.c), S) {
+		t.Fatal("instance read locks wrong")
+	}
+	if err := f.p.LockInstance(2, f.cp, true); err != nil {
+		t.Fatal(err)
+	}
+	// Direct instance access on c conflicts with a composite writer on I's
+	// hierarchy: ISO-protocol writer would be blocked by tx1's... rather,
+	// a composite writer needs IXO on C, which conflicts with tx1's IS.
+	if ok := f.p.M.TryLock(3, ClassGranule("C"), IXO); ok {
+		t.Fatal("IXO granted despite a direct reader holding IS on C")
+	}
+}
+
+func TestRootLockAnomaly(t *testing.T) {
+	// §7: the [GARZ88] root-locking algorithm breaks under shared
+	// references. Figure 5 topology: j and k share component o'; o is a
+	// root whose composite object also contains q, which k also contains
+	// (shared).
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Leaf"})
+	cat.DefineClass(schema.ClassDef{Name: "Root", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Kids", "Leaf").WithExclusive(false).WithDependent(false),
+	}})
+	e := core.NewEngine(cat)
+	p := NewProtocol(NewManager(), e)
+	mk := func(cl string) uid.UID {
+		o, err := e.New(cl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	op := mk("Leaf") // o' — shared by j and k
+	q := mk("Leaf")  // q — shared by k and o
+	j := mk("Root")
+	k := mk("Root")
+	o := mk("Root")
+	for _, att := range []struct {
+		p, c uid.UID
+	}{{j, op}, {k, op}, {k, q}, {o, q}} {
+		if err := e.Attach(att.p, "Kids", att.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// T1: S lock on o' via roots — locks j and k in S.
+	if err := p.LockViaRoots(1, op, false); err != nil {
+		t.Fatal(err)
+	}
+	if !p.M.Holds(1, InstanceGranule(j), S) || !p.M.Holds(1, InstanceGranule(k), S) {
+		t.Fatal("T1 root locks wrong")
+	}
+	// T2: X lock on o (a root) — granted, no explicit conflict.
+	if err := p.LockViaRoots(2, o, true); err != nil {
+		t.Fatalf("T2 was blocked; the anomaly is that it is NOT: %v", err)
+	}
+	// But the implicit locks conflict on q: T1 implicitly S-locked q (via
+	// k), T2 implicitly X-locked q (via o).
+	conflicts, err := p.ImplicitConflicts([]TxID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, pair := range conflicts {
+		if pair[0].Obj == q && pair[1].Obj == q {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an undetected implicit conflict on q; got %v", conflicts)
+	}
+}
+
+func TestRootLockSoundWithoutSharing(t *testing.T) {
+	// With exclusive references only, the root-lock algorithm is sound:
+	// conflicting accesses meet at the unique root.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Leaf"})
+	cat.DefineClass(schema.ClassDef{Name: "Root", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Kids", "Leaf").WithDependent(false), // exclusive
+	}})
+	e := core.NewEngine(cat)
+	p := NewProtocol(NewManager(), e)
+	r, _ := e.New("Root", nil)
+	l, _ := e.New("Leaf", nil, core.ParentSpec{Parent: r.UID(), Attr: "Kids"})
+
+	if err := p.LockViaRoots(1, l.UID(), false); err != nil {
+		t.Fatal(err)
+	}
+	// A writer of the same component must block at the root.
+	if ok := p.M.TryLock(2, InstanceGranule(r.UID()), X); ok {
+		t.Fatal("X on root granted while reader holds S")
+	}
+	conflicts, err := p.ImplicitConflicts([]TxID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Fatalf("unexpected implicit conflicts: %v", conflicts)
+	}
+}

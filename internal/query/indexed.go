@@ -1,0 +1,63 @@
+package query
+
+import (
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/uid"
+)
+
+// indexableEq extracts (attr, value) from a predicate when it is an
+// equality test on a single-segment path — the shape a hash index can
+// answer. For And, the first indexable conjunct is used.
+func indexableEq(pred Expr, ix *index.Manager, class string) (*cmpExpr, bool) {
+	switch p := pred.(type) {
+	case *cmpExpr:
+		if p.eq && !p.neg && len(p.path.segs) == 1 && ix.Has(class, p.path.segs[0]) {
+			return p, true
+		}
+	case *andExpr:
+		for _, k := range p.kids {
+			if c, ok := indexableEq(k, ix, class); ok {
+				return c, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// SelectIndexed behaves like Select but answers single-attribute equality
+// predicates (or And-conjuncts containing one) from a hash index when one
+// exists, filtering the candidates with the full predicate. Without a
+// usable index it falls back to the extent scan.
+func SelectIndexed(e *core.Engine, ix *index.Manager, class string, deep bool, pred Expr) ([]uid.UID, error) {
+	if pred == nil || ix == nil {
+		return Select(e, class, deep, pred)
+	}
+	c, ok := indexableEq(pred, ix, class)
+	if !ok {
+		return Select(e, class, deep, pred)
+	}
+	candidates, err := ix.Lookup(class, c.path.segs[0], c.want)
+	if err != nil {
+		return Select(e, class, deep, pred)
+	}
+	var out []uid.UID
+	for _, id := range candidates {
+		// The index covers the class and its subclasses; a shallow select
+		// must still exclude subclass instances.
+		if !deep {
+			cl, err := e.ClassOf(id)
+			if err != nil || cl.Name != class {
+				continue
+			}
+		}
+		ok, err := pred.Eval(e, id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+func TestSelectIndexedMatchesScan(t *testing.T) {
+	g := newGarage(t)
+	ix := index.NewManager(g.e)
+	g.e.SetHook(core.MultiHook{ix})
+	if err := ix.CreateIndex("Vehicle", "Color"); err != nil {
+		t.Fatal(err)
+	}
+	preds := []Expr{
+		Attr("Color").Eq(value.Str("red")),
+		And(Attr("Color").Eq(value.Str("red")), Attr("Body").Exists()),
+		Attr("Id").Lt(value.Int(3)), // not indexable: falls back
+		nil,
+	}
+	for i, pred := range preds {
+		scan, err := Select(g.e, "Vehicle", false, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := SelectIndexed(g.e, ix, "Vehicle", false, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scan, fast) {
+			t.Errorf("pred %d: scan %v != indexed %v", i, scan, fast)
+		}
+	}
+}
+
+func TestSelectIndexedShallowExcludesSubclasses(t *testing.T) {
+	g := newGarage(t)
+	ix := index.NewManager(g.e)
+	g.e.SetHook(core.MultiHook{ix})
+	if _, err := g.e.Catalog().DefineClass(schema.ClassDef{Name: "Truck", Superclasses: []string{"Vehicle"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CreateIndex("Vehicle", "Color"); err != nil {
+		t.Fatal(err)
+	}
+	truck, _ := g.e.New("Truck", map[string]value.Value{"Color": value.Str("red")})
+	pred := Attr("Color").Eq(value.Str("red"))
+	shallow, err := SelectIndexed(g.e, ix, "Vehicle", false, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range shallow {
+		if id == truck.UID() {
+			t.Fatal("shallow indexed select leaked a subclass instance")
+		}
+	}
+	deep, _ := SelectIndexed(g.e, ix, "Vehicle", true, pred)
+	found := false
+	for _, id := range deep {
+		if id == truck.UID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deep indexed select missed the subclass instance")
+	}
+}
+
+func TestSelectIndexedNilManagerFallsBack(t *testing.T) {
+	g := newGarage(t)
+	got, err := SelectIndexed(g.e, nil, "Vehicle", false, Attr("Color").Eq(value.Str("red")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uid.UID{g.v1, g.v3}) {
+		t.Fatalf("fallback = %v", got)
+	}
+}

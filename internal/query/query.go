@@ -1,0 +1,353 @@
+// Package query implements associative queries over class extents, in the
+// style of the ORION query model the paper's substrate provides
+// ([BANE87a]): select the instances of a class (optionally including
+// subclass instances) satisfying a predicate, where predicates may follow
+// reference paths through the object graph — including composite
+// references, so a query can ask for "vehicles whose body weighs more
+// than 100" directly against the part hierarchy.
+//
+// Path semantics: a path segment that evaluates to a set of references is
+// traversed existentially (the path denotes every object reachable along
+// it), so Attr("Tires", "Pressure").Lt(30) is true when ANY tire is
+// under-inflated; the All quantifier expresses the universal form.
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// Sentinel errors.
+var (
+	ErrBadPath = errors.New("query: path does not name a reference attribute")
+	ErrBadCmp  = errors.New("query: values not comparable")
+)
+
+// Expr is a boolean predicate over an object.
+type Expr interface {
+	Eval(e *core.Engine, id uid.UID) (bool, error)
+}
+
+// Path names an attribute path from the candidate object, e.g.
+// Attr("Body", "Weight").
+type Path struct {
+	segs []string
+}
+
+// Attr builds a path.
+func Attr(segs ...string) *Path { return &Path{segs: segs} }
+
+// values returns every value the path denotes from id (existential
+// traversal through reference sets).
+func (p *Path) values(e *core.Engine, id uid.UID) ([]value.Value, error) {
+	cur := []uid.UID{id}
+	for i, seg := range p.segs {
+		last := i == len(p.segs)-1
+		var nextVals []value.Value
+		var nextIDs []uid.UID
+		for _, o := range cur {
+			obj, err := e.Get(o)
+			if err != nil {
+				continue // dangling weak reference along the path
+			}
+			v := obj.Get(seg)
+			if v.IsNil() {
+				continue
+			}
+			if last {
+				nextVals = append(nextVals, v)
+				continue
+			}
+			refs := v.Refs(nil)
+			if len(refs) == 0 {
+				return nil, fmt.Errorf("segment %q of %v: %w", seg, p.segs, ErrBadPath)
+			}
+			nextIDs = append(nextIDs, refs...)
+		}
+		if last {
+			return nextVals, nil
+		}
+		cur = nextIDs
+	}
+	return nil, nil
+}
+
+// compare orders two scalar values; ok=false when incomparable.
+func compare(a, b value.Value) (int, bool) {
+	switch a.Kind() {
+	case value.KindInt:
+		ai, _ := a.AsInt()
+		switch b.Kind() {
+		case value.KindInt:
+			bi, _ := b.AsInt()
+			switch {
+			case ai < bi:
+				return -1, true
+			case ai > bi:
+				return 1, true
+			}
+			return 0, true
+		case value.KindReal:
+			bf, _ := b.AsReal()
+			return cmpFloat(float64(ai), bf), true
+		}
+	case value.KindReal:
+		af, _ := a.AsReal()
+		switch b.Kind() {
+		case value.KindInt:
+			bi, _ := b.AsInt()
+			return cmpFloat(af, float64(bi)), true
+		case value.KindReal:
+			bf, _ := b.AsReal()
+			return cmpFloat(af, bf), true
+		}
+	case value.KindString:
+		if b.Kind() == value.KindString {
+			as, _ := a.AsString()
+			bs, _ := b.AsString()
+			switch {
+			case as < bs:
+				return -1, true
+			case as > bs:
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// cmpExpr compares the path's denoted values against a constant.
+type cmpExpr struct {
+	path *Path
+	want value.Value
+	ok   func(int) bool
+	eq   bool // use Equal instead of ordering (Eq/Ne over any kind)
+	neg  bool
+}
+
+func (c *cmpExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	vals, err := c.path.values(e, id)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range vals {
+		// A set-valued terminal attribute denotes its elements.
+		elems := []value.Value{v}
+		if v.IsCollection() {
+			elems = v.Elems()
+		}
+		for _, ev := range elems {
+			if c.eq {
+				if ev.Equal(c.want) != c.neg {
+					return true, nil
+				}
+				continue
+			}
+			r, ok := compare(ev, c.want)
+			if !ok {
+				return false, fmt.Errorf("%v vs %v: %w", ev.Kind(), c.want.Kind(), ErrBadCmp)
+			}
+			if c.ok(r) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Eq matches when some denoted value equals v (deep equality; works for
+// references and collections too).
+func (p *Path) Eq(v value.Value) Expr { return &cmpExpr{path: p, want: v, eq: true} }
+
+// Ne matches when some denoted value differs from v.
+func (p *Path) Ne(v value.Value) Expr { return &cmpExpr{path: p, want: v, eq: true, neg: true} }
+
+// Lt matches when some denoted value is less than v.
+func (p *Path) Lt(v value.Value) Expr {
+	return &cmpExpr{path: p, want: v, ok: func(r int) bool { return r < 0 }}
+}
+
+// Le matches when some denoted value is at most v.
+func (p *Path) Le(v value.Value) Expr {
+	return &cmpExpr{path: p, want: v, ok: func(r int) bool { return r <= 0 }}
+}
+
+// Gt matches when some denoted value exceeds v.
+func (p *Path) Gt(v value.Value) Expr {
+	return &cmpExpr{path: p, want: v, ok: func(r int) bool { return r > 0 }}
+}
+
+// Ge matches when some denoted value is at least v.
+func (p *Path) Ge(v value.Value) Expr {
+	return &cmpExpr{path: p, want: v, ok: func(r int) bool { return r >= 0 }}
+}
+
+// existsExpr matches when the path denotes at least one non-nil value.
+type existsExpr struct{ path *Path }
+
+func (x *existsExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	vals, err := x.path.values(e, id)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range vals {
+		if !v.IsNil() && (!v.IsCollection() || v.Len() > 0) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Exists matches when the path denotes any value.
+func (p *Path) Exists() Expr { return &existsExpr{path: p} }
+
+// quantExpr applies a sub-predicate to the objects a reference path
+// denotes.
+type quantExpr struct {
+	path *Path
+	sub  Expr
+	all  bool
+}
+
+func (q *quantExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	vals, err := q.path.values(e, id)
+	if err != nil {
+		return false, err
+	}
+	var refs []uid.UID
+	for _, v := range vals {
+		refs = v.Refs(refs)
+	}
+	if q.all {
+		for _, r := range refs {
+			ok, err := q.sub.Eval(e, r)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, r := range refs {
+		ok, err := q.sub.Eval(e, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Any matches when some object the path references satisfies sub.
+func (p *Path) Any(sub Expr) Expr { return &quantExpr{path: p, sub: sub} }
+
+// All matches when every object the path references satisfies sub
+// (vacuously true for none).
+func (p *Path) All(sub Expr) Expr { return &quantExpr{path: p, sub: sub, all: true} }
+
+// Boolean connectives.
+
+type andExpr struct{ kids []Expr }
+
+func (a *andExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	for _, k := range a.kids {
+		ok, err := k.Eval(e, id)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// And matches when every sub-predicate matches.
+func And(kids ...Expr) Expr { return &andExpr{kids: kids} }
+
+type orExpr struct{ kids []Expr }
+
+func (o *orExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	for _, k := range o.kids {
+		ok, err := k.Eval(e, id)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Or matches when any sub-predicate matches.
+func Or(kids ...Expr) Expr { return &orExpr{kids: kids} }
+
+type notExpr struct{ kid Expr }
+
+func (n *notExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	ok, err := n.kid.Eval(e, id)
+	return !ok, err
+}
+
+// Not negates a predicate.
+func Not(kid Expr) Expr { return &notExpr{kid: kid} }
+
+// trueExpr matches everything.
+type trueExpr struct{}
+
+func (trueExpr) Eval(*core.Engine, uid.UID) (bool, error) { return true, nil }
+
+// True matches every object (select all).
+func True() Expr { return trueExpr{} }
+
+// componentOfExpr matches objects that are components of a given object.
+type componentOfExpr struct{ of uid.UID }
+
+func (c *componentOfExpr) Eval(e *core.Engine, id uid.UID) (bool, error) {
+	return e.ComponentOf(id, c.of)
+}
+
+// ComponentOf matches objects in the component set of the given composite
+// object — the §3 relationship as a query predicate.
+func ComponentOf(of uid.UID) Expr { return &componentOfExpr{of: of} }
+
+// Select returns the instances of class (and of its subclasses when deep)
+// satisfying pred, in UID order.
+func Select(e *core.Engine, class string, deep bool, pred Expr) ([]uid.UID, error) {
+	if pred == nil {
+		pred = True()
+	}
+	ext, err := e.Extent(class, deep)
+	if err != nil {
+		return nil, err
+	}
+	var out []uid.UID
+	for _, id := range ext {
+		ok, err := pred.Eval(e, id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

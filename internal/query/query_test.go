@@ -1,0 +1,272 @@
+package query
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// garage builds a small vehicle fleet:
+//
+//	v1 red,  Id 1, body w=120, tires psi {30, 32}
+//	v2 blue, Id 2, body w=80,  tires psi {28}
+//	v3 red,  Id 3, no body,    no tires
+type garage struct {
+	e          *core.Engine
+	v1, v2, v3 uid.UID
+	b1, b2     uid.UID
+}
+
+func newGarage(t *testing.T) *garage {
+	t.Helper()
+	cat := schema.NewCatalog()
+	mustDef := func(def schema.ClassDef) {
+		if _, err := cat.DefineClass(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDef(schema.ClassDef{Name: "AutoBody", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Weight", schema.IntDomain),
+	}})
+	mustDef(schema.ClassDef{Name: "Tire", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Psi", schema.IntDomain),
+	}})
+	mustDef(schema.ClassDef{Name: "Vehicle", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Id", schema.IntDomain),
+		schema.NewAttr("Color", schema.StringDomain),
+		schema.NewCompositeAttr("Body", "AutoBody").WithDependent(false),
+		schema.NewCompositeSetAttr("Tires", "Tire").WithDependent(false),
+	}})
+	e := core.NewEngine(cat)
+	g := &garage{e: e}
+	mk := func(cl string, attrs map[string]value.Value) uid.UID {
+		o, err := e.New(cl, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	g.b1 = mk("AutoBody", map[string]value.Value{"Weight": value.Int(120)})
+	g.b2 = mk("AutoBody", map[string]value.Value{"Weight": value.Int(80)})
+	t1 := mk("Tire", map[string]value.Value{"Psi": value.Int(30)})
+	t2 := mk("Tire", map[string]value.Value{"Psi": value.Int(32)})
+	t3 := mk("Tire", map[string]value.Value{"Psi": value.Int(28)})
+	g.v1 = mk("Vehicle", map[string]value.Value{
+		"Id": value.Int(1), "Color": value.Str("red"),
+		"Body": value.Ref(g.b1), "Tires": value.RefSet(t1, t2),
+	})
+	g.v2 = mk("Vehicle", map[string]value.Value{
+		"Id": value.Int(2), "Color": value.Str("blue"),
+		"Body": value.Ref(g.b2), "Tires": value.RefSet(t3),
+	})
+	g.v3 = mk("Vehicle", map[string]value.Value{
+		"Id": value.Int(3), "Color": value.Str("red"),
+	})
+	return g
+}
+
+func sel(t *testing.T, g *garage, pred Expr) []uid.UID {
+	t.Helper()
+	out, err := Select(g.e, "Vehicle", false, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSelectAll(t *testing.T) {
+	g := newGarage(t)
+	got := sel(t, g, nil)
+	if len(got) != 3 {
+		t.Fatalf("all = %v", got)
+	}
+	got = sel(t, g, True())
+	if len(got) != 3 {
+		t.Fatalf("True = %v", got)
+	}
+}
+
+func TestScalarComparisons(t *testing.T) {
+	g := newGarage(t)
+	cases := []struct {
+		pred Expr
+		want []uid.UID
+	}{
+		{Attr("Color").Eq(value.Str("red")), []uid.UID{g.v1, g.v3}},
+		{Attr("Color").Ne(value.Str("red")), []uid.UID{g.v2}},
+		{Attr("Id").Lt(value.Int(3)), []uid.UID{g.v1, g.v2}},
+		{Attr("Id").Le(value.Int(1)), []uid.UID{g.v1}},
+		{Attr("Id").Gt(value.Int(2)), []uid.UID{g.v3}},
+		{Attr("Id").Ge(value.Int(2)), []uid.UID{g.v2, g.v3}},
+	}
+	for i, c := range cases {
+		got := sel(t, g, c.pred)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPathThroughCompositeReference(t *testing.T) {
+	g := newGarage(t)
+	// "vehicles whose body weighs more than 100"
+	got := sel(t, g, Attr("Body", "Weight").Gt(value.Int(100)))
+	if !reflect.DeepEqual(got, []uid.UID{g.v1}) {
+		t.Fatalf("heavy vehicles = %v", got)
+	}
+	// v3 has no body: path denotes nothing, never matches.
+	got = sel(t, g, Attr("Body", "Weight").Ge(value.Int(0)))
+	if len(got) != 2 {
+		t.Fatalf("bodied vehicles = %v", got)
+	}
+}
+
+func TestPathThroughSetExistential(t *testing.T) {
+	g := newGarage(t)
+	// "vehicles with any tire under 30 psi" — existential through the set.
+	got := sel(t, g, Attr("Tires", "Psi").Lt(value.Int(30)))
+	if !reflect.DeepEqual(got, []uid.UID{g.v2}) {
+		t.Fatalf("underinflated = %v", got)
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	g := newGarage(t)
+	// All tires at least 30 psi: v1 (30,32) yes; v2 (28) no; v3 vacuously.
+	got := sel(t, g, Attr("Tires").All(Attr("Psi").Ge(value.Int(30))))
+	if !reflect.DeepEqual(got, []uid.UID{g.v1, g.v3}) {
+		t.Fatalf("all>=30 = %v", got)
+	}
+	// Any tire over 31.
+	got = sel(t, g, Attr("Tires").Any(Attr("Psi").Gt(value.Int(31)))) // v1's 32
+	if !reflect.DeepEqual(got, []uid.UID{g.v1}) {
+		t.Fatalf("any>31 = %v", got)
+	}
+}
+
+func TestExists(t *testing.T) {
+	g := newGarage(t)
+	got := sel(t, g, Attr("Body").Exists())
+	if !reflect.DeepEqual(got, []uid.UID{g.v1, g.v2}) {
+		t.Fatalf("has body = %v", got)
+	}
+	got = sel(t, g, Not(Attr("Body").Exists()))
+	if !reflect.DeepEqual(got, []uid.UID{g.v3}) {
+		t.Fatalf("bodyless = %v", got)
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	g := newGarage(t)
+	got := sel(t, g, And(
+		Attr("Color").Eq(value.Str("red")),
+		Attr("Body").Exists(),
+	))
+	if !reflect.DeepEqual(got, []uid.UID{g.v1}) {
+		t.Fatalf("red with body = %v", got)
+	}
+	got = sel(t, g, Or(
+		Attr("Id").Eq(value.Int(2)),
+		Attr("Id").Eq(value.Int(3)),
+	))
+	if !reflect.DeepEqual(got, []uid.UID{g.v2, g.v3}) {
+		t.Fatalf("2 or 3 = %v", got)
+	}
+	// Empty And is true; empty Or is false.
+	if got := sel(t, g, And()); len(got) != 3 {
+		t.Fatalf("And() = %v", got)
+	}
+	if got := sel(t, g, Or()); len(got) != 0 {
+		t.Fatalf("Or() = %v", got)
+	}
+}
+
+func TestRefEquality(t *testing.T) {
+	g := newGarage(t)
+	got := sel(t, g, Attr("Body").Eq(value.Ref(g.b1)))
+	if !reflect.DeepEqual(got, []uid.UID{g.v1}) {
+		t.Fatalf("body==b1 = %v", got)
+	}
+}
+
+func TestComponentOfPredicate(t *testing.T) {
+	g := newGarage(t)
+	got, err := Select(g.e, "Tire", false, ComponentOf(g.v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("tires of v1 = %v", got)
+	}
+}
+
+func TestDeepSelectIncludesSubclasses(t *testing.T) {
+	g := newGarage(t)
+	if _, err := g.e.Catalog().DefineClass(schema.ClassDef{
+		Name: "Truck", Superclasses: []string{"Vehicle"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	truck, _ := g.e.New("Truck", map[string]value.Value{"Color": value.Str("red")})
+	got, err := Select(g.e, "Vehicle", true, Attr("Color").Eq(value.Str("red")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range got {
+		if id == truck.UID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deep select missed subclass instance: %v", got)
+	}
+	shallow, _ := Select(g.e, "Vehicle", false, Attr("Color").Eq(value.Str("red")))
+	if len(shallow) != 2 {
+		t.Fatalf("shallow select = %v", shallow)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := newGarage(t)
+	// Incomparable kinds.
+	if _, err := Select(g.e, "Vehicle", false, Attr("Color").Gt(value.Int(1))); !errors.Is(err, ErrBadCmp) {
+		t.Fatalf("incomparable: %v", err)
+	}
+	// Path through a primitive.
+	if _, err := Select(g.e, "Vehicle", false, Attr("Color", "Deeper").Eq(value.Int(1))); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("bad path: %v", err)
+	}
+	// Unknown class.
+	if _, err := Select(g.e, "Ghost", false, True()); err == nil {
+		t.Fatal("ghost class accepted")
+	}
+}
+
+func TestDanglingWeakRefsSkipped(t *testing.T) {
+	// A dangling weak reference along a path is skipped, not an error.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "T", Attributes: []schema.AttrSpec{
+		schema.NewAttr("N", schema.IntDomain),
+	}})
+	cat.DefineClass(schema.ClassDef{Name: "H", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Ref", schema.ClassDomain("T")),
+	}})
+	e := core.NewEngine(cat)
+	tgt, _ := e.New("T", map[string]value.Value{"N": value.Int(5)})
+	h, _ := e.New("H", map[string]value.Value{"Ref": value.Ref(tgt.UID())})
+	e.Delete(tgt.UID()) // weak ref now dangles
+	got, err := Select(e, "H", false, Attr("Ref", "N").Eq(value.Int(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("dangling path matched: %v", got)
+	}
+	_ = h
+}

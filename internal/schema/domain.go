@@ -1,0 +1,197 @@
+// Package schema implements the metaobject catalog: class definitions
+// with ORION-style multiple inheritance, attribute specifications carrying
+// the paper's :composite/:exclusive/:dependent keywords (§2.3), the
+// composite class hierarchy, the class predicates of §3.2, and the schema
+// evolution taxonomy of §4 including deferred application via per-class
+// operation logs and change counts (§4.3).
+//
+// Go has no class inheritance, so the ORION class lattice is data, not
+// types: a Catalog maps class names to Class metaobjects and computes
+// effective (inherited) attributes on demand.
+package schema
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// DomainKind says whether an attribute draws its values from a primitive
+// domain or from a class (making its values references).
+type DomainKind uint8
+
+// Domain kinds.
+const (
+	DomainPrimitive DomainKind = iota
+	DomainClass
+)
+
+// Domain is the value domain of an attribute.
+type Domain struct {
+	Kind  DomainKind
+	Prim  value.Kind // when Kind == DomainPrimitive
+	Class string     // when Kind == DomainClass
+}
+
+// PrimDomain returns a primitive domain.
+func PrimDomain(k value.Kind) Domain { return Domain{Kind: DomainPrimitive, Prim: k} }
+
+// ClassDomain returns a class-valued domain.
+func ClassDomain(name string) Domain { return Domain{Kind: DomainClass, Class: name} }
+
+// Convenience primitive domains matching the paper's examples.
+var (
+	IntDomain    = PrimDomain(value.KindInt)
+	RealDomain   = PrimDomain(value.KindReal)
+	StringDomain = PrimDomain(value.KindString)
+	BoolDomain   = PrimDomain(value.KindBool)
+)
+
+// String renders the domain as in a class definition.
+func (d Domain) String() string {
+	if d.Kind == DomainPrimitive {
+		return d.Prim.String()
+	}
+	return d.Class
+}
+
+// AttrSpec is an attribute specification: the paper's
+//
+//	(AttributeName :domain D [:set-of] :composite T :exclusive T :dependent T)
+//
+// For composite attributes the paper's defaults are exclusive=true and
+// dependent=true, "to be compatible with the semantics of composite
+// objects currently supported in ORION" (§2.3); NewCompositeAttr applies
+// those defaults.
+type AttrSpec struct {
+	Name      string
+	Domain    Domain
+	SetOf     bool        // :domain (set-of X)
+	Composite bool        // :composite true
+	Exclusive bool        // :exclusive true (composite only)
+	Dependent bool        // :dependent true (composite only)
+	Initial   value.Value // :init InitialValue
+	Doc       string      // :document
+}
+
+// NewAttr returns a weak-reference or primitive attribute spec.
+func NewAttr(name string, d Domain) AttrSpec {
+	return AttrSpec{Name: name, Domain: d}
+}
+
+// NewSetAttr returns a set-valued attribute spec.
+func NewSetAttr(name string, d Domain) AttrSpec {
+	return AttrSpec{Name: name, Domain: d, SetOf: true}
+}
+
+// NewCompositeAttr returns a composite attribute spec with the paper's
+// defaults (exclusive and dependent both true).
+func NewCompositeAttr(name string, class string) AttrSpec {
+	return AttrSpec{
+		Name: name, Domain: ClassDomain(class),
+		Composite: true, Exclusive: true, Dependent: true,
+	}
+}
+
+// NewCompositeSetAttr returns a set-valued composite attribute spec with
+// the paper's defaults.
+func NewCompositeSetAttr(name string, class string) AttrSpec {
+	a := NewCompositeAttr(name, class)
+	a.SetOf = true
+	return a
+}
+
+// WithExclusive sets the :exclusive keyword and returns the spec.
+func (a AttrSpec) WithExclusive(x bool) AttrSpec { a.Exclusive = x; return a }
+
+// WithDependent sets the :dependent keyword and returns the spec.
+func (a AttrSpec) WithDependent(d bool) AttrSpec { a.Dependent = d; return a }
+
+// WithInitial sets the :init keyword and returns the spec.
+func (a AttrSpec) WithInitial(v value.Value) AttrSpec { a.Initial = v; return a }
+
+// Validate rejects malformed specs (composite with primitive domain, etc.).
+func (a AttrSpec) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("schema: attribute with empty name")
+	}
+	if a.Composite && a.Domain.Kind != DomainClass {
+		return fmt.Errorf("schema: composite attribute %q must have a class domain", a.Name)
+	}
+	if a.Domain.Kind == DomainPrimitive {
+		switch a.Domain.Prim {
+		case value.KindInt, value.KindReal, value.KindString, value.KindBool:
+		default:
+			return fmt.Errorf("schema: attribute %q: invalid primitive domain %v", a.Name, a.Domain.Prim)
+		}
+	}
+	return nil
+}
+
+// RefKind classifies the five reference types of §2.1 as carried by an
+// attribute specification.
+type RefKind uint8
+
+// The five reference types of §2.1. NonRef covers primitive-domain
+// attributes, which reference nothing.
+const (
+	NonRef RefKind = iota
+	WeakRef
+	DependentExclusive
+	IndependentExclusive
+	DependentShared
+	IndependentShared
+)
+
+// String names the reference kind as in the paper.
+func (k RefKind) String() string {
+	switch k {
+	case NonRef:
+		return "non-reference"
+	case WeakRef:
+		return "weak"
+	case DependentExclusive:
+		return "dependent exclusive composite"
+	case IndependentExclusive:
+		return "independent exclusive composite"
+	case DependentShared:
+		return "dependent shared composite"
+	case IndependentShared:
+		return "independent shared composite"
+	default:
+		return fmt.Sprintf("refkind(%d)", uint8(k))
+	}
+}
+
+// IsComposite reports whether the kind carries IS-PART-OF semantics.
+func (k RefKind) IsComposite() bool { return k >= DependentExclusive }
+
+// IsExclusive reports whether the kind is an exclusive composite reference.
+func (k RefKind) IsExclusive() bool {
+	return k == DependentExclusive || k == IndependentExclusive
+}
+
+// IsDependent reports whether the kind is a dependent composite reference.
+func (k RefKind) IsDependent() bool {
+	return k == DependentExclusive || k == DependentShared
+}
+
+// RefKind returns the reference type the attribute imposes on its values.
+func (a AttrSpec) RefKind() RefKind {
+	if a.Domain.Kind != DomainClass {
+		return NonRef
+	}
+	if !a.Composite {
+		return WeakRef
+	}
+	switch {
+	case a.Exclusive && a.Dependent:
+		return DependentExclusive
+	case a.Exclusive:
+		return IndependentExclusive
+	case a.Dependent:
+		return DependentShared
+	default:
+		return IndependentShared
+	}
+}

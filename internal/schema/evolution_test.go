@@ -1,0 +1,382 @@
+package schema
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+)
+
+// evoCatalog: class Cp (C') with composite attribute A whose domain is C,
+// matching the notation of §4.2–4.3.
+func evoCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	if _, err := c.DefineClass(ClassDef{Name: "C"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineClass(ClassDef{
+		Name:       "Cp",
+		Attributes: []AttrSpec{NewCompositeAttr("A", "C")}, // dependent exclusive (defaults)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChangeI1DropComposite(t *testing.T) {
+	c := evoCatalog(t)
+	e, err := c.ChangeAttributeType("Cp", "A", ChangeDropComposite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.OwnerClass != "Cp" || e.Attr != "A" || e.Kind != ChangeDropComposite {
+		t.Fatalf("entry = %+v", e)
+	}
+	a, _ := c.Attribute("Cp", "A")
+	if a.Composite {
+		t.Fatal("A still composite after I1")
+	}
+	if a.RefKind() != WeakRef {
+		t.Fatalf("RefKind = %v", a.RefKind())
+	}
+	// I2 on a non-composite attribute is an error.
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToShared, false); err == nil {
+		t.Fatal("I2 of non-composite accepted")
+	}
+}
+
+func TestChangeI2I3I4(t *testing.T) {
+	c := evoCatalog(t)
+	// I2: exclusive -> shared.
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToShared, false); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Attribute("Cp", "A")
+	if a.RefKind() != DependentShared {
+		t.Fatalf("after I2: %v", a.RefKind())
+	}
+	// I2 again fails (already shared).
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToShared, false); err == nil {
+		t.Fatal("double I2 accepted")
+	}
+	// I3: dependent -> independent.
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToIndependent, false); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = c.Attribute("Cp", "A")
+	if a.RefKind() != IndependentShared {
+		t.Fatalf("after I3: %v", a.RefKind())
+	}
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToIndependent, false); err == nil {
+		t.Fatal("double I3 accepted")
+	}
+	// I4: independent -> dependent.
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToDependent, false); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = c.Attribute("Cp", "A")
+	if a.RefKind() != DependentShared {
+		t.Fatalf("after I4: %v", a.RefKind())
+	}
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToDependent, false); err == nil {
+		t.Fatal("double I4 accepted")
+	}
+}
+
+func TestDeferredChangeAppliesLazily(t *testing.T) {
+	c := evoCatalog(t)
+	cp, _ := c.Class("Cp")
+	cc, _ := c.Class("C")
+
+	// An existing instance of C with a DX reverse ref from a Cp parent.
+	o := object.New(uid.UID{Class: cc.ID, Serial: 1})
+	o.AddReverse(object.ReverseRef{
+		Parent: uid.UID{Class: cp.ID, Serial: 1}, Dependent: true, Exclusive: true,
+	})
+	o.SetCC(c.CurrentCC())
+
+	// Deferred I2 then deferred I3.
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToShared, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToIndependent, true); err != nil {
+		t.Fatal(err)
+	}
+	// Spec is updated immediately even in deferred mode.
+	a, _ := c.Attribute("Cp", "A")
+	if a.RefKind() != IndependentShared {
+		t.Fatalf("spec after deferred changes: %v", a.RefKind())
+	}
+	// Instance flags are stale until ApplyPending.
+	r := o.Reverse()[0]
+	if !r.Dependent || !r.Exclusive {
+		t.Fatal("instance flags changed eagerly in deferred mode")
+	}
+	if n := c.ApplyPending("C", o); n != 2 {
+		t.Fatalf("ApplyPending applied %d entries, want 2", n)
+	}
+	r = o.Reverse()[0]
+	if r.Dependent || r.Exclusive {
+		t.Fatalf("flags after ApplyPending = %+v", r)
+	}
+	if o.CC() != c.CurrentCC() {
+		t.Fatalf("CC stamp = %d, want %d", o.CC(), c.CurrentCC())
+	}
+	// Idempotent: nothing more to apply.
+	if n := c.ApplyPending("C", o); n != 0 {
+		t.Fatalf("second ApplyPending applied %d", n)
+	}
+}
+
+func TestDeferredChangeSkipsNewInstances(t *testing.T) {
+	c := evoCatalog(t)
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToShared, true); err != nil {
+		t.Fatal(err)
+	}
+	cc, _ := c.Class("C")
+	cp, _ := c.Class("Cp")
+	// An instance created after the change is stamped with the current CC;
+	// its reverse refs were written under the new spec already.
+	o := object.New(uid.UID{Class: cc.ID, Serial: 2})
+	o.SetCC(c.CurrentCC())
+	o.AddReverse(object.ReverseRef{Parent: uid.UID{Class: cp.ID, Serial: 9}, Dependent: true, Exclusive: false})
+	if n := c.ApplyPending("C", o); n != 0 {
+		t.Fatalf("change issued before creation applied to new instance: %d", n)
+	}
+	if o.Reverse()[0].Exclusive {
+		t.Fatal("flags clobbered")
+	}
+}
+
+func TestDeferredDropCompositeRemovesReverse(t *testing.T) {
+	c := evoCatalog(t)
+	cp, _ := c.Class("Cp")
+	cc, _ := c.Class("C")
+	o := object.New(uid.UID{Class: cc.ID, Serial: 1})
+	o.AddReverse(object.ReverseRef{Parent: uid.UID{Class: cp.ID, Serial: 1}, Dependent: true, Exclusive: true})
+	// A reverse ref from an unrelated class must be untouched.
+	other, _ := c.DefineClass(ClassDef{Name: "Other", Attributes: []AttrSpec{NewCompositeAttr("B", "C").WithExclusive(false)}})
+	o.AddReverse(object.ReverseRef{Parent: uid.UID{Class: other.ID, Serial: 5}, Dependent: true, Exclusive: false})
+
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeDropComposite, true); err != nil {
+		t.Fatal(err)
+	}
+	c.ApplyPending("C", o)
+	if len(o.Reverse()) != 1 {
+		t.Fatalf("reverse refs = %v", o.Reverse())
+	}
+	if o.Reverse()[0].Parent.Class != other.ID {
+		t.Fatal("wrong reverse ref removed")
+	}
+}
+
+func TestPendingViaSuperclass(t *testing.T) {
+	// References typed by class C may point to instances of a subclass D;
+	// pending entries logged under C must reach instances of D.
+	c := evoCatalog(t)
+	cp, _ := c.Class("Cp")
+	d, err := c.DefineClass(ClassDef{Name: "D", Superclasses: []string{"C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := object.New(uid.UID{Class: d.ID, Serial: 1})
+	o.AddReverse(object.ReverseRef{Parent: uid.UID{Class: cp.ID, Serial: 1}, Dependent: true, Exclusive: true})
+	if _, err := c.ChangeAttributeType("Cp", "A", ChangeToShared, true); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.ApplyPending("D", o); n != 1 {
+		t.Fatalf("applied %d entries to subclass instance", n)
+	}
+	if o.Reverse()[0].Exclusive {
+		t.Fatal("X flag not cleared on subclass instance")
+	}
+}
+
+func TestUpdateAttributeFlags(t *testing.T) {
+	c := NewCatalog()
+	c.DefineClass(ClassDef{Name: "C"})
+	c.DefineClass(ClassDef{Name: "Cp", Attributes: []AttrSpec{
+		NewAttr("A", ClassDomain("C")), // weak
+		NewAttr("n", IntDomain),
+	}})
+	// D2: weak -> shared composite (engine verified preconditions).
+	if err := c.UpdateAttributeFlags("Cp", "A", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Attribute("Cp", "A")
+	if a.RefKind() != IndependentShared {
+		t.Fatalf("after D2: %v", a.RefKind())
+	}
+	// D3: shared -> exclusive.
+	if err := c.UpdateAttributeFlags("Cp", "A", true, true, false); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = c.Attribute("Cp", "A")
+	if a.RefKind() != IndependentExclusive {
+		t.Fatalf("after D3: %v", a.RefKind())
+	}
+	// Primitive attribute cannot become composite.
+	if err := c.UpdateAttributeFlags("Cp", "n", true, true, true); err == nil {
+		t.Fatal("composite over primitive accepted")
+	}
+	if err := c.UpdateAttributeFlags("Cp", "ghost", true, true, true); !errors.Is(err, ErrNoAttr) {
+		t.Fatalf("ghost attr: %v", err)
+	}
+}
+
+func TestAddDropAttribute(t *testing.T) {
+	c := evoCatalog(t)
+	if err := c.AddAttribute("Cp", NewAttr("extra", IntDomain)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Attribute("Cp", "extra"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddAttribute("Cp", NewAttr("extra", IntDomain)); !errors.Is(err, ErrDupAttr) {
+		t.Fatalf("dup add: %v", err)
+	}
+	if err := c.AddAttribute("Cp", NewAttr("bad", ClassDomain("Ghost"))); !errors.Is(err, ErrNoClass) {
+		t.Fatalf("bad domain: %v", err)
+	}
+	spec, err := c.DropAttribute("Cp", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Composite || spec.Domain.Class != "C" {
+		t.Fatalf("dropped spec = %+v", spec)
+	}
+	if _, err := c.Attribute("Cp", "A"); !errors.Is(err, ErrNoAttr) {
+		t.Fatalf("attr still visible: %v", err)
+	}
+	if _, err := c.DropAttribute("Cp", "A"); !errors.Is(err, ErrNoAttr) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestDropInheritedAttributeRejected(t *testing.T) {
+	c := evoCatalog(t)
+	if _, err := c.DefineClass(ClassDef{Name: "Sub", Superclasses: []string{"Cp"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DropAttribute("Sub", "A"); !errors.Is(err, ErrInherited) {
+		t.Fatalf("drop of inherited attr: %v", err)
+	}
+	// Dropping on the defining class propagates to the subclass.
+	if _, err := c.DropAttribute("Cp", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Attribute("Sub", "A"); !errors.Is(err, ErrNoAttr) {
+		t.Fatal("subclass still sees dropped attribute")
+	}
+}
+
+func TestAddRemoveSuperclass(t *testing.T) {
+	c := NewCatalog()
+	c.DefineClass(ClassDef{Name: "P1", Attributes: []AttrSpec{NewAttr("a", IntDomain)}})
+	c.DefineClass(ClassDef{Name: "P2", Attributes: []AttrSpec{NewAttr("a", StringDomain), NewAttr("b", IntDomain)}})
+	c.DefineClass(ClassDef{Name: "C", Superclasses: []string{"P1", "P2"}})
+
+	// Removing P1 loses nothing named "a" (P2 also provides it) — the lost
+	// list is empty because every name is still available.
+	lost, err := c.RemoveSuperclass("C", "P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 0 {
+		t.Fatalf("lost = %v, want none (P2 provides a)", lost)
+	}
+	// But the inherited spec for "a" now comes from P2.
+	a, _ := c.Attribute("C", "a")
+	if a.Domain != StringDomain {
+		t.Fatalf("a now = %v, want P2's string", a.Domain)
+	}
+	// Removing P2 loses both a and b.
+	lost, err = c.RemoveSuperclass("C", "P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != 2 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if err := func() error { _, err := c.RemoveSuperclass("C", "P2"); return err }(); !errors.Is(err, ErrNotSuper) {
+		t.Fatalf("remove absent super: %v", err)
+	}
+	// Re-add.
+	if err := c.AddSuperclass("C", "P1"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsA("C", "P1") {
+		t.Fatal("AddSuperclass did not take")
+	}
+	// Cycle rejected.
+	if err := c.AddSuperclass("P1", "C"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle: %v", err)
+	}
+	// Duplicate add is a no-op.
+	if err := c.AddSuperclass("C", "P1"); err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := c.Class("C")
+	if len(cl.Superclasses) != 1 {
+		t.Fatalf("superclasses = %v", cl.Superclasses)
+	}
+}
+
+func TestDropClassLatticeSurgery(t *testing.T) {
+	c := NewCatalog()
+	c.DefineClass(ClassDef{Name: "Top", Attributes: []AttrSpec{NewAttr("t", IntDomain)}})
+	c.DefineClass(ClassDef{Name: "Mid", Superclasses: []string{"Top"}, Attributes: []AttrSpec{NewAttr("m", IntDomain)}})
+	c.DefineClass(ClassDef{Name: "Leaf", Superclasses: []string{"Mid"}})
+	dropped, err := c.DropClass("Mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Name != "Mid" {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	// Leaf is now an immediate subclass of Top (§4.1).
+	leaf, _ := c.Class("Leaf")
+	if len(leaf.Superclasses) != 1 || leaf.Superclasses[0] != "Top" {
+		t.Fatalf("Leaf supers = %v", leaf.Superclasses)
+	}
+	// Leaf keeps t (via Top) but loses m.
+	if _, err := c.Attribute("Leaf", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Attribute("Leaf", "m"); !errors.Is(err, ErrNoAttr) {
+		t.Fatalf("m still visible: %v", err)
+	}
+	if c.Has("Mid") {
+		t.Fatal("Mid still present")
+	}
+}
+
+func TestDropClassDomainProtection(t *testing.T) {
+	c := evoCatalog(t)
+	// C is the domain of Cp.A: dropping C must be rejected.
+	if _, err := c.DropClass("C"); err == nil {
+		t.Fatal("dropped a class still used as a domain")
+	}
+	// After dropping the attribute, the class can go.
+	if _, err := c.DropAttribute("Cp", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DropClass("C"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for k, want := range map[ChangeKind]string{
+		ChangeDropComposite: "I1 (composite -> non-composite)",
+		ChangeToShared:      "I2 (exclusive -> shared)",
+		ChangeToIndependent: "I3 (dependent -> independent)",
+		ChangeToDependent:   "I4 (independent -> dependent)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

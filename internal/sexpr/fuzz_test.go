@@ -1,0 +1,53 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and whatever parses must
+// round-trip through String back to an equivalent tree.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"(make-class 'Vehicle :attributes '((Id :domain integer)))",
+		`(define v (make Vehicle :Color "red"))`,
+		"(components-of v :level 2 :classes (A B))",
+		"#1:2",
+		"'(a 'b ((c)))",
+		`"str with \" escape"`,
+		"; comment\n(a)",
+		"(((((deep)))))",
+		"-42 2.5 true nil :kw sym",
+		"(a . b)", // dot is just a symbol here
+		"(ユニコード \"日本\")",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nodes, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		// Render and re-parse: must succeed and produce the same rendering
+		// (String is a normal form).
+		var b strings.Builder
+		for _, n := range nodes {
+			b.WriteString(n.String())
+			b.WriteString(" ")
+		}
+		again, err := ParseAll(b.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", b.String(), src, err)
+		}
+		if len(again) != len(nodes) {
+			t.Fatalf("node count changed: %d -> %d", len(nodes), len(again))
+		}
+		for i := range nodes {
+			if nodes[i].String() != again[i].String() {
+				t.Fatalf("not a normal form: %q vs %q", nodes[i].String(), again[i].String())
+			}
+		}
+	})
+}

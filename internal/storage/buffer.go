@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stats counts buffer-pool activity. Reads/Writes are device I/Os; Hits
+// and Misses are Fetch outcomes. The clustering and traversal benches use
+// these counters as their cost metric, standing in for the paper's disk
+// accesses.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Reads     uint64
+	Writes    uint64
+	Evictions uint64
+}
+
+// ErrPoolFull is returned when every frame is pinned and none can be
+// evicted.
+var ErrPoolFull = errors.New("storage: buffer pool full (all pages pinned)")
+
+type frame struct {
+	page  Page
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned; nil when pinned
+}
+
+// BufferPool caches pages from a Device with LRU replacement of unpinned
+// frames. It is safe for concurrent use; pages returned by Fetch/NewPage
+// are pinned and must be released with Unpin. Concurrent mutators of the
+// same page must coordinate externally (the object store holds its own
+// latch).
+type BufferPool struct {
+	mu       sync.Mutex
+	dev      Device
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of PageID, front = most recently unpinned
+	stats    Stats
+}
+
+// NewBufferPool returns a pool holding at most capacity pages.
+func NewBufferPool(dev Device, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		dev:      dev,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Device returns the underlying device.
+func (bp *BufferPool) Device() Device { return bp.dev }
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
+
+// evictOne writes back and drops the least recently used unpinned frame.
+// Caller holds bp.mu.
+func (bp *BufferPool) evictOne() error {
+	back := bp.lru.Back()
+	if back == nil {
+		return ErrPoolFull
+	}
+	id := back.Value.(PageID)
+	fr := bp.frames[id]
+	if fr.dirty {
+		if err := bp.dev.WritePage(&fr.page); err != nil {
+			return err
+		}
+		bp.stats.Writes++
+	}
+	bp.lru.Remove(back)
+	delete(bp.frames, id)
+	bp.stats.Evictions++
+	return nil
+}
+
+// ensureRoom makes space for one more frame. Caller holds bp.mu.
+func (bp *BufferPool) ensureRoom() error {
+	for len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch returns the page pinned. The caller must Unpin it.
+func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.pins++
+		return &fr.page, nil
+	}
+	bp.stats.Misses++
+	if err := bp.ensureRoom(); err != nil {
+		return nil, err
+	}
+	fr := &frame{pins: 1}
+	if err := bp.dev.ReadPage(id, &fr.page); err != nil {
+		return nil, err
+	}
+	bp.stats.Reads++
+	bp.frames[id] = fr
+	return &fr.page, nil
+}
+
+// NewPage allocates a fresh page on the device, initializes it as an empty
+// slotted page, and returns it pinned and dirty.
+func (bp *BufferPool) NewPage() (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.ensureRoom(); err != nil {
+		return nil, err
+	}
+	id, err := bp.dev.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	fr := &frame{pins: 1, dirty: true}
+	fr.page.ID = id
+	fr.page.InitPage()
+	bp.frames[id] = fr
+	return &fr.page, nil
+}
+
+// Unpin releases one pin on the page, marking it dirty if the caller
+// modified it. When the pin count reaches zero the page becomes evictable.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	if dirty {
+		fr.dirty = true
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(id)
+	}
+}
+
+// FlushAll writes every dirty frame back to the device and syncs it.
+// Frames stay cached.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.dev.WritePage(&fr.page); err != nil {
+				return err
+			}
+			bp.stats.Writes++
+			fr.dirty = false
+		}
+	}
+	return bp.dev.Sync()
+}
+
+// Len returns the number of cached frames.
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

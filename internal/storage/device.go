@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Device is a persistent array of pages. Implementations must be safe for
+// concurrent use.
+type Device interface {
+	// ReadPage fills p.Data with the page's stored contents and sets p.ID.
+	ReadPage(id PageID, p *Page) error
+	// WritePage persists p.Data under p.ID.
+	WritePage(p *Page) error
+	// Allocate reserves a fresh page and returns its ID. The page contents
+	// are undefined until written.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// Sync flushes any buffered writes to stable storage.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}
+
+// ErrBadPage is returned when a page ID is out of range.
+var ErrBadPage = errors.New("storage: bad page id")
+
+// MemDevice is an in-memory Device, used by tests and benches and as the
+// default substrate when no path is configured.
+type MemDevice struct {
+	mu    sync.RWMutex
+	pages [][]byte // index 0 unused (page ids start at 1)
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice {
+	return &MemDevice{pages: make([][]byte, 1)}
+}
+
+// ReadPage implements Device.
+func (d *MemDevice) ReadPage(id PageID, p *Page) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == InvalidPage || int(id) >= len(d.pages) {
+		return fmt.Errorf("read %d: %w", id, ErrBadPage)
+	}
+	copy(p.Data[:], d.pages[id])
+	p.ID = id
+	return nil
+}
+
+// WritePage implements Device.
+func (d *MemDevice) WritePage(p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p.ID == InvalidPage || int(p.ID) >= len(d.pages) {
+		return fmt.Errorf("write %d: %w", p.ID, ErrBadPage)
+	}
+	if d.pages[p.ID] == nil {
+		d.pages[p.ID] = make([]byte, PageSize)
+	}
+	copy(d.pages[p.ID], p.Data[:])
+	return nil
+}
+
+// Allocate implements Device.
+func (d *MemDevice) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := PageID(len(d.pages))
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return id, nil
+}
+
+// NumPages implements Device.
+func (d *MemDevice) NumPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages) - 1
+}
+
+// Sync implements Device.
+func (d *MemDevice) Sync() error { return nil }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// FileDevice stores pages in a single file: page i lives at offset
+// (i-1)*PageSize.
+type FileDevice struct {
+	mu   sync.Mutex
+	f    *os.File
+	next PageID
+}
+
+// OpenFileDevice opens (creating if necessary) a file-backed device.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open device: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat device: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: device size %d not page aligned", st.Size())
+	}
+	return &FileDevice{f: f, next: PageID(st.Size()/PageSize) + 1}, nil
+}
+
+func (d *FileDevice) offset(id PageID) int64 { return int64(id-1) * PageSize }
+
+// ReadPage implements Device.
+func (d *FileDevice) ReadPage(id PageID, p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id == InvalidPage || id >= d.next {
+		return fmt.Errorf("read %d: %w", id, ErrBadPage)
+	}
+	if _, err := d.f.ReadAt(p.Data[:], d.offset(id)); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	p.ID = id
+	return nil
+}
+
+// WritePage implements Device.
+func (d *FileDevice) WritePage(p *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p.ID == InvalidPage || p.ID >= d.next {
+		return fmt.Errorf("write %d: %w", p.ID, ErrBadPage)
+	}
+	if _, err := d.f.WriteAt(p.Data[:], d.offset(p.ID)); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", p.ID, err)
+	}
+	return nil
+}
+
+// Allocate implements Device.
+func (d *FileDevice) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.next
+	d.next++
+	// Extend the file so reads of the fresh page succeed.
+	var zero [PageSize]byte
+	if _, err := d.f.WriteAt(zero[:], d.offset(id)); err != nil {
+		d.next--
+		return InvalidPage, fmt.Errorf("storage: extend device: %w", err)
+	}
+	return id, nil
+}
+
+// NumPages implements Device.
+func (d *FileDevice) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.next) - 1
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }

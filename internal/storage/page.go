@@ -1,0 +1,273 @@
+// Package storage implements the ORION-like physical layer: slotted pages,
+// a paged device, a buffer pool with I/O accounting, segments with
+// clustered placement, an object store, and a write-ahead log.
+//
+// The paper relies on this substrate in two places: the `:parent` keyword
+// of the make message clusters a new object with its first parent "if the
+// classes of the two objects are stored in the same physical segment"
+// (§2.3), and the locking section treats classes and instances as lockable
+// granules. The buffer pool exposes hit/miss/read counters so benches can
+// measure the clustering benefit the paper asserts qualitatively.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within a device. 0 is never a valid page.
+type PageID uint32
+
+// InvalidPage is the zero PageID.
+const InvalidPage PageID = 0
+
+// Slot page layout:
+//
+//	[0:2)  nSlots   uint16
+//	[2:4)  freeHigh uint16  (start of the record heap; records occupy [freeHigh, PageSize))
+//	[4:6)  garbage  uint16  (bytes reclaimable by compaction)
+//	[6:)   slot array, 4 bytes per slot: offset uint16, length uint16
+//
+// A slot with offset 0 is empty (offset 0 is inside the header, so no
+// record can live there). Records grow downward from the end of the page;
+// the slot array grows upward after the header.
+const (
+	headerSize  = 6
+	slotSize    = 4
+	offNSlots   = 0
+	offFreeHigh = 2
+	offGarbage  = 4
+	// MaxRecord is the largest record that fits in a fresh page.
+	MaxRecord = PageSize - headerSize - slotSize
+)
+
+// Sentinel errors for page operations.
+var (
+	ErrPageFull     = errors.New("storage: page full")
+	ErrBadSlot      = errors.New("storage: bad slot")
+	ErrRecordTooBig = errors.New("storage: record exceeds page capacity")
+	ErrCorruptPage  = errors.New("storage: corrupt page")
+)
+
+// Page is a PageSize-byte slotted page. The zero value is not usable; call
+// InitPage (or read an initialized page from a device).
+type Page struct {
+	ID   PageID
+	Data [PageSize]byte
+}
+
+// InitPage formats p as an empty slotted page.
+func (p *Page) InitPage() {
+	for i := range p.Data {
+		p.Data[i] = 0
+	}
+	p.setNSlots(0)
+	p.setFreeHigh(PageSize)
+	p.setGarbage(0)
+}
+
+// nSlots reads the slot count, clamped so a corrupted header cannot push
+// the slot array past the page.
+func (p *Page) nSlots() int {
+	n := int(binary.LittleEndian.Uint16(p.Data[offNSlots:]))
+	if max := (PageSize - headerSize) / slotSize; n > max {
+		return max
+	}
+	return n
+}
+func (p *Page) setNSlots(n int)   { binary.LittleEndian.PutUint16(p.Data[offNSlots:], uint16(n)) }
+func (p *Page) freeHigh() int     { return int(binary.LittleEndian.Uint16(p.Data[offFreeHigh:])) }
+func (p *Page) setFreeHigh(v int) { binary.LittleEndian.PutUint16(p.Data[offFreeHigh:], uint16(v)) }
+func (p *Page) garbage() int      { return int(binary.LittleEndian.Uint16(p.Data[offGarbage:])) }
+func (p *Page) setGarbage(v int)  { binary.LittleEndian.PutUint16(p.Data[offGarbage:], uint16(v)) }
+
+func (p *Page) slot(i int) (off, length int) {
+	base := headerSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.Data[base:])),
+		int(binary.LittleEndian.Uint16(p.Data[base+2:]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := headerSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.Data[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.Data[base+2:], uint16(length))
+}
+
+// slotArrayEnd returns the first byte past the slot array.
+func (p *Page) slotArrayEnd() int { return headerSize + p.nSlots()*slotSize }
+
+// FreeSpace returns the number of bytes available for a new record,
+// assuming a new slot entry is also needed, after compaction.
+func (p *Page) FreeSpace() int {
+	free := p.freeHigh() - p.slotArrayEnd() + p.garbage() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// NumRecords returns the number of live records.
+func (p *Page) NumRecords() int {
+	n := 0
+	for i := 0; i < p.nSlots(); i++ {
+		if off, _ := p.slot(i); off != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// contiguous returns the bytes immediately available without compaction.
+func (p *Page) contiguous() int { return p.freeHigh() - p.slotArrayEnd() }
+
+// compact rewrites the record heap to squeeze out garbage.
+func (p *Page) compact() {
+	type rec struct {
+		slot, off, len int
+	}
+	var live []rec
+	for i := 0; i < p.nSlots(); i++ {
+		if off, l := p.slot(i); off != 0 {
+			live = append(live, rec{i, off, l})
+		}
+	}
+	var buf [PageSize]byte
+	high := PageSize
+	for _, r := range live {
+		high -= r.len
+		copy(buf[high:], p.Data[r.off:r.off+r.len])
+		p.setSlot(r.slot, high, r.len)
+	}
+	copy(p.Data[high:], buf[high:])
+	p.setFreeHigh(high)
+	p.setGarbage(0)
+}
+
+// Insert stores rec in the page and returns its slot number. It returns
+// ErrPageFull if the record cannot fit even after compaction, and
+// ErrRecordTooBig if it could never fit in any page.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > MaxRecord {
+		return 0, fmt.Errorf("%d bytes: %w", len(rec), ErrRecordTooBig)
+	}
+	// Reuse an empty slot if one exists.
+	slot := -1
+	for i := 0; i < p.nSlots(); i++ {
+		if off, _ := p.slot(i); off == 0 {
+			slot = i
+			break
+		}
+	}
+	need := len(rec)
+	if slot == -1 {
+		need += slotSize
+	}
+	if p.contiguous() < need {
+		if p.contiguous()+p.garbage() < need {
+			return 0, ErrPageFull
+		}
+		p.compact()
+	}
+	if slot == -1 {
+		slot = p.nSlots()
+		p.setNSlots(slot + 1)
+	}
+	high := p.freeHigh() - len(rec)
+	copy(p.Data[high:], rec)
+	p.setFreeHigh(high)
+	p.setSlot(slot, high, len(rec))
+	return slot, nil
+}
+
+// Read returns the record in the given slot. The returned slice aliases
+// the page buffer; callers must copy it if they retain it past unpin.
+// Slot metadata read from disk is validated so a corrupted page yields
+// ErrCorruptPage rather than a panic.
+func (p *Page) Read(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.nSlots() {
+		return nil, fmt.Errorf("slot %d of %d: %w", slot, p.nSlots(), ErrBadSlot)
+	}
+	off, l := p.slot(slot)
+	if off == 0 {
+		return nil, fmt.Errorf("slot %d empty: %w", slot, ErrBadSlot)
+	}
+	if off < headerSize || off+l > PageSize {
+		return nil, fmt.Errorf("slot %d spans [%d,%d): %w", slot, off, off+l, ErrCorruptPage)
+	}
+	return p.Data[off : off+l], nil
+}
+
+// Delete removes the record in the given slot.
+func (p *Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.nSlots() {
+		return fmt.Errorf("slot %d of %d: %w", slot, p.nSlots(), ErrBadSlot)
+	}
+	off, l := p.slot(slot)
+	if off == 0 {
+		return fmt.Errorf("slot %d already empty: %w", slot, ErrBadSlot)
+	}
+	p.setSlot(slot, 0, 0)
+	p.setGarbage(p.garbage() + l)
+	// Shrink the slot array if the tail slots are now empty.
+	n := p.nSlots()
+	for n > 0 {
+		if off, _ := p.slot(n - 1); off != 0 {
+			break
+		}
+		n--
+	}
+	p.setNSlots(n)
+	return nil
+}
+
+// Update replaces the record in slot with rec, relocating within the page
+// if needed. It returns ErrPageFull if the new record no longer fits; the
+// old record is preserved in that case.
+func (p *Page) Update(slot int, rec []byte) error {
+	if slot < 0 || slot >= p.nSlots() {
+		return fmt.Errorf("slot %d of %d: %w", slot, p.nSlots(), ErrBadSlot)
+	}
+	off, l := p.slot(slot)
+	if off == 0 {
+		return fmt.Errorf("slot %d empty: %w", slot, ErrBadSlot)
+	}
+	if len(rec) <= l {
+		// Overwrite in place; excess becomes garbage.
+		copy(p.Data[off:], rec)
+		p.setSlot(slot, off, len(rec))
+		p.setGarbage(p.garbage() + l - len(rec))
+		return nil
+	}
+	if len(rec) > MaxRecord {
+		return fmt.Errorf("%d bytes: %w", len(rec), ErrRecordTooBig)
+	}
+	// Free the old copy, then insert the new bytes.
+	avail := p.contiguous() + p.garbage() + l
+	if avail < len(rec) {
+		return ErrPageFull
+	}
+	p.setSlot(slot, 0, 0)
+	p.setGarbage(p.garbage() + l)
+	if p.contiguous() < len(rec) {
+		p.compact()
+	}
+	high := p.freeHigh() - len(rec)
+	copy(p.Data[high:], rec)
+	p.setFreeHigh(high)
+	p.setSlot(slot, high, len(rec))
+	return nil
+}
+
+// Slots calls fn for every live record, skipping slots whose metadata is
+// corrupt. fn must not mutate the page.
+func (p *Page) Slots(fn func(slot int, rec []byte)) {
+	for i := 0; i < p.nSlots(); i++ {
+		if off, l := p.slot(i); off >= headerSize && off+l <= PageSize {
+			fn(i, p.Data[off:off+l])
+		}
+	}
+}

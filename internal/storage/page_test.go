@@ -1,0 +1,274 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newPage() *Page {
+	p := &Page{ID: 1}
+	p.InitPage()
+	return p
+}
+
+func TestPageInsertRead(t *testing.T) {
+	p := newPage()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("")}
+	var slots []int
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert(%q): %v", r, err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Read(s)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", s, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("Read(%d) = %q, want %q", s, got, recs[i])
+		}
+	}
+	if p.NumRecords() != 3 {
+		t.Fatalf("NumRecords = %d", p.NumRecords())
+	}
+}
+
+func TestPageDeleteAndSlotReuse(t *testing.T) {
+	p := newPage()
+	s0, _ := p.Insert([]byte("one"))
+	s1, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(s0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Read of deleted slot: %v", err)
+	}
+	if err := p.Delete(s0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// New insert reuses the freed slot.
+	s2, err := p.Insert([]byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s0 {
+		t.Fatalf("slot not reused: got %d, want %d", s2, s0)
+	}
+	got, _ := p.Read(s1)
+	if !bytes.Equal(got, []byte("two")) {
+		t.Fatalf("unrelated record damaged: %q", got)
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("abcdef"))
+	if err := p.Update(s, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Read(s)
+	if !bytes.Equal(got, []byte("xy")) {
+		t.Fatalf("after shrink update: %q", got)
+	}
+	big := bytes.Repeat([]byte("z"), 100)
+	if err := p.Update(s, big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Read(s)
+	if !bytes.Equal(got, big) {
+		t.Fatal("after grow update: wrong bytes")
+	}
+}
+
+func TestPageFullAndCompaction(t *testing.T) {
+	p := newPage()
+	rec := bytes.Repeat([]byte("r"), 100)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 30 {
+		t.Fatalf("only %d records fit in a page", len(slots))
+	}
+	// Delete every other record; the freed space is fragmented, so a
+	// larger record requires compaction to fit.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := bytes.Repeat([]byte("B"), 150)
+	if _, err := p.Insert(big); err != nil {
+		t.Fatalf("insert after fragmentation (needs compaction): %v", err)
+	}
+	// Survivors intact after compaction.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Read(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Fatalf("record %d damaged by compaction: %v", slots[i], err)
+		}
+	}
+}
+
+func TestPageRecordTooBig(t *testing.T) {
+	p := newPage()
+	if _, err := p.Insert(make([]byte, MaxRecord+1)); !errors.Is(err, ErrRecordTooBig) {
+		t.Fatalf("oversized insert: %v", err)
+	}
+	if _, err := p.Insert(make([]byte, MaxRecord)); err != nil {
+		t.Fatalf("max-size insert: %v", err)
+	}
+}
+
+func TestPageUpdateFullPreservesOld(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("keep"))
+	// Fill the page.
+	filler := bytes.Repeat([]byte("f"), 200)
+	for {
+		if _, err := p.Insert(filler); err != nil {
+			break
+		}
+	}
+	grown := bytes.Repeat([]byte("g"), 3000)
+	if err := p.Update(s, grown); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("update beyond capacity: %v", err)
+	}
+	got, err := p.Read(s)
+	if err != nil || !bytes.Equal(got, []byte("keep")) {
+		t.Fatalf("old record lost after failed update: %q %v", got, err)
+	}
+}
+
+func TestPageSlotsIteration(t *testing.T) {
+	p := newPage()
+	s0, _ := p.Insert([]byte("a"))
+	s1, _ := p.Insert([]byte("b"))
+	s2, _ := p.Insert([]byte("c"))
+	p.Delete(s1)
+	seen := map[int]string{}
+	p.Slots(func(slot int, rec []byte) { seen[slot] = string(rec) })
+	if len(seen) != 2 || seen[s0] != "a" || seen[s2] != "c" {
+		t.Fatalf("Slots = %v", seen)
+	}
+}
+
+// TestPageFuzz drives random operations against a model map.
+func TestPageFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	p := newPage()
+	model := map[int][]byte{} // slot -> record
+	for i := 0; i < 5000; i++ {
+		switch op := r.Intn(3); op {
+		case 0: // insert
+			rec := make([]byte, r.Intn(300))
+			for j := range rec {
+				rec[j] = byte(r.Intn(256))
+			}
+			s, err := p.Insert(rec)
+			if err != nil {
+				if !errors.Is(err, ErrPageFull) {
+					t.Fatalf("iter %d insert: %v", i, err)
+				}
+				continue
+			}
+			if _, dup := model[s]; dup {
+				t.Fatalf("iter %d: slot %d double-allocated", i, s)
+			}
+			model[s] = rec
+		case 1: // delete
+			for s := range model {
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("iter %d delete: %v", i, err)
+				}
+				delete(model, s)
+				break
+			}
+		case 2: // update
+			for s := range model {
+				rec := make([]byte, r.Intn(300))
+				for j := range rec {
+					rec[j] = byte(r.Intn(256))
+				}
+				err := p.Update(s, rec)
+				if err == nil {
+					model[s] = rec
+				} else if !errors.Is(err, ErrPageFull) {
+					t.Fatalf("iter %d update: %v", i, err)
+				}
+				break
+			}
+		}
+		// Periodic full verification.
+		if i%500 == 0 {
+			if p.NumRecords() != len(model) {
+				t.Fatalf("iter %d: NumRecords=%d model=%d", i, p.NumRecords(), len(model))
+			}
+			for s, want := range model {
+				got, err := p.Read(s)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("iter %d slot %d: %v", i, s, err)
+				}
+			}
+		}
+	}
+}
+
+func TestPageFreeSpaceMonotonic(t *testing.T) {
+	p := newPage()
+	before := p.FreeSpace()
+	s, _ := p.Insert(make([]byte, 100))
+	after := p.FreeSpace()
+	if after >= before {
+		t.Fatalf("FreeSpace did not shrink: %d -> %d", before, after)
+	}
+	p.Delete(s)
+	if p.FreeSpace() != before {
+		t.Fatalf("FreeSpace after delete = %d, want %d", p.FreeSpace(), before)
+	}
+}
+
+func ExamplePage() {
+	var p Page
+	p.InitPage()
+	slot, _ := p.Insert([]byte("hello"))
+	rec, _ := p.Read(slot)
+	fmt.Println(string(rec))
+	// Output: hello
+}
+
+func TestPageCorruptSlotMetadata(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("record"))
+	// Corrupt the slot offset/length to point past the page.
+	p.setSlot(s, PageSize-2, 100)
+	if _, err := p.Read(s); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("read of corrupt slot: %v", err)
+	}
+	// Slots skips the corrupt entry instead of panicking.
+	calls := 0
+	p.Slots(func(int, []byte) { calls++ })
+	if calls != 0 {
+		t.Fatalf("Slots visited %d corrupt entries", calls)
+	}
+	// A corrupt slot count is clamped.
+	binary.LittleEndian.PutUint16(p.Data[offNSlots:], 65535)
+	if p.nSlots() > (PageSize-headerSize)/slotSize {
+		t.Fatalf("nSlots not clamped: %d", p.nSlots())
+	}
+	p.Slots(func(int, []byte) {}) // must not panic
+}

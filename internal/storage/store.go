@@ -1,0 +1,372 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/uid"
+)
+
+// SegmentID identifies a physical segment: a named set of pages that one
+// or more classes are assigned to. Clustering only happens within a
+// segment (§2.3: "clustering is only performed if the classes of the two
+// objects are stored in the same physical segment").
+type SegmentID uint32
+
+// RID locates a record: page and slot.
+type RID struct {
+	Page PageID
+	Slot int
+}
+
+// Sentinel errors for the object store.
+var (
+	ErrNotFound   = errors.New("storage: object not found")
+	ErrDupSegment = errors.New("storage: duplicate segment name")
+	ErrNoSegment  = errors.New("storage: no such segment")
+)
+
+type segment struct {
+	ID    SegmentID
+	Name  string
+	Pages []PageID
+}
+
+// Store maps UIDs to records placed in segments, with optional clustered
+// placement next to a designated neighbor object. It is safe for
+// concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	pool      *BufferPool
+	segs      map[SegmentID]*segment
+	segByName map[string]SegmentID
+	dir       map[uid.UID]RID
+	segOf     map[uid.UID]SegmentID
+	nextSeg   SegmentID
+}
+
+// NewStore returns an empty store over the pool.
+func NewStore(pool *BufferPool) *Store {
+	return &Store{
+		pool:      pool,
+		segs:      make(map[SegmentID]*segment),
+		segByName: make(map[string]SegmentID),
+		dir:       make(map[uid.UID]RID),
+		segOf:     make(map[uid.UID]SegmentID),
+		nextSeg:   1,
+	}
+}
+
+// Pool returns the store's buffer pool (for stats in benches).
+func (s *Store) Pool() *BufferPool { return s.pool }
+
+// CreateSegment registers a new segment.
+func (s *Store) CreateSegment(name string) (SegmentID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.segByName[name]; ok {
+		return 0, fmt.Errorf("%q: %w", name, ErrDupSegment)
+	}
+	id := s.nextSeg
+	s.nextSeg++
+	s.segs[id] = &segment{ID: id, Name: name}
+	s.segByName[name] = id
+	return id, nil
+}
+
+// SegmentByName returns the segment with the given name.
+func (s *Store) SegmentByName(name string) (SegmentID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.segByName[name]
+	return id, ok
+}
+
+// SegmentOf returns the segment an object is stored in.
+func (s *Store) SegmentOf(id uid.UID) (SegmentID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sg, ok := s.segOf[id]
+	return sg, ok
+}
+
+// Has reports whether the object exists.
+func (s *Store) Has(id uid.UID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.dir[id]
+	return ok
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dir)
+}
+
+// PageOf returns the page an object currently lives on, for clustering
+// measurements.
+func (s *Store) PageOf(id uid.UID) (PageID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.dir[id]
+	return rid.Page, ok
+}
+
+// Put inserts or updates the record for id within segment seg. For a new
+// object, near (when non-nil, present, and in the same segment) requests
+// clustered placement on the same page as near, falling back to any page
+// in the segment with room, then to a fresh page. For an existing object
+// seg must match its current segment; the record is updated in place when
+// it fits and relocated within its segment otherwise.
+func (s *Store) Put(seg SegmentID, id uid.UID, rec []byte, near uid.UID) error {
+	if id.IsNil() {
+		return fmt.Errorf("storage: put of nil uid")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sg, ok := s.segs[seg]
+	if !ok {
+		return fmt.Errorf("segment %d: %w", seg, ErrNoSegment)
+	}
+	if rid, exists := s.dir[id]; exists {
+		if cur := s.segOf[id]; cur != seg {
+			return fmt.Errorf("storage: object %v is in segment %d, not %d", id, cur, seg)
+		}
+		return s.updateLocked(sg, id, rid, rec)
+	}
+	return s.insertLocked(sg, id, rec, near)
+}
+
+func (s *Store) updateLocked(sg *segment, id uid.UID, rid RID, rec []byte) error {
+	p, err := s.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	err = p.Update(rid.Slot, rec)
+	if err == nil {
+		s.pool.Unpin(rid.Page, true)
+		return nil
+	}
+	if !errors.Is(err, ErrPageFull) {
+		s.pool.Unpin(rid.Page, false)
+		return err
+	}
+	// Relocate: delete here, insert elsewhere in the segment.
+	if derr := p.Delete(rid.Slot); derr != nil {
+		s.pool.Unpin(rid.Page, false)
+		return derr
+	}
+	s.pool.Unpin(rid.Page, true)
+	delete(s.dir, id)
+	delete(s.segOf, id)
+	return s.insertLocked(sg, id, rec, uid.Nil)
+}
+
+func (s *Store) insertLocked(sg *segment, id uid.UID, rec []byte, near uid.UID) error {
+	if len(rec) > MaxRecord {
+		return fmt.Errorf("storage: object %v: %w", id, ErrRecordTooBig)
+	}
+	// Candidate pages in preference order: the neighbor's page, then the
+	// segment's pages from most recently added.
+	var candidates []PageID
+	if !near.IsNil() {
+		if nrid, ok := s.dir[near]; ok && s.segOf[near] == sg.ID {
+			candidates = append(candidates, nrid.Page)
+		}
+	}
+	for i := len(sg.Pages) - 1; i >= 0 && len(candidates) < 4; i-- {
+		pg := sg.Pages[i]
+		if len(candidates) > 0 && candidates[0] == pg {
+			continue
+		}
+		candidates = append(candidates, pg)
+	}
+	for _, pg := range candidates {
+		p, err := s.pool.Fetch(pg)
+		if err != nil {
+			return err
+		}
+		slot, ierr := p.Insert(rec)
+		if ierr == nil {
+			s.pool.Unpin(pg, true)
+			s.dir[id] = RID{Page: pg, Slot: slot}
+			s.segOf[id] = sg.ID
+			return nil
+		}
+		s.pool.Unpin(pg, false)
+		if !errors.Is(ierr, ErrPageFull) {
+			return ierr
+		}
+	}
+	// No room anywhere tried: extend the segment.
+	p, err := s.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	slot, ierr := p.Insert(rec)
+	pg := p.ID
+	s.pool.Unpin(pg, true)
+	if ierr != nil {
+		return ierr
+	}
+	sg.Pages = append(sg.Pages, pg)
+	s.dir[id] = RID{Page: pg, Slot: slot}
+	s.segOf[id] = sg.ID
+	return nil
+}
+
+// Get returns a copy of the record for id.
+func (s *Store) Get(id uid.UID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.dir[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	p, err := s.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := p.Read(rid.Slot)
+	if err != nil {
+		s.pool.Unpin(rid.Page, false)
+		return nil, err
+	}
+	out := append([]byte(nil), rec...)
+	s.pool.Unpin(rid.Page, false)
+	return out, nil
+}
+
+// Delete removes the record for id.
+func (s *Store) Delete(id uid.UID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.dir[id]
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	p, err := s.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	derr := p.Delete(rid.Slot)
+	s.pool.Unpin(rid.Page, derr == nil)
+	if derr != nil {
+		return derr
+	}
+	delete(s.dir, id)
+	delete(s.segOf, id)
+	return nil
+}
+
+// UIDs returns every stored UID in sorted order.
+func (s *Store) UIDs() []uid.UID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uid.UID, 0, len(s.dir))
+	for id := range s.dir {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ScanSegment calls fn for every object in the segment, in UID order. fn
+// receives a copy of the record.
+func (s *Store) ScanSegment(seg SegmentID, fn func(id uid.UID, rec []byte) error) error {
+	s.mu.Lock()
+	var ids []uid.UID
+	for id, sg := range s.segOf {
+		if sg == seg {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		rec, err := s.Get(id)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted concurrently
+			}
+			return err
+		}
+		if err := fn(id, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// meta is the serialized form of the store's directory and segment table.
+type meta struct {
+	NextSeg  SegmentID   `json:"next_seg"`
+	Segments []segment   `json:"segments"`
+	Objects  []metaEntry `json:"objects"`
+}
+
+type metaEntry struct {
+	Class  uint32    `json:"c"`
+	Serial uint64    `json:"s"`
+	Seg    SegmentID `json:"g"`
+	Page   PageID    `json:"p"`
+	Slot   int       `json:"l"`
+}
+
+// SaveMeta serializes the segment table and object directory. Combined
+// with BufferPool.FlushAll this checkpoints the store.
+func (s *Store) SaveMeta(w io.Writer) error {
+	s.mu.Lock()
+	m := meta{NextSeg: s.nextSeg}
+	for _, sg := range s.segs {
+		m.Segments = append(m.Segments, *sg)
+	}
+	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
+	for id, rid := range s.dir {
+		m.Objects = append(m.Objects, metaEntry{
+			Class: uint32(id.Class), Serial: id.Serial,
+			Seg: s.segOf[id], Page: rid.Page, Slot: rid.Slot,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(m.Objects, func(i, j int) bool {
+		a, b := m.Objects[i], m.Objects[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Serial < b.Serial
+	})
+	return json.NewEncoder(w).Encode(&m)
+}
+
+// LoadMeta restores the segment table and directory saved by SaveMeta.
+func (s *Store) LoadMeta(r io.Reader) error {
+	var m meta
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return fmt.Errorf("storage: load meta: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSeg = m.NextSeg
+	s.segs = make(map[SegmentID]*segment, len(m.Segments))
+	s.segByName = make(map[string]SegmentID, len(m.Segments))
+	for i := range m.Segments {
+		sg := m.Segments[i]
+		s.segs[sg.ID] = &sg
+		s.segByName[sg.Name] = sg.ID
+	}
+	s.dir = make(map[uid.UID]RID, len(m.Objects))
+	s.segOf = make(map[uid.UID]SegmentID, len(m.Objects))
+	for _, e := range m.Objects {
+		id := uid.UID{Class: uid.ClassID(e.Class), Serial: e.Serial}
+		s.dir[id] = RID{Page: e.Page, Slot: e.Slot}
+		s.segOf[id] = e.Seg
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/uid"
+)
+
+// WALOp distinguishes write-ahead-log record kinds.
+type WALOp byte
+
+// WAL operations.
+const (
+	OpPut    WALOp = 1 // upsert of an object record
+	OpDelete WALOp = 2 // removal of an object
+)
+
+// WALRecord is one logical change. For OpPut, Seg and Near carry the
+// placement request so replay reproduces clustering decisions.
+type WALRecord struct {
+	Op   WALOp
+	UID  uid.UID
+	Seg  SegmentID
+	Near uid.UID
+	Data []byte
+}
+
+// ErrCorruptWAL reports a checksum failure in the middle of the log (a
+// torn tail is tolerated silently).
+var ErrCorruptWAL = errors.New("storage: corrupt WAL record")
+
+// WAL is an append-only, checksummed write-ahead log. Frame layout:
+//
+//	len(u32 LE) crc(u32 LE of payload) payload
+//	payload := op(1) uid seg(uvarint) nearUID dataLen(uvarint) data
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenWAL opens (creating if needed) the log at path, positioned for
+// appending.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+func appendUvarintUID(dst []byte, u uid.UID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(u.Class))
+	return binary.AppendUvarint(dst, u.Serial)
+}
+
+func readUvarintUID(b []byte) (uid.UID, []byte, error) {
+	c, n := binary.Uvarint(b)
+	if n <= 0 {
+		return uid.Nil, nil, ErrCorruptWAL
+	}
+	b = b[n:]
+	s, n := binary.Uvarint(b)
+	if n <= 0 {
+		return uid.Nil, nil, ErrCorruptWAL
+	}
+	return uid.UID{Class: uid.ClassID(c), Serial: s}, b[n:], nil
+}
+
+func encodeWALPayload(rec WALRecord) []byte {
+	p := make([]byte, 0, 16+len(rec.Data))
+	p = append(p, byte(rec.Op))
+	p = appendUvarintUID(p, rec.UID)
+	p = binary.AppendUvarint(p, uint64(rec.Seg))
+	p = appendUvarintUID(p, rec.Near)
+	p = binary.AppendUvarint(p, uint64(len(rec.Data)))
+	return append(p, rec.Data...)
+}
+
+func decodeWALPayload(p []byte) (WALRecord, error) {
+	var rec WALRecord
+	if len(p) < 1 {
+		return rec, ErrCorruptWAL
+	}
+	rec.Op = WALOp(p[0])
+	p = p[1:]
+	var err error
+	rec.UID, p, err = readUvarintUID(p)
+	if err != nil {
+		return rec, err
+	}
+	seg, n := binary.Uvarint(p)
+	if n <= 0 {
+		return rec, ErrCorruptWAL
+	}
+	rec.Seg = SegmentID(seg)
+	p = p[n:]
+	rec.Near, p, err = readUvarintUID(p)
+	if err != nil {
+		return rec, err
+	}
+	dl, n := binary.Uvarint(p)
+	if n <= 0 {
+		return rec, ErrCorruptWAL
+	}
+	p = p[n:]
+	if uint64(len(p)) != dl {
+		return rec, ErrCorruptWAL
+	}
+	rec.Data = append([]byte(nil), p...)
+	return rec, nil
+}
+
+// Append writes rec to the log. It does not sync; call Sync at commit
+// boundaries.
+func (w *WAL) Append(rec WALRecord) error {
+	payload := encodeWALPayload(rec)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Truncate discards all log contents (after a checkpoint).
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: wal seek: %w", err)
+	}
+	return nil
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// ReplayWAL reads the log at path, invoking fn for every intact record in
+// order. A torn final record (incomplete frame) ends replay without error,
+// matching crash-at-append semantics; a checksum mismatch on a complete
+// frame returns ErrCorruptWAL.
+func ReplayWAL(path string, fn func(WALRecord) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("storage: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn tail
+			}
+			return fmt.Errorf("storage: wal read: %w", err)
+		}
+		l := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, l)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn tail
+			}
+			return fmt.Errorf("storage: wal read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return ErrCorruptWAL
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package value
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/uid"
+)
+
+func jsonRoundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %v: %v", v, err)
+	}
+	var got Value
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	return got
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cases := []Value{
+		Nil,
+		Int(-42),
+		Real(2.5),
+		Str("hello \"quoted\""),
+		Bool(true),
+		Bool(false),
+		Ref(uid.UID{Class: 3, Serial: 7}),
+		SetOf(Int(1), Str("x")),
+		ListOf(SetOf(Bool(false)), Nil, Real(0)),
+	}
+	for _, v := range cases {
+		got := jsonRoundTrip(t, v)
+		if !got.Equal(v) {
+			t.Errorf("round trip of %v = %v", v, got)
+		}
+		if got.Kind() != v.Kind() {
+			t.Errorf("kind changed: %v -> %v", v.Kind(), got.Kind())
+		}
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		v := genValue(r, 3)
+		got := jsonRoundTrip(t, v)
+		if !got.Equal(v) {
+			t.Fatalf("iter %d: %v -> %v", i, v, got)
+		}
+	}
+}
+
+func TestJSONInsideStruct(t *testing.T) {
+	// Values embedded in structs (as in the catalog's AttrSpec.Initial)
+	// round-trip too.
+	type wrap struct {
+		Name string `json:"name"`
+		Init Value  `json:"init"`
+	}
+	w := wrap{Name: "n", Init: SetOf(Int(1), Int(2))}
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wrap
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "n" || !got.Init.Equal(w.Init) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"k":"int"}`,          // missing payload
+		`{"k":"real"}`,         //
+		`{"k":"string"}`,       //
+		`{"k":"bool"}`,         //
+		`{"k":"ref"}`,          //
+		`{"k":"martian"}`,      // unknown kind
+		`{"k":"set","e":[{}]}`, // nested bad element: {} is kind "" = nil — actually fine
+		`[1,2]`,                // wrong shape
+	}
+	for _, src := range cases[:6] {
+		var v Value
+		if err := json.Unmarshal([]byte(src), &v); err == nil {
+			t.Errorf("unmarshal %q succeeded as %v", src, v)
+		}
+	}
+	// Element with empty kind decodes as nil (tolerated).
+	var v Value
+	if err := json.Unmarshal([]byte(`{"k":"set","e":[{}]}`), &v); err != nil {
+		t.Fatalf("empty-kind element: %v", err)
+	}
+	// Structurally wrong JSON errors.
+	if err := json.Unmarshal([]byte(`[1,2]`), &v); err == nil {
+		t.Error("array unmarshal succeeded")
+	}
+}

@@ -1,0 +1,402 @@
+// Package value implements the dynamic, self-describing values stored in
+// object attributes. ORION objects are dynamic records: an attribute's
+// value may be a primitive (integer, real, string, boolean), a reference
+// to another object (a UID), or a set or list of such values (the paper's
+// "set-of" domains). Because Go has no inheritance or dynamic typing, the
+// kernel represents attribute values with this tagged union and interprets
+// them against the schema catalog.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/uid"
+)
+
+// Kind discriminates the representation of a Value.
+type Kind uint8
+
+// The value kinds. KindNil is the zero Kind: an unset attribute.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindReal
+	KindString
+	KindBool
+	KindRef  // reference to another object by UID
+	KindSet  // unordered collection (paper: "set-of" domains)
+	KindList // ordered collection
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return "int"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindRef:
+		return "ref"
+	case KindSet:
+		return "set"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable-by-convention dynamic value. The zero Value is
+// Nil. Values are compared with Equal, not ==, because collection kinds
+// carry slices.
+type Value struct {
+	kind  Kind
+	i     int64
+	f     float64
+	s     string
+	b     bool
+	r     uid.UID
+	elems []Value
+}
+
+// Nil is the null value.
+var Nil = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Real returns a floating-point value.
+func Real(f float64) Value { return Value{kind: KindReal, f: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Ref returns a reference value. Ref(uid.Nil) is the Nil value, so a null
+// reference and an unset attribute are indistinguishable, as in ORION.
+func Ref(u uid.UID) Value {
+	if u.IsNil() {
+		return Nil
+	}
+	return Value{kind: KindRef, r: u}
+}
+
+// SetOf returns a set value over the given elements. Duplicate elements
+// (by Equal) are dropped; the first occurrence's position is kept so that
+// results render deterministically.
+func SetOf(elems ...Value) Value {
+	out := make([]Value, 0, len(elems))
+	for _, e := range elems {
+		dup := false
+		for _, have := range out {
+			if have.Equal(e) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return Value{kind: KindSet, elems: out}
+}
+
+// ListOf returns a list value over the given elements.
+func ListOf(elems ...Value) Value {
+	return Value{kind: KindList, elems: append([]Value(nil), elems...)}
+}
+
+// RefSet returns a set value of references, a convenience for composite
+// set-valued attributes.
+func RefSet(us ...uid.UID) Value {
+	elems := make([]Value, 0, len(us))
+	for _, u := range us {
+		if !u.IsNil() {
+			elems = append(elems, Ref(u))
+		}
+	}
+	return SetOf(elems...)
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is unset.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsInt returns the integer payload; ok is false for other kinds.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsReal returns the float payload; ok is false for other kinds.
+func (v Value) AsReal() (float64, bool) { return v.f, v.kind == KindReal }
+
+// AsString returns the string payload; ok is false for other kinds.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBool returns the boolean payload; ok is false for other kinds.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// AsRef returns the referenced UID; ok is false for other kinds.
+func (v Value) AsRef() (uid.UID, bool) { return v.r, v.kind == KindRef }
+
+// Elems returns the elements of a set or list; nil for other kinds. The
+// caller must not mutate the returned slice.
+func (v Value) Elems() []Value {
+	if v.kind == KindSet || v.kind == KindList {
+		return v.elems
+	}
+	return nil
+}
+
+// IsCollection reports whether v is a set or list.
+func (v Value) IsCollection() bool { return v.kind == KindSet || v.kind == KindList }
+
+// Len returns the number of elements of a collection, and 0 otherwise.
+func (v Value) Len() int {
+	if v.IsCollection() {
+		return len(v.elems)
+	}
+	return 0
+}
+
+// Equal reports deep structural equality. Sets compare order-insensitively;
+// lists compare order-sensitively. NaN reals compare equal to themselves so
+// Equal is an equivalence relation.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindInt:
+		return v.i == w.i
+	case KindReal:
+		if math.IsNaN(v.f) && math.IsNaN(w.f) {
+			return true
+		}
+		return v.f == w.f
+	case KindString:
+		return v.s == w.s
+	case KindBool:
+		return v.b == w.b
+	case KindRef:
+		return v.r == w.r
+	case KindList:
+		if len(v.elems) != len(w.elems) {
+			return false
+		}
+		for i := range v.elems {
+			if !v.elems[i].Equal(w.elems[i]) {
+				return false
+			}
+		}
+		return true
+	case KindSet:
+		if len(v.elems) != len(w.elems) {
+			return false
+		}
+		used := make([]bool, len(w.elems))
+	outer:
+		for _, e := range v.elems {
+			for j, f := range w.elems {
+				if !used[j] && e.Equal(f) {
+					used[j] = true
+					continue outer
+				}
+			}
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Clone returns a deep copy of v; mutating helpers below always operate on
+// copies, so Clone is only needed when handing internals to callers that
+// may retain them.
+func (v Value) Clone() Value {
+	if !v.IsCollection() {
+		return v
+	}
+	out := v
+	out.elems = make([]Value, len(v.elems))
+	for i, e := range v.elems {
+		out.elems[i] = e.Clone()
+	}
+	return out
+}
+
+// Refs appends to dst every UID referenced by v, recursing through
+// collections, and returns the extended slice. The order is deterministic
+// (element order within the value).
+func (v Value) Refs(dst []uid.UID) []uid.UID {
+	switch v.kind {
+	case KindRef:
+		return append(dst, v.r)
+	case KindSet, KindList:
+		for _, e := range v.elems {
+			dst = e.Refs(dst)
+		}
+	}
+	return dst
+}
+
+// ContainsRef reports whether v references u, directly or inside a
+// collection.
+func (v Value) ContainsRef(u uid.UID) bool {
+	switch v.kind {
+	case KindRef:
+		return v.r == u
+	case KindSet, KindList:
+		for _, e := range v.elems {
+			if e.ContainsRef(u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WithoutRef returns a copy of v with every reference to u removed. A
+// direct reference becomes Nil; collection elements referencing u are
+// dropped.
+func (v Value) WithoutRef(u uid.UID) Value {
+	switch v.kind {
+	case KindRef:
+		if v.r == u {
+			return Nil
+		}
+		return v
+	case KindSet, KindList:
+		out := make([]Value, 0, len(v.elems))
+		for _, e := range v.elems {
+			ne := e.WithoutRef(u)
+			if ne.IsNil() && e.kind == KindRef {
+				continue // drop removed refs from collections
+			}
+			out = append(out, ne)
+		}
+		nv := v
+		nv.elems = out
+		return nv
+	default:
+		return v
+	}
+}
+
+// ReplaceRef returns a copy of v with every reference to old rewritten to
+// point at new. If new is Nil the behavior matches WithoutRef. This is
+// used when version derivation rebinds an exclusive reference to a generic
+// instance (paper Figure 1).
+func (v Value) ReplaceRef(old, new uid.UID) Value {
+	if new.IsNil() {
+		return v.WithoutRef(old)
+	}
+	switch v.kind {
+	case KindRef:
+		if v.r == old {
+			return Ref(new)
+		}
+		return v
+	case KindSet, KindList:
+		out := make([]Value, len(v.elems))
+		for i, e := range v.elems {
+			out[i] = e.ReplaceRef(old, new)
+		}
+		nv := v
+		nv.elems = out
+		return nv
+	default:
+		return v
+	}
+}
+
+// WithRef returns a copy of the collection v with a reference to u added
+// (sets ignore duplicates). If v is Nil a direct reference is returned; if
+// v is a direct reference the result is a set of both, which the schema
+// layer rejects for single-valued attributes.
+func (v Value) WithRef(u uid.UID) Value {
+	switch v.kind {
+	case KindNil:
+		return Ref(u)
+	case KindRef:
+		return SetOf(v, Ref(u))
+	case KindSet:
+		for _, e := range v.elems {
+			if e.ContainsRef(u) {
+				return v
+			}
+		}
+		nv := v
+		nv.elems = append(append([]Value(nil), v.elems...), Ref(u))
+		return nv
+	case KindList:
+		nv := v
+		nv.elems = append(append([]Value(nil), v.elems...), Ref(u))
+		return nv
+	default:
+		return v
+	}
+}
+
+// String renders the value in an s-expression-friendly form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindReal:
+		return fmt.Sprintf("%g", v.f)
+	case KindString:
+		return fmt.Sprintf("%q", v.s)
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindRef:
+		return "#" + v.r.String()
+	case KindSet, KindList:
+		parts := make([]string, len(v.elems))
+		for i, e := range v.elems {
+			parts[i] = e.String()
+		}
+		open := "{"
+		close := "}"
+		if v.kind == KindList {
+			open, close = "[", "]"
+		}
+		return open + strings.Join(parts, " ") + close
+	default:
+		return "?"
+	}
+}
+
+// SortedRefs returns the UIDs referenced by v in UID order, deduplicated.
+func (v Value) SortedRefs() []uid.UID {
+	refs := v.Refs(nil)
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+	out := refs[:0]
+	var prev uid.UID
+	for i, r := range refs {
+		if i == 0 || r != prev {
+			out = append(out, r)
+		}
+		prev = r
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package version
+
+import (
+	"repro/internal/object"
+	"sync"
+
+	"repro/internal/uid"
+)
+
+// Change notification, after [CHOU88] ("Versions and Change Notification
+// in an Object-Oriented Database System"), which the paper builds its
+// version model on. Objects dynamically bound to a generic instance see a
+// different version when the default changes; notification lets an
+// application react — ORION's motivating case is a design whose
+// subcomponent was revised.
+//
+// This implements *flag-based (deferred) notification*: events are queued
+// per generic instance and consumed by whoever polls, rather than
+// delivered synchronously — the mode [CHOU88] recommends for design
+// environments where the affected designer may not be active.
+
+// EventKind enumerates version-notification events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventDerived: a new version instance was derived.
+	EventDerived EventKind = iota
+	// EventDefaultChanged: the default version changed (pin, unpin, or a
+	// new derivation while unpinned, all of which move dynamic bindings).
+	EventDefaultChanged
+	// EventVersionDeleted: a version instance was deleted.
+	EventVersionDeleted
+	// EventGenericDeleted: the whole versionable object was deleted.
+	EventGenericDeleted
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventDerived:
+		return "derived"
+	case EventDefaultChanged:
+		return "default-changed"
+	case EventVersionDeleted:
+		return "version-deleted"
+	case EventGenericDeleted:
+		return "generic-deleted"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded change to a versionable object.
+type Event struct {
+	Kind    EventKind
+	Generic uid.UID
+	Version uid.UID // the derived/deleted/new-default version (Nil when n/a)
+	Seq     uint64  // global ordering
+}
+
+// notifier queues events per generic instance.
+type notifier struct {
+	mu     sync.Mutex
+	seq    uint64
+	queues map[uid.UID][]Event
+	watch  map[uid.UID]bool
+}
+
+func newNotifier() *notifier {
+	return &notifier{
+		queues: make(map[uid.UID][]Event),
+		watch:  make(map[uid.UID]bool),
+	}
+}
+
+func (n *notifier) emit(kind EventKind, generic, version uid.UID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.watch[generic] {
+		return
+	}
+	n.seq++
+	n.queues[generic] = append(n.queues[generic], Event{
+		Kind: kind, Generic: generic, Version: version, Seq: n.seq,
+	})
+}
+
+// Watch enables notification for a generic instance. Events occurring
+// while unwatched are not recorded (flag-based notification tracks only
+// registered interest, as in [CHOU88]).
+func (m *Manager) Watch(g uid.UID) error {
+	if !m.IsGeneric(g) {
+		return ErrNotGeneric
+	}
+	m.notify.mu.Lock()
+	defer m.notify.mu.Unlock()
+	m.notify.watch[g] = true
+	return nil
+}
+
+// Unwatch disables notification and drops any queued events.
+func (m *Manager) Unwatch(g uid.UID) {
+	m.notify.mu.Lock()
+	defer m.notify.mu.Unlock()
+	delete(m.notify.watch, g)
+	delete(m.notify.queues, g)
+}
+
+// Notifications drains and returns the queued events for g, oldest first.
+func (m *Manager) Notifications(g uid.UID) []Event {
+	m.notify.mu.Lock()
+	defer m.notify.mu.Unlock()
+	out := m.notify.queues[g]
+	delete(m.notify.queues, g)
+	return out
+}
+
+// PendingNotifications reports how many events are queued for g without
+// draining them.
+func (m *Manager) PendingNotifications(g uid.UID) int {
+	m.notify.mu.Lock()
+	defer m.notify.mu.Unlock()
+	return len(m.notify.queues[g])
+}
+
+// The version manager also participates in the engine's write-through
+// hook chain so that deletions performed directly through the engine
+// (bypassing DeleteVersion/DeleteGeneric) at least keep the bookkeeping
+// consistent: the deleted object stops being a version or generic
+// instance. The CV-4X cascades (last version deletes the generic, generic
+// deletion recurses) require going through DeleteVersion/DeleteGeneric,
+// which the db facade's API does.
+
+// OnWrite implements core.Hook (no-op: writes don't move version state).
+func (m *Manager) OnWrite(_ *object.Object, _ uid.UID) error { return nil }
+
+// OnDelete implements core.Hook: drop bookkeeping for deleted version or
+// generic instances. It must not call back into the engine (the engine
+// latch is held during hook dispatch).
+func (m *Manager) OnDelete(id uid.UID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.versionOf[id]; ok {
+		delete(m.versionOf, id)
+		if gen := m.generics[g]; gen != nil {
+			gen.remove(id)
+		}
+		m.notify.emit(EventVersionDeleted, g, id)
+		return nil
+	}
+	if _, ok := m.generics[id]; ok {
+		delete(m.generics, id)
+		m.notify.emit(EventGenericDeleted, id, uid.Nil)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package version
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/uid"
+)
+
+func TestWatchRequiresGeneric(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	_, v0, _ := m.CreateVersionable("D", nil)
+	if err := m.Watch(v0); !errors.Is(err, ErrNotGeneric) {
+		t.Fatalf("watch of a version instance: %v", err)
+	}
+	if err := m.Watch(uid.UID{Class: 9, Serial: 9}); !errors.Is(err, ErrNotGeneric) {
+		t.Fatalf("watch of nothing: %v", err)
+	}
+}
+
+func TestDeriveNotifications(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	g, v0, _ := m.CreateVersionable("D", nil)
+	if err := m.Watch(g); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := m.Derive(v0)
+	evs := m.Notifications(g)
+	// Unpinned: a derivation moves the system default too.
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Kind != EventDerived || evs[0].Version != v1 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Kind != EventDefaultChanged || evs[1].Version != v1 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Fatal("sequence not monotone")
+	}
+	// Drained.
+	if len(m.Notifications(g)) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestDeriveWhilePinnedNoDefaultEvent(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	g, v0, _ := m.CreateVersionable("D", nil)
+	m.SetDefault(g, v0)
+	m.Watch(g)
+	if _, err := m.Derive(v0); err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Notifications(g)
+	if len(evs) != 1 || evs[0].Kind != EventDerived {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestSetDefaultNotification(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	g, v0, _ := m.CreateVersionable("D", nil)
+	v1, _ := m.Derive(v0)
+	m.Watch(g)
+	m.SetDefault(g, v0)
+	evs := m.Notifications(g)
+	if len(evs) != 1 || evs[0].Kind != EventDefaultChanged || evs[0].Version != v0 {
+		t.Fatalf("events = %v", evs)
+	}
+	// Unpin notifies too (the dynamic binding moves back to v1).
+	m.SetDefault(g, uid.Nil)
+	evs = m.Notifications(g)
+	if len(evs) != 1 || evs[0].Kind != EventDefaultChanged {
+		t.Fatalf("unpin events = %v", evs)
+	}
+	_ = v1
+}
+
+func TestDeleteVersionNotifications(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	g, v0, _ := m.CreateVersionable("D", nil)
+	v1, _ := m.Derive(v0)
+	m.Watch(g)
+	// Deleting the newest (the system default): version-deleted +
+	// default-changed back to v0.
+	if err := m.DeleteVersion(v1); err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Notifications(g)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Kind != EventVersionDeleted || evs[0].Version != v1 {
+		t.Fatalf("first = %+v", evs[0])
+	}
+	if evs[1].Kind != EventDefaultChanged || evs[1].Version != v0 {
+		t.Fatalf("second = %+v", evs[1])
+	}
+}
+
+func TestDeleteLastVersionEmitsGenericDeleted(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	g, v0, _ := m.CreateVersionable("D", nil)
+	m.Watch(g)
+	if err := m.DeleteVersion(v0); err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Notifications(g)
+	var kinds []EventKind
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != EventVersionDeleted || kinds[1] != EventGenericDeleted {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestUnwatchedGenericsAreSilent(t *testing.T) {
+	_, m := cdEngine(t, true, false)
+	g, v0, _ := m.CreateVersionable("D", nil)
+	// Not watching: nothing queued.
+	m.Derive(v0)
+	if n := m.PendingNotifications(g); n != 0 {
+		t.Fatalf("queued %d events without a watch", n)
+	}
+	// Watch, generate, unwatch: queue dropped.
+	m.Watch(g)
+	m.Derive(v0)
+	if m.PendingNotifications(g) == 0 {
+		t.Fatal("no events while watched")
+	}
+	m.Unwatch(g)
+	if n := m.PendingNotifications(g); n != 0 {
+		t.Fatalf("queue survived Unwatch: %d", n)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventDerived:        "derived",
+		EventDefaultChanged: "default-changed",
+		EventVersionDeleted: "version-deleted",
+		EventGenericDeleted: "generic-deleted",
+		EventKind(99):       "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestHookCleansBookkeepingOnDirectEngineDelete(t *testing.T) {
+	e, m := cdEngine(t, true, false)
+	e.SetHook(m) // version manager as the engine hook
+	g, v0, _ := m.CreateVersionable("D", nil)
+	v1, _ := m.Derive(v0)
+	m.Watch(g)
+	// Bypass DeleteVersion: delete the version straight through the engine.
+	if _, err := e.Delete(v0); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsVersion(v0) {
+		t.Fatal("bookkeeping survived direct engine delete")
+	}
+	info, _ := m.Info(g)
+	if len(info.Versions) != 1 || info.Versions[0] != v1 {
+		t.Fatalf("Versions = %v", info.Versions)
+	}
+	evs := m.Notifications(g)
+	if len(evs) != 1 || evs[0].Kind != EventVersionDeleted || evs[0].Version != v0 {
+		t.Fatalf("events = %v", evs)
+	}
+	// DeleteVersion through the manager still emits exactly once with the
+	// hook installed (no duplicates).
+	if err := m.DeleteVersion(v1); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, ev := range m.Notifications(g) {
+		if ev.Kind == EventVersionDeleted && ev.Version == v1 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("VersionDeleted emitted %d times", count)
+	}
+}

@@ -1,0 +1,738 @@
+// Package version implements §5 of the paper: versions of composite
+// objects.
+//
+// A class declared versionable yields *versionable objects*: a generic
+// instance plus a hierarchy of version instances derived from one another
+// (the version-derivation hierarchy, whose history the generic instance
+// keeps). References to a versionable object are either static (to a
+// specific version instance) or dynamic (to the generic instance, resolved
+// to the default version at access time).
+//
+// The rules of §5.2 as implemented here:
+//
+//	CV-1X: a composite reference from generic g-c to generic g-d means any
+//	       number of version instances of g-c may hold that reference.
+//	CV-2X: a version instance tolerates at most one exclusive composite
+//	       reference (or any number of shared ones); a generic instance may
+//	       hold several exclusive composite references only if all come
+//	       from the same version-derivation hierarchy.
+//	CV-3X: a composite reference between version instances implies one
+//	       between their generic instances — materialized as the reverse
+//	       composite generic references with ref-counts (§5.3, Figure 3).
+//	CV-4X: deleting a generic instance deletes all its version instances
+//	       and recursively the generic instances it references exclusively
+//	       and dependently; deleting the last version instance deletes the
+//	       generic instance.
+//
+// Derivation (Figure 1): when a version instance is copied, an exclusive
+// composite reference to a *version instance* is rewritten to that
+// instance's generic instance if independent, and to Nil if dependent;
+// shared references and references to generic instances are copied as-is.
+// An exclusive reference to a non-versionable object is set to Nil (the
+// copy cannot be a second exclusive parent, and there is no generic
+// instance to rebind to).
+package version
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// Sentinel errors.
+var (
+	ErrNotVersionable = errors.New("version: class is not versionable")
+	ErrNotVersion     = errors.New("version: object is not a version instance")
+	ErrNotGeneric     = errors.New("version: object is not a generic instance")
+	ErrCV2X           = errors.New("version: rule CV-2X violation")
+)
+
+// Generic records the bookkeeping of one versionable object.
+type Generic struct {
+	UID         uid.UID
+	Versions    []uid.UID           // creation order
+	DerivedFrom map[uid.UID]uid.UID // version -> parent version (uid.Nil for the first)
+	HasDefault  bool
+	Default     uid.UID
+	Stamp       map[uid.UID]uint64 // logical creation timestamps
+}
+
+// Manager maintains versionable objects over a core engine. All version
+// and generic instances are ordinary engine objects of the versionable
+// class; the manager adds the derivation bookkeeping and the reverse
+// composite generic references of §5.3.
+type Manager struct {
+	mu        sync.Mutex
+	e         *core.Engine
+	generics  map[uid.UID]*Generic
+	versionOf map[uid.UID]uid.UID
+	clock     uint64
+	notify    *notifier
+}
+
+// NewManager returns a version manager over the engine.
+func NewManager(e *core.Engine) *Manager {
+	return &Manager{
+		e:         e,
+		generics:  make(map[uid.UID]*Generic),
+		versionOf: make(map[uid.UID]uid.UID),
+		notify:    newNotifier(),
+	}
+}
+
+// Engine returns the underlying engine.
+func (m *Manager) Engine() *core.Engine { return m.e }
+
+// IsGeneric reports whether id is a generic instance.
+func (m *Manager) IsGeneric(id uid.UID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.generics[id]
+	return ok
+}
+
+// IsVersion reports whether id is a version instance.
+func (m *Manager) IsVersion(id uid.UID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.versionOf[id]
+	return ok
+}
+
+// GenericOf returns the generic instance of a version instance.
+func (m *Manager) GenericOf(v uid.UID) (uid.UID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.versionOf[v]
+	if !ok {
+		return uid.Nil, fmt.Errorf("%v: %w", v, ErrNotVersion)
+	}
+	return g, nil
+}
+
+// Info returns a copy of the generic bookkeeping for g.
+func (m *Manager) Info(g uid.UID) (Generic, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen, ok := m.generics[g]
+	if !ok {
+		return Generic{}, fmt.Errorf("%v: %w", g, ErrNotGeneric)
+	}
+	out := *gen
+	out.Versions = append([]uid.UID(nil), gen.Versions...)
+	out.DerivedFrom = make(map[uid.UID]uid.UID, len(gen.DerivedFrom))
+	for k, v := range gen.DerivedFrom {
+		out.DerivedFrom[k] = v
+	}
+	out.Stamp = make(map[uid.UID]uint64, len(gen.Stamp))
+	for k, v := range gen.Stamp {
+		out.Stamp[k] = v
+	}
+	return out, nil
+}
+
+// CreateVersionable creates a versionable object of the (versionable)
+// class: a generic instance plus the first version instance carrying
+// attrs. It returns (generic, firstVersion).
+func (m *Manager) CreateVersionable(class string, attrs map[string]value.Value) (uid.UID, uid.UID, error) {
+	cl, err := m.e.Catalog().Class(class)
+	if err != nil {
+		return uid.Nil, uid.Nil, err
+	}
+	if !cl.Versionable {
+		return uid.Nil, uid.Nil, fmt.Errorf("%q: %w", class, ErrNotVersionable)
+	}
+	gObj, err := m.e.New(class, nil)
+	if err != nil {
+		return uid.Nil, uid.Nil, err
+	}
+	m.mu.Lock()
+	gen := &Generic{
+		UID:         gObj.UID(),
+		DerivedFrom: make(map[uid.UID]uid.UID),
+		Stamp:       make(map[uid.UID]uint64),
+	}
+	m.generics[gObj.UID()] = gen
+	m.mu.Unlock()
+
+	v, err := m.newVersion(gen, attrs, uid.Nil)
+	if err != nil {
+		m.mu.Lock()
+		delete(m.generics, gObj.UID())
+		m.mu.Unlock()
+		m.e.Evict(gObj.UID())
+		return uid.Nil, uid.Nil, err
+	}
+	return gObj.UID(), v, nil
+}
+
+// newVersion creates a version instance under gen, wiring composite
+// references through the version-aware attach path.
+func (m *Manager) newVersion(gen *Generic, attrs map[string]value.Value, from uid.UID) (uid.UID, error) {
+	cl, err := m.e.Catalog().ClassByID(gen.UID.Class)
+	if err != nil {
+		return uid.Nil, err
+	}
+	// Split attrs: plain values go through New; references through
+	// version-aware attach (which knows rule CV-2X and the generic
+	// bookkeeping).
+	specs, err := m.e.Catalog().Attributes(cl.Name)
+	if err != nil {
+		return uid.Nil, err
+	}
+	specOf := map[string]schema.AttrSpec{}
+	for _, s := range specs {
+		specOf[s.Name] = s
+	}
+	plain := map[string]value.Value{}
+	type refAttach struct {
+		attr   string
+		target uid.UID
+	}
+	var refs []refAttach
+	for name, v := range attrs {
+		spec, ok := specOf[name]
+		if ok && spec.Composite {
+			for _, r := range v.Refs(nil) {
+				refs = append(refs, refAttach{name, r})
+			}
+			continue
+		}
+		plain[name] = v
+	}
+	vObj, err := m.e.New(cl.Name, plain)
+	if err != nil {
+		return uid.Nil, err
+	}
+	m.mu.Lock()
+	m.clock++
+	gen.Versions = append(gen.Versions, vObj.UID())
+	gen.DerivedFrom[vObj.UID()] = from
+	gen.Stamp[vObj.UID()] = m.clock
+	m.versionOf[vObj.UID()] = gen.UID
+	m.mu.Unlock()
+
+	emitOK := func() {
+		m.notify.emit(EventDerived, gen.UID, vObj.UID())
+		m.mu.Lock()
+		pinned := gen.HasDefault
+		m.mu.Unlock()
+		if !pinned {
+			// System default follows the newest version.
+			m.notify.emit(EventDefaultChanged, gen.UID, vObj.UID())
+		}
+	}
+	for _, r := range refs {
+		if err := m.Attach(vObj.UID(), r.attr, r.target); err != nil {
+			// Roll the half-created version back.
+			m.mu.Lock()
+			gen.Versions = gen.Versions[:len(gen.Versions)-1]
+			delete(gen.DerivedFrom, vObj.UID())
+			delete(gen.Stamp, vObj.UID())
+			delete(m.versionOf, vObj.UID())
+			m.mu.Unlock()
+			m.e.Evict(vObj.UID())
+			return uid.Nil, err
+		}
+	}
+	emitOK()
+	return vObj.UID(), nil
+}
+
+// Derive copies version instance from into a new version instance of the
+// same generic, applying the Figure 1 reference rewrites.
+func (m *Manager) Derive(from uid.UID) (uid.UID, error) {
+	gID, err := m.GenericOf(from)
+	if err != nil {
+		return uid.Nil, err
+	}
+	m.mu.Lock()
+	gen := m.generics[gID]
+	m.mu.Unlock()
+	src, err := m.e.Get(from)
+	if err != nil {
+		return uid.Nil, err
+	}
+	cl, err := m.e.Catalog().ClassByID(from.Class)
+	if err != nil {
+		return uid.Nil, err
+	}
+	attrs := map[string]value.Value{}
+	for _, name := range src.AttrNames() {
+		spec, err := m.e.Catalog().Attribute(cl.Name, name)
+		if err != nil {
+			continue
+		}
+		v := src.Get(name).Clone()
+		if spec.Composite {
+			v = m.rewriteForDerivation(v, spec)
+		}
+		if !v.IsNil() {
+			attrs[name] = v
+		}
+	}
+	return m.newVersion(gen, attrs, from)
+}
+
+// rewriteForDerivation applies the Figure 1 rules to one composite value.
+func (m *Manager) rewriteForDerivation(v value.Value, spec schema.AttrSpec) value.Value {
+	if !spec.Exclusive {
+		return v // shared references copy as-is (CV-2X allows many)
+	}
+	for _, r := range v.Refs(nil) {
+		if m.IsGeneric(r) {
+			continue // reference to a generic instance stays (CV-1X)
+		}
+		if spec.Dependent {
+			v = v.WithoutRef(r) // dependent exclusive -> Nil
+			continue
+		}
+		if g, err := m.GenericOf(r); err == nil {
+			v = v.ReplaceRef(r, g) // independent exclusive -> generic
+		} else {
+			v = v.WithoutRef(r) // exclusive ref to a non-versionable object
+		}
+	}
+	return v
+}
+
+// Attach creates a composite (or weak) reference from parent.attr to
+// child with version-aware validation (rule CV-2X) and the §5.3 reverse
+// composite generic reference bookkeeping.
+func (m *Manager) Attach(parent uid.UID, attr string, child uid.UID) error {
+	pcl, err := m.e.ClassOf(parent)
+	if err != nil {
+		return err
+	}
+	spec, err := m.e.Catalog().Attribute(pcl.Name, attr)
+	if err != nil {
+		return err
+	}
+	check := func(childObj *object.Object, s schema.AttrSpec) error {
+		return m.cv2xCheck(parent, childObj, s)
+	}
+	if err := m.e.AttachWithCheck(parent, attr, child, check); err != nil {
+		return err
+	}
+	if spec.Composite {
+		m.noteRefAdded(parent, child, spec)
+	}
+	return nil
+}
+
+// Detach removes the reference and decrements the generic-level
+// ref-count, dropping the reverse composite generic reference when it
+// reaches zero (Figure 3).
+func (m *Manager) Detach(parent uid.UID, attr string, child uid.UID) error {
+	pcl, err := m.e.ClassOf(parent)
+	if err != nil {
+		return err
+	}
+	spec, err := m.e.Catalog().Attribute(pcl.Name, attr)
+	if err != nil {
+		return err
+	}
+	if err := m.e.Detach(parent, attr, child); err != nil {
+		return err
+	}
+	if spec.Composite {
+		m.noteRefRemoved(parent, child)
+	}
+	return nil
+}
+
+// cv2xCheck enforces rule CV-2X: the standard Make-Component Rule for
+// version instances and non-versionable objects, relaxed for generic
+// instances so that multiple exclusive references are legal when all stem
+// from version instances of one derivation hierarchy.
+func (m *Manager) cv2xCheck(parent uid.UID, child *object.Object, spec schema.AttrSpec) error {
+	if !m.IsGeneric(child.UID()) {
+		// Standard rule (§2.2).
+		if spec.Exclusive {
+			if child.HasAnyReverse() {
+				return fmt.Errorf("version: %v already has a composite parent: %w", child.UID(), core.ErrTopologyViolation)
+			}
+			return nil
+		}
+		if child.HasExclusiveReverse() {
+			return fmt.Errorf("version: %v has an exclusive composite parent: %w", child.UID(), core.ErrTopologyViolation)
+		}
+		return nil
+	}
+	// Child is a generic instance.
+	if !spec.Exclusive {
+		if child.HasExclusiveReverse() {
+			// A generic with exclusive references cannot also be shared.
+			return fmt.Errorf("version: generic %v has exclusive references: %w", child.UID(), ErrCV2X)
+		}
+		return nil
+	}
+	// Exclusive reference to a generic: every existing exclusive reference
+	// must come from a version instance of the same generic as parent.
+	parentGen, err := m.GenericOf(parent)
+	if err != nil {
+		// Parent is not a version instance: only one exclusive ref allowed.
+		if child.HasAnyReverse() {
+			return fmt.Errorf("version: generic %v already referenced; exclusive reference from non-version %v: %w",
+				child.UID(), parent, ErrCV2X)
+		}
+		return nil
+	}
+	for _, r := range child.Reverse() {
+		if !r.Exclusive {
+			return fmt.Errorf("version: generic %v has shared references: %w", child.UID(), ErrCV2X)
+		}
+		otherGen, err := m.GenericOf(r.Parent)
+		if err != nil || otherGen != parentGen {
+			// Generic-level entries are keyed by the parent's generic.
+			if r.Parent == parentGen {
+				continue
+			}
+			return fmt.Errorf("version: generic %v exclusively referenced from a different derivation hierarchy (%v): %w",
+				child.UID(), r.Parent, ErrCV2X)
+		}
+	}
+	return nil
+}
+
+// genericKey maps a referencing parent to the key its generic-level entry
+// uses: the parent itself when non-versionable, its generic otherwise.
+func (m *Manager) genericKey(parent uid.UID) uid.UID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.versionOf[parent]; ok {
+		return g
+	}
+	return parent
+}
+
+// noteRefAdded maintains the reverse composite generic references (§5.3)
+// after a composite reference parent -> child was created.
+func (m *Manager) noteRefAdded(parent, child uid.UID, spec schema.AttrSpec) {
+	gID := uid.Nil
+	if g, err := m.GenericOf(child); err == nil {
+		gID = g // static binding: entry goes in the version's generic
+	} else if m.IsGeneric(child) {
+		gID = child // dynamic binding: entry goes in the generic itself
+	} else {
+		return // child not versionable
+	}
+	key := m.genericKey(parent)
+	if gID == child && key == parent {
+		// Non-versionable parent referencing the generic directly: the
+		// engine's own reverse reference in the generic already records it.
+		return
+	}
+	gObj, err := m.e.Get(gID)
+	if err != nil {
+		return
+	}
+	if i := gObj.FindReverse(key); i >= 0 && gObj.Reverse()[i].Count > 0 {
+		r := gObj.Reverse()[i]
+		r.Count++
+		gObj.AddReverse(r)
+		return
+	}
+	gObj.AddReverse(object.ReverseRef{
+		Parent:    key,
+		Dependent: spec.Dependent,
+		Exclusive: spec.Exclusive,
+		Count:     1,
+	})
+}
+
+// noteRefRemoved decrements the generic-level ref-count for the removed
+// composite reference parent -> child, removing the entry at zero.
+func (m *Manager) noteRefRemoved(parent, child uid.UID) {
+	gID := uid.Nil
+	if g, err := m.GenericOf(child); err == nil {
+		gID = g
+	} else if m.IsGeneric(child) {
+		gID = child
+	} else {
+		return
+	}
+	key := m.genericKey(parent)
+	if gID == child && key == parent {
+		return
+	}
+	gObj, err := m.e.Get(gID)
+	if err != nil {
+		return
+	}
+	if i := gObj.FindReverse(key); i >= 0 {
+		r := gObj.Reverse()[i]
+		if r.Count > 1 {
+			r.Count--
+			gObj.AddReverse(r)
+		} else {
+			gObj.RemoveReverse(key)
+		}
+	}
+}
+
+// SetDefault pins the default version of g (dynamic references resolve to
+// it). Passing uid.Nil clears the pin, reverting to the system default
+// (the newest version by creation timestamp).
+func (m *Manager) SetDefault(g, v uid.UID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen, ok := m.generics[g]
+	if !ok {
+		return fmt.Errorf("%v: %w", g, ErrNotGeneric)
+	}
+	if v.IsNil() {
+		gen.HasDefault = false
+		gen.Default = uid.Nil
+		m.notify.emit(EventDefaultChanged, g, uid.Nil)
+		return nil
+	}
+	if m.versionOf[v] != g {
+		return fmt.Errorf("%v is not a version of %v: %w", v, g, ErrNotVersion)
+	}
+	gen.HasDefault = true
+	gen.Default = v
+	m.notify.emit(EventDefaultChanged, g, v)
+	return nil
+}
+
+// DefaultVersion returns the default version instance of g: the
+// user-specified default if set, otherwise the version with the newest
+// creation timestamp (§5.1).
+func (m *Manager) DefaultVersion(g uid.UID) (uid.UID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen, ok := m.generics[g]
+	if !ok {
+		return uid.Nil, fmt.Errorf("%v: %w", g, ErrNotGeneric)
+	}
+	if gen.HasDefault {
+		return gen.Default, nil
+	}
+	var best uid.UID
+	var bestTS uint64
+	for _, v := range gen.Versions {
+		if ts := gen.Stamp[v]; ts >= bestTS {
+			best, bestTS = v, ts
+		}
+	}
+	if best.IsNil() {
+		return uid.Nil, fmt.Errorf("%v has no versions: %w", g, ErrNotGeneric)
+	}
+	return best, nil
+}
+
+// Resolve implements dynamic binding: a generic instance resolves to its
+// default version; anything else resolves to itself.
+func (m *Manager) Resolve(id uid.UID) (uid.UID, error) {
+	if m.IsGeneric(id) {
+		return m.DefaultVersion(id)
+	}
+	return id, nil
+}
+
+// DeleteVersion deletes one version instance. Per CV-2X/CV-4X the engine
+// cascade deletes version instances statically bound through dependent
+// references; if the deleted instance was the last version, the generic
+// instance is deleted too (recursively through its exclusive dependent
+// generic references).
+func (m *Manager) DeleteVersion(v uid.UID) error {
+	gID, err := m.GenericOf(v)
+	if err != nil {
+		return err
+	}
+	oldDefault, _ := m.DefaultVersion(gID)
+	// Decrement generic-level counts for the composite references v holds.
+	if obj, err := m.e.Get(v); err == nil {
+		cl, _ := m.e.Catalog().ClassByID(v.Class)
+		if cl != nil {
+			attrs, _ := m.e.Catalog().Attributes(cl.Name)
+			for _, spec := range attrs {
+				if !spec.Composite {
+					continue
+				}
+				for _, child := range obj.Get(spec.Name).Refs(nil) {
+					m.noteRefRemoved(v, child)
+				}
+			}
+		}
+	}
+	deleted, err := m.e.Delete(v)
+	if err != nil {
+		return err
+	}
+	// The cascade may have removed versions of other generics too; every
+	// generic whose last version died is deleted as well (CV-4X).
+	m.mu.Lock()
+	touched := map[uid.UID]bool{gID: true}
+	for _, d := range deleted {
+		if g, ok := m.versionOf[d]; ok {
+			delete(m.versionOf, d)
+			touched[g] = true
+			if gen := m.generics[g]; gen != nil {
+				gen.remove(d)
+			}
+			m.notify.emit(EventVersionDeleted, g, d)
+		}
+	}
+	// Sweep every generic left without versions — the cascade may have
+	// emptied generics beyond the touched set when the engine hook already
+	// cleaned their bookkeeping.
+	_ = touched
+	var empty []uid.UID
+	for g, gen := range m.generics {
+		if len(gen.Versions) == 0 {
+			empty = append(empty, g)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(empty, func(i, j int) bool { return empty[i].Less(empty[j]) })
+	for _, g := range empty {
+		if err := m.DeleteGeneric(g); err != nil && !errors.Is(err, ErrNotGeneric) {
+			return err
+		}
+	}
+	// Dynamic bindings move when the (pinned or system) default version
+	// was among the casualties.
+	if m.IsGeneric(gID) {
+		if nd, err := m.DefaultVersion(gID); err == nil && nd != oldDefault {
+			m.notify.emit(EventDefaultChanged, gID, nd)
+		}
+	}
+	return nil
+}
+
+func (g *Generic) remove(v uid.UID) {
+	for i, x := range g.Versions {
+		if x == v {
+			g.Versions = append(g.Versions[:i], g.Versions[i+1:]...)
+			break
+		}
+	}
+	delete(g.DerivedFrom, v)
+	delete(g.Stamp, v)
+	if g.HasDefault && g.Default == v {
+		g.HasDefault = false
+		g.Default = uid.Nil
+	}
+}
+
+// DeleteGeneric deletes the whole versionable object: all version
+// instances, the generic instance, and recursively the generic instances
+// it holds exclusive dependent references to (CV-4X). The reverse
+// composite generic references identify those targets.
+func (m *Manager) DeleteGeneric(g uid.UID) error {
+	m.mu.Lock()
+	gen, ok := m.generics[g]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%v: %w", g, ErrNotGeneric)
+	}
+	m.mu.Unlock()
+	m.notify.emit(EventGenericDeleted, g, uid.Nil)
+	m.mu.Lock()
+	versions := append([]uid.UID(nil), gen.Versions...)
+	delete(m.generics, g)
+	m.mu.Unlock()
+
+	for _, v := range versions {
+		m.mu.Lock()
+		_, still := m.versionOf[v]
+		m.mu.Unlock()
+		if !still || !m.e.Exists(v) {
+			continue
+		}
+		// Bypass the last-version bookkeeping: the generic is already gone.
+		if deleted, err := m.e.Delete(v); err == nil {
+			m.mu.Lock()
+			for _, d := range deleted {
+				delete(m.versionOf, d)
+			}
+			m.mu.Unlock()
+		}
+	}
+	// Recursive generic deletion: find generics whose reverse composite
+	// generic references name g with D and X flags.
+	var cascade []uid.UID
+	m.mu.Lock()
+	others := make([]uid.UID, 0, len(m.generics))
+	for id := range m.generics {
+		others = append(others, id)
+	}
+	m.mu.Unlock()
+	sort.Slice(others, func(i, j int) bool { return others[i].Less(others[j]) })
+	for _, id := range others {
+		obj, err := m.e.Get(id)
+		if err != nil {
+			continue
+		}
+		if i := obj.FindReverse(g); i >= 0 {
+			r := obj.Reverse()[i]
+			obj.RemoveReverse(g)
+			if r.Exclusive && r.Dependent {
+				cascade = append(cascade, id)
+			}
+		}
+	}
+	if m.e.Exists(g) {
+		if _, err := m.e.Delete(g); err != nil {
+			return err
+		}
+	}
+	for _, id := range cascade {
+		if err := m.DeleteGeneric(id); err != nil && !errors.Is(err, ErrNotGeneric) {
+			return err
+		}
+	}
+	return nil
+}
+
+// state is the serialized form of the manager's bookkeeping.
+type state struct {
+	Clock    uint64    `json:"clock"`
+	Generics []Generic `json:"generics"`
+}
+
+// Save serializes the version bookkeeping (the objects themselves persist
+// through the storage layer).
+func (m *Manager) Save(w io.Writer) error {
+	m.mu.Lock()
+	st := state{Clock: m.clock}
+	for _, g := range m.generics {
+		cp := *g
+		st.Generics = append(st.Generics, cp)
+	}
+	m.mu.Unlock()
+	sort.Slice(st.Generics, func(i, j int) bool { return st.Generics[i].UID.Less(st.Generics[j].UID) })
+	return json.NewEncoder(w).Encode(&st)
+}
+
+// Load restores bookkeeping saved by Save.
+func (m *Manager) Load(r io.Reader) error {
+	var st state
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("version: load: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock = st.Clock
+	m.generics = make(map[uid.UID]*Generic, len(st.Generics))
+	m.versionOf = make(map[uid.UID]uid.UID)
+	for i := range st.Generics {
+		g := st.Generics[i]
+		m.generics[g.UID] = &g
+		for _, v := range g.Versions {
+			m.versionOf[v] = g.UID
+		}
+	}
+	return nil
+}
