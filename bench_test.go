@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"sync"
 	"fmt"
 	"testing"
 	"time"
@@ -756,6 +757,136 @@ func BenchmarkIndexedVsScan(b *testing.B) {
 			if err != nil || len(got) != n/len(mats) {
 				b.Fatalf("%d, %v", len(got), err)
 			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Concurrent read path (tentpole): parallel query throughput
+// ---------------------------------------------------------------------
+
+// treeNodes is the node count of a buildTree(depth, fanout) tree,
+// excluding the root (what ComponentsOf returns).
+func treeNodes(depth, fanout int) int {
+	n, level := 0, 1
+	for d := 0; d < depth; d++ {
+		level *= fanout
+		n += level
+	}
+	return n
+}
+
+// BenchmarkComponentsOfParallel drives the RLock read path from GOMAXPROCS
+// goroutines over a depth-8 / fanout-4 part tree (87380 components). The
+// serialized twin below forces the pre-refactor behavior — every query
+// exclusive — so the ratio between the two is the read-path speedup.
+// Plan-cache effectiveness is reported as a metric.
+func BenchmarkComponentsOfParallel(b *testing.B) {
+	e := partEngine(b, true, true)
+	root := buildTree(b, e, 8, 4)
+	want := treeNodes(8, 4)
+	e.ResetStats()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			comps, err := e.ComponentsOf(root, core.QueryOpts{})
+			if err != nil || len(comps) != want {
+				b.Errorf("components = %d, %v", len(comps), err)
+				return
+			}
+		}
+	})
+	s := e.Stats()
+	if tot := s.PlanHits + s.PlanMisses; tot > 0 {
+		b.ReportMetric(float64(s.PlanHits)/float64(tot), "plan-hit-rate")
+	}
+}
+
+// BenchmarkComponentsOfSerialized is the baseline for the parallel bench:
+// identical tree and query mix, but an external mutex serializes every
+// query, reproducing the old engine-wide exclusive lock.
+func BenchmarkComponentsOfSerialized(b *testing.B) {
+	e := partEngine(b, true, true)
+	root := buildTree(b, e, 8, 4)
+	want := treeNodes(8, 4)
+	var mu sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			comps, err := e.ComponentsOf(root, core.QueryOpts{})
+			mu.Unlock()
+			if err != nil || len(comps) != want {
+				b.Errorf("components = %d, %v", len(comps), err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkAncestorsOfCached measures the generation-checked ancestor
+// cache on a static graph: after the first miss per leaf, every query is
+// a signature validation plus a copy. Hit rate is reported as a metric.
+func BenchmarkAncestorsOfCached(b *testing.B) {
+	e := partEngine(b, true, true)
+	root := buildTree(b, e, 8, 2)
+	comps, err := e.ComponentsOf(root, core.QueryOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf := comps[len(comps)-1]
+	depth := 8
+	e.ResetStats()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ancs, err := e.AncestorsOf(leaf, core.QueryOpts{})
+			if err != nil || len(ancs) != depth {
+				b.Errorf("ancestors = %d, %v", len(ancs), err)
+				return
+			}
+		}
+	})
+	s := e.Stats()
+	if tot := s.AncestorHits + s.AncestorMisses; tot > 0 {
+		b.ReportMetric(float64(s.AncestorHits)/float64(tot), "anc-hit-rate")
+	}
+}
+
+// BenchmarkBufferPoolParallelFetch measures the striped pool under
+// concurrent page faults: 8-way shard striping lets fetches of different
+// pages proceed without contending on one pool mutex.
+func BenchmarkBufferPoolParallelFetch(b *testing.B) {
+	dev := storage.NewMemDevice()
+	bp := storage.NewBufferPool(dev, 256)
+	var ids []storage.PageID
+	for i := 0; i < 128; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, p.ID)
+		bp.Unpin(p.ID, true)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			id := ids[i%len(ids)]
+			i++
+			p, err := bp.Fetch(id)
+			if err != nil {
+				b.Errorf("fetch: %v", err)
+				return
+			}
+			if _, err := p.Read(0); err != nil {
+				b.Errorf("read: %v", err)
+				return
+			}
+			bp.Unpin(id, false)
 		}
 	})
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkComponentsOfParallel-8   \t 100\t  88589654 ns/op\t 0.9500 plan-hit-rate")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if r.Name != "BenchmarkComponentsOfParallel" || r.Procs != 8 || r.N != 100 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.NsPerOp != 88589654 || r.Metrics["plan-hit-rate"] != 0.95 {
+		t.Fatalf("parsed %+v", r)
+	}
+	// Sub-benchmark names keep their path; the -N suffix still strips.
+	r, ok = parseLine("BenchmarkComponentsOfDepth/depth=8-4 1000 123.5 ns/op 16 B/op 2 allocs/op")
+	if !ok || r.Name != "BenchmarkComponentsOfDepth/depth=8" || r.Procs != 4 {
+		t.Fatalf("parsed %+v, ok=%v", r, ok)
+	}
+	if r.Metrics["B/op"] != 16 || r.Metrics["allocs/op"] != 2 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t5.678s",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("%q parsed as a result", bad)
+		}
+	}
+}
+
+func TestRunPassthrough(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-2 50 200 ns/op",
+		"PASS",
+		"",
+	}, "\n")
+	var out, passthru bytes.Buffer
+	if err := run(strings.NewReader(in), &out, &passthru); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkA" || results[0].Procs != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	if got := passthru.String(); !strings.Contains(got, "goos: linux") || !strings.Contains(got, "PASS") {
+		t.Fatalf("passthru = %q", got)
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/uid"
+)
+
+// Stats is a snapshot of the read-path cache counters (see Engine.Stats).
+// Hit rates are observable per cache: ancestor-set entries back
+// AncestorsOf/ComponentOf (and the shorthands built on it), partition
+// entries back Partitions, and plan entries back the per-class composite
+// attribute plans that every ComponentsOf traversal consults.
+type Stats struct {
+	AncestorHits    uint64
+	AncestorMisses  uint64
+	PartitionHits   uint64
+	PartitionMisses uint64
+	PlanHits        uint64
+	PlanMisses      uint64
+	// Invalidations counts cache entries dropped eagerly by writers
+	// (entries invalidated lazily through a generation mismatch are not
+	// counted until they are replaced).
+	Invalidations uint64
+}
+
+// engineStats holds the live counters. They are atomics because cache
+// hits happen under the engine's read lock, where plain increments would
+// race.
+type engineStats struct {
+	ancestorHits    atomic.Uint64
+	ancestorMisses  atomic.Uint64
+	partitionHits   atomic.Uint64
+	partitionMisses atomic.Uint64
+	planHits        atomic.Uint64
+	planMisses      atomic.Uint64
+	invalidations   atomic.Uint64
+}
+
+// Stats returns a snapshot of the read-path cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		AncestorHits:    e.stats.ancestorHits.Load(),
+		AncestorMisses:  e.stats.ancestorMisses.Load(),
+		PartitionHits:   e.stats.partitionHits.Load(),
+		PartitionMisses: e.stats.partitionMisses.Load(),
+		PlanHits:        e.stats.planHits.Load(),
+		PlanMisses:      e.stats.planMisses.Load(),
+		Invalidations:   e.stats.invalidations.Load(),
+	}
+}
+
+// ResetStats zeroes the read-path cache counters.
+func (e *Engine) ResetStats() {
+	e.stats.ancestorHits.Store(0)
+	e.stats.ancestorMisses.Store(0)
+	e.stats.partitionHits.Store(0)
+	e.stats.partitionMisses.Store(0)
+	e.stats.planHits.Store(0)
+	e.stats.planMisses.Store(0)
+	e.stats.invalidations.Store(0)
+}
+
+// PartitionSets are the four partition sets of Definition 1 (§2.2): the
+// parents of an object split by the D and X flags of the composite
+// reference holding it. Slices are in reverse-reference order and owned by
+// the caller.
+type PartitionSets struct {
+	IX []uid.UID // independent exclusive
+	DX []uid.UID // dependent exclusive
+	IS []uid.UID // independent shared
+	DS []uid.UID // dependent shared
+}
+
+func (p PartitionSets) clone() PartitionSets {
+	return PartitionSets{
+		IX: append([]uid.UID(nil), p.IX...),
+		DX: append([]uid.UID(nil), p.DX...),
+		IS: append([]uid.UID(nil), p.IS...),
+		DS: append([]uid.UID(nil), p.DS...),
+	}
+}
+
+// ancestorEntry caches the raw (unfiltered, all-edges) ancestor set of one
+// object in BFS order. Validity is checked against the generation
+// counters of every object the traversal read (deps) plus the catalog's
+// deferred-evolution counter: any write to any dependency bumps its
+// generation, changing the signature sum, and any deferred schema change
+// advances the CC.
+type ancestorEntry struct {
+	order  []uid.UID
+	member map[uid.UID]bool
+	deps   []uid.UID
+	sig    uint64
+	cc     uint64
+}
+
+// partitionEntry caches the partition sets of one object. Only the
+// object's own generation matters: the sets are derived from its reverse
+// references alone.
+type partitionEntry struct {
+	sets PartitionSets
+	gen  uint64
+	cc   uint64
+}
+
+// planKey identifies a per-class composite traversal plan: the composite
+// attributes of the class that pass a given Exclusive/Shared edge filter.
+type planKey struct {
+	class     uid.ClassID
+	exclusive bool
+	shared    bool
+}
+
+// planEntry caches one traversal plan, keyed on the catalog version so
+// any schema mutation invalidates it.
+type planEntry struct {
+	attrs []string
+	ver   uint64
+}
+
+// readCache holds reader-filled memoization for the query path. It has
+// its own mutex (not the engine latch) because cache fills happen while
+// the engine latch is held for *reading*: many readers may insert
+// concurrently. Entries are immutable once stored.
+type readCache struct {
+	mu    sync.RWMutex
+	anc   map[uid.UID]*ancestorEntry
+	part  map[uid.UID]*partitionEntry
+	plans map[planKey]*planEntry
+}
+
+func newReadCache() *readCache {
+	return &readCache{
+		anc:   make(map[uid.UID]*ancestorEntry),
+		part:  make(map[uid.UID]*partitionEntry),
+		plans: make(map[planKey]*planEntry),
+	}
+}
+
+func (c *readCache) lookupAnc(id uid.UID) *ancestorEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.anc[id]
+}
+
+func (c *readCache) storeAnc(id uid.UID, ent *ancestorEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.anc[id] = ent
+}
+
+func (c *readCache) lookupPart(id uid.UID) *partitionEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.part[id]
+}
+
+func (c *readCache) storePart(id uid.UID, ent *partitionEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.part[id] = ent
+}
+
+func (c *readCache) lookupPlan(k planKey) *planEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.plans[k]
+}
+
+func (c *readCache) storePlan(k planKey, ent *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[k] = ent
+}
+
+// drop removes the entries keyed by id, returning how many were dropped.
+// Entries keyed by other objects that merely depend on id are invalidated
+// lazily by their signature check.
+func (c *readCache) drop(id uid.UID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	if _, ok := c.anc[id]; ok {
+		delete(c.anc, id)
+		n++
+	}
+	if _, ok := c.part[id]; ok {
+		delete(c.part, id)
+		n++
+	}
+	return n
+}
+
+// bumpLocked advances id's generation counter and eagerly drops cache
+// entries keyed by id. Every write path funnels through it (via flush or
+// explicitly), so a cached result is valid exactly while the generations
+// of everything it read are unchanged. Caller holds e.mu for writing.
+func (e *Engine) bumpLocked(id uid.UID) {
+	e.gens[id]++
+	if n := e.cache.drop(id); n > 0 {
+		e.stats.invalidations.Add(uint64(n))
+	}
+}
+
+// bumpDirtyLocked bumps every object accumulated in d. Caller holds e.mu
+// for writing.
+func (e *Engine) bumpDirtyLocked(d *dirtySet) {
+	for _, id := range d.ids.Slice() {
+		e.bumpLocked(id)
+	}
+}
+
+// sigLocked sums the generation counters of deps. Each counter is
+// monotonic, so the sum changes whenever any dependency changed. Caller
+// holds e.mu (read or write); gens is only written under the write lock.
+func (e *Engine) sigLocked(deps []uid.UID) uint64 {
+	var s uint64
+	for _, d := range deps {
+		s += e.gens[d]
+	}
+	return s
+}
+
+// ancestorValidLocked reports whether a cached ancestor entry is still
+// current. Caller holds e.mu (read or write).
+func (e *Engine) ancestorValidLocked(ent *ancestorEntry, cc uint64) bool {
+	return ent.cc == cc && e.sigLocked(ent.deps) == ent.sig
+}
+
+// storeAncestorsLocked builds and stores the cache entry for id's raw
+// ancestor set. order is the BFS order of every ancestor; the dependency
+// set is id plus every ancestor (exactly the objects whose reverse
+// references the traversal read, plus any dangling parents whose
+// reappearance must invalidate the entry). Caller holds e.mu.
+func (e *Engine) storeAncestorsLocked(id uid.UID, order []uid.UID, cc uint64) *ancestorEntry {
+	deps := make([]uid.UID, 0, len(order)+1)
+	deps = append(deps, id)
+	deps = append(deps, order...)
+	member := make(map[uid.UID]bool, len(order))
+	for _, u := range order {
+		member[u] = true
+	}
+	ent := &ancestorEntry{
+		order:  order,
+		member: member,
+		deps:   deps,
+		sig:    e.sigLocked(deps),
+		cc:     cc,
+	}
+	e.cache.storeAnc(id, ent)
+	return ent
+}
+
+// Partitions returns the partition sets IX/DX/IS/DS of Definition 1
+// (§2.2) for the object, from its reverse composite references, cached
+// until the object is next written or a deferred schema change arrives.
+func (e *Engine) Partitions(id uid.UID) (PartitionSets, error) {
+	e.mu.RLock()
+	cc := e.cat.CurrentCC()
+	if ent := e.cache.lookupPart(id); ent != nil && ent.cc == cc && ent.gen == e.gens[id] {
+		e.stats.partitionHits.Add(1)
+		out := ent.sets.clone()
+		e.mu.RUnlock()
+		return out, nil
+	}
+	e.stats.partitionMisses.Add(1)
+	o, err := e.readObject(id, cc)
+	if err == nil {
+		ent := &partitionEntry{
+			sets: PartitionSets{IX: o.IX(), DX: o.DX(), IS: o.IS(), DS: o.DS()},
+			gen:  e.gens[id],
+			cc:   cc,
+		}
+		e.cache.storePart(id, ent)
+		out := ent.sets.clone()
+		e.mu.RUnlock()
+		return out, nil
+	}
+	e.mu.RUnlock()
+	if err != errStaleCC {
+		return PartitionSets{}, err
+	}
+	// Deferred schema changes pend on the object: apply them under the
+	// write lock, then cache the fresh sets.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err = e.get(id)
+	if err != nil {
+		return PartitionSets{}, err
+	}
+	ent := &partitionEntry{
+		sets: PartitionSets{IX: o.IX(), DX: o.DX(), IS: o.IS(), DS: o.DS()},
+		gen:  e.gens[id],
+		cc:   e.cat.CurrentCC(),
+	}
+	e.cache.storePart(id, ent)
+	return ent.sets.clone(), nil
+}

@@ -35,13 +35,15 @@ func (e *Engine) CopyComposite(root uid.UID) (uid.UID, map[uid.UID]uid.UID, erro
 	dirty := newDirtySet()
 	copyID, err := e.copyLocked(root, mapping, dirty)
 	if err != nil {
-		// Undo partial work: evict every copy made so far.
+		// Undo partial work: evict every copy made so far, and invalidate
+		// readers of the shared children that briefly gained a parent.
 		for _, c := range mapping {
 			delete(e.objects, c)
 			if ext := e.extents[c.Class]; ext != nil {
 				ext.Remove(c)
 			}
 		}
+		e.bumpDirtyLocked(dirty)
 		return uid.Nil, nil, err
 	}
 	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {

@@ -87,8 +87,10 @@ type ParentSpec struct {
 }
 
 // Engine is the composite-object manager. It is safe for concurrent use;
-// operations take a coarse engine latch (concurrency control at the
-// transaction level is the lock manager's job, §7).
+// mutations take the engine latch exclusively, while the pure queries in
+// query.go run under the shared (read) side and so proceed in parallel
+// (concurrency control at the transaction level is the lock manager's
+// job, §7).
 type Engine struct {
 	mu      sync.RWMutex
 	cat     *schema.Catalog
@@ -97,6 +99,17 @@ type Engine struct {
 	extents map[uid.ClassID]*uid.Set
 	hook    Hook
 	legacy  bool
+
+	// Read-path state. gens holds a monotonic generation counter per UID,
+	// bumped (under the write lock) whenever the object is mutated,
+	// created, deleted, restored, or evicted; cached query results carry
+	// the generation sum of everything they read and are invalidated by
+	// any change to it. cache and stats have their own synchronization
+	// because readers fill them while holding only the read lock.
+	gens  map[uid.UID]uint64
+	cache *readCache
+	stats engineStats
+	trav  TraversalOpts
 }
 
 // NewEngine returns an empty engine over the catalog.
@@ -106,6 +119,9 @@ func NewEngine(cat *schema.Catalog) *Engine {
 		gen:     uid.NewGenerator(),
 		objects: make(map[uid.UID]*object.Object),
 		extents: make(map[uid.ClassID]*uid.Set),
+		gens:    make(map[uid.UID]uint64),
+		cache:   newReadCache(),
+		trav:    TraversalOpts{}.normalized(),
 	}
 }
 
@@ -151,6 +167,7 @@ func (e *Engine) Restore(o *object.Object) {
 	e.objects[o.UID()] = o
 	e.extentFor(o.Class()).Add(o.UID())
 	e.gen.Seed(o.UID().Serial)
+	e.bumpLocked(o.UID())
 }
 
 // Evict removes the object without running the Deletion Rule — the undo
@@ -162,13 +179,25 @@ func (e *Engine) Evict(id uid.UID) {
 	if ext := e.extents[id.Class]; ext != nil {
 		ext.Remove(id)
 	}
+	e.bumpLocked(id)
 }
 
 // Snapshot returns a deep copy of the object for undo logging.
 func (e *Engine) Snapshot(id uid.UID) (*object.Object, error) {
+	e.mu.RLock()
+	o, err := e.readObject(id, e.cat.CurrentCC())
+	if err == nil {
+		cp := o.Clone()
+		e.mu.RUnlock()
+		return cp, nil
+	}
+	e.mu.RUnlock()
+	if !errors.Is(err, errStaleCC) {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	o, err := e.get(id)
+	o, err = e.get(id)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +215,7 @@ func (e *Engine) Load(o *object.Object) error {
 	e.objects[o.UID()] = o
 	e.extentFor(o.Class()).Add(o.UID())
 	e.gen.Seed(o.UID().Serial)
+	e.bumpLocked(o.UID())
 	return nil
 }
 
@@ -199,11 +229,10 @@ func (e *Engine) extentFor(c uid.ClassID) *uid.Set {
 }
 
 // get returns the live object, applying pending deferred schema changes
-// (§4.3) first. Caller holds e.mu (read or write; ApplyPending mutates the
-// object, so concurrent readers rely on the engine latch being held for
-// writing during mutation — get with only the read lock is used on paths
-// that tolerate the benign flag rewrite because the catalog applies each
-// entry at most once per object).
+// (§4.3) first. ApplyPending mutates the object, so get requires the
+// caller to hold e.mu for WRITING; read-locked paths use readObject,
+// which detects pending changes and reports errStaleCC instead of
+// applying them.
 func (e *Engine) get(id uid.UID) (*object.Object, error) {
 	o, ok := e.objects[id]
 	if !ok {
@@ -213,7 +242,32 @@ func (e *Engine) get(id uid.UID) (*object.Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.cat.ApplyPending(cl.Name, o)
+	if e.cat.ApplyPending(cl.Name, o) > 0 {
+		e.bumpLocked(id)
+	}
+	return o, nil
+}
+
+// readObject is the read-locked counterpart of get: it returns the live
+// object without mutating anything. When deferred schema changes newer
+// than the object's CC stamp apply to its class, it fails with errStaleCC
+// and the caller must retry under the write lock via get. cc is the
+// catalog's current change counter (pass e.cat.CurrentCC(), hoisted so
+// loops pay the catalog lock once). Caller holds e.mu (read or write).
+func (e *Engine) readObject(id uid.UID, cc uint64) (*object.Object, error) {
+	o, ok := e.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
+	}
+	if o.CC() < cc {
+		cl, err := e.cat.ClassByID(id.Class)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.cat.Pending(cl.Name, o.CC())) > 0 {
+			return nil, errStaleCC
+		}
+	}
 	return o, nil
 }
 
@@ -221,9 +275,33 @@ func (e *Engine) get(id uid.UID) (*object.Object, error) {
 // engine's live record: callers must treat it as read-only and go through
 // Engine methods for mutation.
 func (e *Engine) Get(id uid.UID) (*object.Object, error) {
+	e.mu.RLock()
+	o, err := e.readObject(id, e.cat.CurrentCC())
+	e.mu.RUnlock()
+	if err == nil || !errors.Is(err, errStaleCC) {
+		return o, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.get(id)
+}
+
+// Mutate runs fn on the live object under the engine's write lock, then
+// invalidates the read-path caches for it. Layers that keep out-of-band
+// bookkeeping inside engine objects (the version manager's generic-level
+// reverse references, §5.3) must use it instead of mutating an object
+// returned by Get, so concurrent readers never observe a torn write and
+// cached ancestor/partition sets are dropped.
+func (e *Engine) Mutate(id uid.UID, fn func(o *object.Object)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err := e.get(id)
+	if err != nil {
+		return err
+	}
+	fn(o)
+	e.bumpLocked(id)
+	return nil
 }
 
 // Exists reports whether the object is present.
@@ -312,11 +390,14 @@ func (e *Engine) New(class string, attrs map[string]value.Value, parents ...Pare
 	}
 	e.objects[o.UID()] = o
 	e.extentFor(cl.ID).Add(o.UID())
+	dirty := newDirtySet()
 	cleanup := func() {
 		delete(e.objects, o.UID())
 		e.extents[cl.ID].Remove(o.UID())
+		// Reverse references inserted before the failure stay behind
+		// (historical behavior); invalidate whatever read them.
+		e.bumpDirtyLocked(dirty)
 	}
-	dirty := newDirtySet()
 	for name, v := range attrs {
 		if err := e.setAttrLocked(o, name, v, dirty); err != nil {
 			cleanup()
@@ -343,9 +424,12 @@ type dirtySet struct{ ids *uid.Set }
 func newDirtySet() *dirtySet       { return &dirtySet{ids: uid.NewSet()} }
 func (d *dirtySet) add(id uid.UID) { d.ids.Add(id) }
 
-// flush pushes dirty objects to the hook. created/near carry the
-// clustering hint for the newly created object, if any.
+// flush bumps the generation counters of every dirty object (invalidating
+// cached query results that depend on them) and pushes the objects to the
+// hook. created/near carry the clustering hint for the newly created
+// object, if any.
 func (e *Engine) flush(d *dirtySet, created, near uid.UID) error {
+	e.bumpDirtyLocked(d)
 	if e.hook == nil {
 		return nil
 	}

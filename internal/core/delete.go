@@ -32,6 +32,9 @@ func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
 	dirty := newDirtySet()
 	deleted := uid.NewSet()
 	e.deleteLocked(id, deleted, dirty)
+	for _, d := range deleted.Slice() {
+		e.bumpLocked(d)
+	}
 	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
 		return nil, err
 	}

@@ -70,6 +70,9 @@ func (e *Engine) dropAttrValuesLocked(class string, spec schema.AttrSpec) (*uid.
 			dirty.add(id)
 		}
 	}
+	for _, d := range deleted.Slice() {
+		e.bumpLocked(d)
+	}
 	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
 		return nil, err
 	}
@@ -129,6 +132,9 @@ func (e *Engine) DropClass(class string) ([]uid.UID, error) {
 		if !deleted.Contains(id) {
 			e.deleteLocked(id, deleted, dirty)
 		}
+	}
+	for _, d := range deleted.Slice() {
+		e.bumpLocked(d)
 	}
 	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/object"
@@ -19,11 +20,18 @@ import (
 // true) traverses all composite references, mirroring "if both Exclusive
 // and Shared are Nil, all components are retrieved". Level bounds the
 // component depth (0 = unlimited); it applies to components-of only.
+//
+// Strict turns a dangling composite reference — forward or reverse — from
+// a silent skip into an ErrDangling error. Dangling composite references
+// cannot arise through the public mutation API; they appear when lower
+// layers misuse Evict/Restore, and Strict is the diagnostic mode that
+// surfaces that.
 type QueryOpts struct {
 	Classes   []string
 	Exclusive bool
 	Shared    bool
 	Level     int
+	Strict    bool
 }
 
 // wantEdge reports whether an edge with the given exclusivity passes the
@@ -36,6 +44,15 @@ func (q QueryOpts) wantEdge(exclusive bool) bool {
 		return exclusive
 	}
 	return !exclusive
+}
+
+// cacheable reports whether the raw ancestor set answers the query: the
+// edge filter must be all-pass (a filtered traversal prunes whole
+// subtrees, which cannot be recovered from the unfiltered set) and Strict
+// must be off (a warm cache would mask the dangling reference a cold
+// strict walk reports).
+func (q QueryOpts) cacheable() bool {
+	return q.Exclusive == q.Shared && !q.Strict
 }
 
 // wantClass reports whether an object of the given class passes the
@@ -56,25 +73,45 @@ func (e *Engine) wantClass(q QueryOpts, id uid.UID) bool {
 	return false
 }
 
-// compositeChildren returns the UIDs o references through composite
-// attributes passing the edge filter, in attribute order.
-func (e *Engine) compositeChildren(o *object.Object, q QueryOpts) []uid.UID {
-	cl, err := e.cat.ClassByID(o.Class())
-	if err != nil {
-		return nil
-	}
-	attrs, err := e.cat.Attributes(cl.Name)
-	if err != nil {
-		return nil
+// filterAncestors applies the Classes filter to a cached raw ancestor
+// order. The result is always a fresh slice (cached orders are shared).
+func (e *Engine) filterAncestors(q QueryOpts, order []uid.UID) []uid.UID {
+	if len(q.Classes) == 0 {
+		return append([]uid.UID(nil), order...)
 	}
 	var out []uid.UID
-	for _, spec := range attrs {
-		if !spec.Composite || !q.wantEdge(spec.Exclusive) {
-			continue
+	for _, id := range order {
+		if e.wantClass(q, id) {
+			out = append(out, id)
 		}
-		out = o.Get(spec.Name).Refs(out)
 	}
 	return out
+}
+
+// withFresh runs fn on the live object with deferred schema changes
+// applied, without fn observing concurrent mutation: the fast path holds
+// the read lock and verifies no changes pend; otherwise the write lock is
+// taken and get applies them.
+func (e *Engine) withFresh(id uid.UID, fn func(o *object.Object)) error {
+	e.mu.RLock()
+	o, err := e.readObject(id, e.cat.CurrentCC())
+	if err == nil {
+		fn(o)
+		e.mu.RUnlock()
+		return nil
+	}
+	e.mu.RUnlock()
+	if !errors.Is(err, errStaleCC) {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	o, err = e.get(id)
+	if err != nil {
+		return err
+	}
+	fn(o)
+	return nil
 }
 
 // ComponentsOf implements (components-of Object ...): the objects directly
@@ -83,154 +120,182 @@ func (e *Engine) compositeChildren(o *object.Object, q QueryOpts) []uid.UID {
 // where the level of a component is the length of the shortest composite
 // path from the object, §2.2).
 func (e *Engine) ComponentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	e.mu.RLock()
+	cc := e.cat.CurrentCC()
+	root, err := e.readObject(id, cc)
+	var out []uid.UID
+	if err == nil {
+		out, err = e.componentsLocked(root, q, cc, false)
+	}
+	e.mu.RUnlock()
+	if err == nil || !errors.Is(err, errStaleCC) {
+		return out, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	root, err := e.get(id)
+	root, err = e.get(id)
 	if err != nil {
 		return nil, err
 	}
-	type item struct {
-		id    uid.UID
-		level int
-	}
-	seen := uid.NewSet(id)
-	queue := []item{{id, 0}}
-	var out []uid.UID
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if q.Level > 0 && cur.level >= q.Level {
-			continue
-		}
-		var o *object.Object
-		if cur.id == id {
-			o = root
-		} else {
-			var err error
-			o, err = e.get(cur.id)
-			if err != nil {
-				continue // dangling composite ref would be an integrity bug; skip defensively
-			}
-		}
-		for _, child := range e.compositeChildren(o, q) {
-			if !seen.Add(child) {
-				continue
-			}
-			if _, ok := e.objects[child]; !ok {
-				continue
-			}
-			if e.wantClass(q, child) {
-				out = append(out, child)
-			}
-			queue = append(queue, item{child, cur.level + 1})
-		}
-	}
-	return out, nil
+	return e.componentsLocked(root, q, 0, true)
 }
 
 // ParentsOf implements (parents-of Object ...): the objects holding direct
 // composite references to the object, read from its reverse composite
 // references (§2.4).
 func (e *Engine) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	o, err := e.get(id)
+	var out []uid.UID
+	err := e.withFresh(id, func(o *object.Object) {
+		for _, r := range o.Reverse() {
+			if q.wantEdge(r.Exclusive) && e.wantClass(q, r.Parent) {
+				out = append(out, r.Parent)
+			}
+		}
+	})
 	if err != nil {
 		return nil, err
-	}
-	var out []uid.UID
-	for _, r := range o.Reverse() {
-		if q.wantEdge(r.Exclusive) && e.wantClass(q, r.Parent) {
-			out = append(out, r.Parent)
-		}
 	}
 	return out, nil
 }
 
 // AncestorsOf implements (ancestors-of Object ...): the transitive closure
-// of ParentsOf, in BFS order.
+// of ParentsOf, in BFS order. When the edge filter is all-pass the raw
+// ancestor set is served from (and fills) the invalidation-aware cache;
+// the Classes filter applies to the cached order.
 func (e *Engine) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	cacheable := q.cacheable()
+	e.mu.RLock()
+	cc := e.cat.CurrentCC()
+	if cacheable {
+		if ent := e.cache.lookupAnc(id); ent != nil && e.ancestorValidLocked(ent, cc) {
+			e.stats.ancestorHits.Add(1)
+			out := e.filterAncestors(q, ent.order)
+			e.mu.RUnlock()
+			return out, nil
+		}
+		e.stats.ancestorMisses.Add(1)
+	}
+	out, err := e.ancestorsRead(id, q, cc, cacheable)
+	e.mu.RUnlock()
+	if err == nil || !errors.Is(err, errStaleCC) {
+		return out, err
+	}
+	// Deferred schema changes pend somewhere in the ancestor graph: apply
+	// them under the write lock and retry.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.get(id); err != nil {
+	root, err := e.get(id)
+	if err != nil {
 		return nil, err
 	}
-	seen := uid.NewSet(id)
-	queue := []uid.UID{id}
-	var out []uid.UID
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		o, ok := e.objects[cur]
-		if !ok {
-			continue
-		}
-		for _, r := range o.Reverse() {
-			if !q.wantEdge(r.Exclusive) {
-				continue
-			}
-			if !seen.Add(r.Parent) {
-				continue
-			}
-			if e.wantClass(q, r.Parent) {
-				out = append(out, r.Parent)
-			}
-			queue = append(queue, r.Parent)
-		}
+	order, err := e.ancestorsLocked(root, q, 0, true, cacheable)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	if cacheable {
+		ent := e.storeAncestorsLocked(id, order, e.cat.CurrentCC())
+		return e.filterAncestors(q, ent.order), nil
+	}
+	return order, nil
+}
+
+// ancestorsRead is the read-locked ancestor traversal, filling the cache
+// when the query is cacheable. Caller holds e.mu for reading.
+func (e *Engine) ancestorsRead(id uid.UID, q QueryOpts, cc uint64, cacheable bool) ([]uid.UID, error) {
+	root, err := e.readObject(id, cc)
+	if err != nil {
+		return nil, err
+	}
+	order, err := e.ancestorsLocked(root, q, cc, false, cacheable)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		ent := e.storeAncestorsLocked(id, order, cc)
+		return e.filterAncestors(q, ent.order), nil
+	}
+	return order, nil
+}
+
+// rawAncestorEntry returns the cached (or freshly computed and cached)
+// raw ancestor entry for id, for membership tests. Caller holds e.mu for
+// reading; errStaleCC propagates for the caller's write-locked retry.
+func (e *Engine) rawAncestorEntry(id uid.UID, cc uint64) (*ancestorEntry, error) {
+	if ent := e.cache.lookupAnc(id); ent != nil && e.ancestorValidLocked(ent, cc) {
+		e.stats.ancestorHits.Add(1)
+		return ent, nil
+	}
+	e.stats.ancestorMisses.Add(1)
+	root, err := e.readObject(id, cc)
+	if err != nil {
+		return nil, err
+	}
+	order, err := e.ancestorsLocked(root, QueryOpts{}, cc, false, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.storeAncestorsLocked(id, order, cc), nil
 }
 
 // ComponentOf implements (component-of Object1 Object2): true when a is a
 // direct or indirect component of b. It walks a's ancestor set via the
 // reverse references rather than scanning b's components, as §3.2 suggests
-// the shorthand should.
+// the shorthand should; the set is served from the ancestor cache.
 func (e *Engine) ComponentOf(a, b uid.UID) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, err := e.get(a); err != nil {
-		return false, err
+	e.mu.RLock()
+	cc := e.cat.CurrentCC()
+	var err error
+	if _, ok := e.objects[a]; !ok {
+		err = fmt.Errorf("%v: %w", a, ErrNoObject)
+	} else if _, ok := e.objects[b]; !ok {
+		err = fmt.Errorf("%v: %w", b, ErrNoObject)
 	}
-	if _, err := e.get(b); err != nil {
+	if err != nil {
+		e.mu.RUnlock()
 		return false, err
 	}
 	if a == b {
+		e.mu.RUnlock()
 		return false, nil
 	}
-	seen := uid.NewSet(a)
-	queue := []uid.UID{a}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		o, ok := e.objects[cur]
-		if !ok {
-			continue
-		}
-		for _, r := range o.Reverse() {
-			if r.Parent == b {
-				return true, nil
-			}
-			if seen.Add(r.Parent) {
-				queue = append(queue, r.Parent)
-			}
-		}
+	ent, err := e.rawAncestorEntry(a, cc)
+	if err == nil {
+		ok := ent.member[b]
+		e.mu.RUnlock()
+		return ok, nil
 	}
-	return false, nil
+	e.mu.RUnlock()
+	if !errors.Is(err, errStaleCC) {
+		return false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	root, err := e.get(a)
+	if err != nil {
+		return false, err
+	}
+	order, err := e.ancestorsLocked(root, QueryOpts{}, 0, true, true)
+	if err != nil {
+		return false, err
+	}
+	ent = e.storeAncestorsLocked(a, order, e.cat.CurrentCC())
+	return ent.member[b], nil
 }
 
 // ChildOf implements (child-of Object1 Object2): true when a is a direct
 // component of b.
 func (e *Engine) ChildOf(a, b uid.UID) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	o, err := e.get(a)
-	if err != nil {
+	var has bool
+	if err := e.withFresh(a, func(o *object.Object) { has = o.HasReverse(b) }); err != nil {
 		return false, err
 	}
-	if _, err := e.get(b); err != nil {
-		return false, err
+	e.mu.RLock()
+	_, ok := e.objects[b]
+	e.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("%v: %w", b, ErrNoObject)
 	}
-	return o.HasReverse(b), nil
+	return has, nil
 }
 
 // ExclusiveComponentOf implements (exclusive-component-of Object1
@@ -242,10 +307,14 @@ func (e *Engine) ExclusiveComponentOf(a, b uid.UID) (bool, error) {
 	if err != nil || !is {
 		return false, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	o := e.objects[a]
-	return o != nil && o.HasExclusiveReverse(), nil
+	var excl bool
+	if err := e.withFresh(a, func(o *object.Object) { excl = o.HasExclusiveReverse() }); err != nil {
+		if errors.Is(err, ErrNoObject) {
+			return false, nil // deleted between the two steps
+		}
+		return false, err
+	}
+	return excl, nil
 }
 
 // SharedComponentOf implements (shared-component-of Object1 Object2): true
@@ -256,22 +325,38 @@ func (e *Engine) SharedComponentOf(a, b uid.UID) (bool, error) {
 	if err != nil || !is {
 		return false, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	o := e.objects[a]
-	return o != nil && !o.HasExclusiveReverse(), nil
+	var excl, alive bool
+	if err := e.withFresh(a, func(o *object.Object) { excl, alive = o.HasExclusiveReverse(), true }); err != nil {
+		if errors.Is(err, ErrNoObject) {
+			return false, nil
+		}
+		return false, err
+	}
+	return alive && !excl, nil
 }
 
 // LevelOf returns n such that a is a level-n component of b (the shortest
 // path from b to a counted in composite references, §2.2), or -1 when a is
 // not a component of b.
 func (e *Engine) LevelOf(a, b uid.UID) (int, error) {
+	e.mu.RLock()
+	cc := e.cat.CurrentCC()
+	lvl, err := e.levelLocked(a, b, cc, false)
+	e.mu.RUnlock()
+	if err == nil || !errors.Is(err, errStaleCC) {
+		return lvl, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.get(a); err != nil {
+	return e.levelLocked(a, b, 0, true)
+}
+
+func (e *Engine) levelLocked(a, b uid.UID, cc uint64, mutate bool) (int, error) {
+	w := e.newWalker(QueryOpts{}, cc, mutate)
+	if _, err := w.fetch(a); err != nil {
 		return -1, err
 	}
-	if _, err := e.get(b); err != nil {
+	if _, err := w.fetch(b); err != nil {
 		return -1, err
 	}
 	type item struct {
@@ -283,8 +368,11 @@ func (e *Engine) LevelOf(a, b uid.UID) (int, error) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		o, ok := e.objects[cur.id]
-		if !ok {
+		o, err := w.fetch(cur.id)
+		if err != nil {
+			if errors.Is(err, errStaleCC) {
+				return -1, err
+			}
 			continue
 		}
 		for _, r := range o.Reverse() {
@@ -304,9 +392,21 @@ func (e *Engine) LevelOf(a, b uid.UID) (int, error) {
 // system needs this for locking and authorization (§2.4), and because
 // bottom-up creation lets roots change, it is computed, never cached.
 func (e *Engine) RootsOf(id uid.UID) ([]uid.UID, error) {
+	e.mu.RLock()
+	cc := e.cat.CurrentCC()
+	roots, err := e.rootsLocked(id, cc, false)
+	e.mu.RUnlock()
+	if err == nil || !errors.Is(err, errStaleCC) {
+		return roots, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	o, err := e.get(id)
+	return e.rootsLocked(id, 0, true)
+}
+
+func (e *Engine) rootsLocked(id uid.UID, cc uint64, mutate bool) ([]uid.UID, error) {
+	w := e.newWalker(QueryOpts{}, cc, mutate)
+	o, err := w.fetch(id)
 	if err != nil {
 		return nil, err
 	}
@@ -319,8 +419,11 @@ func (e *Engine) RootsOf(id uid.UID) ([]uid.UID, error) {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		co, ok := e.objects[cur]
-		if !ok {
+		co, err := w.fetch(cur)
+		if err != nil {
+			if errors.Is(err, errStaleCC) {
+				return nil, err
+			}
 			continue
 		}
 		if cur != id && !co.HasAnyReverse() {
@@ -338,15 +441,17 @@ func (e *Engine) RootsOf(id uid.UID) ([]uid.UID, error) {
 
 // Describe renders the object with its class name, for the figures tool.
 func (e *Engine) Describe(id uid.UID) (string, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	o, err := e.get(id)
-	if err != nil {
+	var s string
+	var cerr error
+	if err := e.withFresh(id, func(o *object.Object) {
+		cl, err := e.cat.ClassByID(id.Class)
+		if err != nil {
+			cerr = err
+			return
+		}
+		s = fmt.Sprintf("%s %s", cl.Name, o)
+	}); err != nil {
 		return "", err
 	}
-	cl, err := e.cat.ClassByID(id.Class)
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("%s %s", cl.Name, o), nil
+	return s, cerr
 }

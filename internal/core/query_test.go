@@ -351,3 +351,71 @@ func TestDescribe(t *testing.T) {
 		t.Fatalf("Describe = %q", s)
 	}
 }
+
+func TestParentsAncestorsBothFlags(t *testing.T) {
+	// Exclusive && Shared both true means "no edge filter" for the upward
+	// queries too, matching the ComponentsOf boundary behavior.
+	f := newDocFixture(t)
+	for _, q := range []QueryOpts{{}, {Exclusive: true, Shared: true}} {
+		parents, err := f.e.ParentsOf(f.pShared, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(asSet(parents), asSet([]uid.UID{f.s1, f.s2})) {
+			t.Fatalf("opts %+v: parents = %v", q, parents)
+		}
+		ancs, err := f.e.AncestorsOf(f.pShared, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(asSet(ancs), asSet([]uid.UID{f.s1, f.s2, f.doc1, f.doc2})) {
+			t.Fatalf("opts %+v: ancestors = %v", q, ancs)
+		}
+	}
+	// Exclusive-only keeps only the X edge: note's single parent edge is
+	// exclusive, pShared's are both shared.
+	if got, _ := f.e.ParentsOf(f.pShared, QueryOpts{Exclusive: true}); len(got) != 0 {
+		t.Fatalf("exclusive parents of shared component = %v", got)
+	}
+	if got, _ := f.e.AncestorsOf(f.note, QueryOpts{Exclusive: true}); !reflect.DeepEqual(got, []uid.UID{f.doc1}) {
+		t.Fatalf("exclusive ancestors = %v", got)
+	}
+	if got, _ := f.e.AncestorsOf(f.note, QueryOpts{Shared: true}); len(got) != 0 {
+		t.Fatalf("shared ancestors of exclusive component = %v", got)
+	}
+}
+
+func TestAncestorsParentsSubclassFilter(t *testing.T) {
+	// Class filters on the upward queries accept subclass instances: a
+	// filter on "Asm" matches a parent that is a SubAsm.
+	cat := schema.NewCatalog()
+	cat.DefineClass(schema.ClassDef{Name: "Part"})
+	cat.DefineClass(schema.ClassDef{Name: "Asm", Attributes: []schema.AttrSpec{
+		schema.NewCompositeSetAttr("Parts", "Part"),
+	}})
+	cat.DefineClass(schema.ClassDef{Name: "SubAsm", Superclasses: []string{"Asm"}})
+	e := NewEngine(cat)
+	sub := mustNew(t, e, "SubAsm", nil)
+	bolt := mustNew(t, e, "Part", nil, ParentSpec{Parent: sub.UID(), Attr: "Parts"})
+
+	got, err := e.ParentsOf(bolt.UID(), QueryOpts{Classes: []string{"Asm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uid.UID{sub.UID()}) {
+		t.Fatalf("subclass-filtered parents = %v", got)
+	}
+	got, err = e.AncestorsOf(bolt.UID(), QueryOpts{Classes: []string{"Asm"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uid.UID{sub.UID()}) {
+		t.Fatalf("subclass-filtered ancestors = %v", got)
+	}
+	// A filter naming the subclass must not match plain superclass parents
+	// elsewhere — here it simply keeps matching the SubAsm instance, and an
+	// unrelated class name filters everything out.
+	if got, _ := e.AncestorsOf(bolt.UID(), QueryOpts{Classes: []string{"Part"}}); len(got) != 0 {
+		t.Fatalf("mismatched class filter = %v", got)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+)
+
+// errStaleCC signals, on the read-locked fast path, that deferred schema
+// changes (§4.3) pend on an object the query touched. Applying them
+// mutates the object, which the read lock forbids; the caller retries the
+// whole operation under the write lock, where get applies them.
+var errStaleCC = errors.New("core: deferred schema changes pending")
+
+// ErrDangling reports a composite reference to a missing object, surfaced
+// by queries run with QueryOpts.Strict. A dangling composite reference is
+// an integrity violation (unlike weak references, which ORION lets
+// dangle); the lenient default skips it, as the paper's implementation
+// does.
+var ErrDangling = errors.New("core: dangling composite reference")
+
+// TraversalOpts configures the parallel composite traversal used by
+// ComponentsOf and AncestorsOf. Parallelism bounds the worker count for
+// expanding one BFS level (<= 0 selects GOMAXPROCS); Threshold is the
+// minimum frontier size before workers are used at all (<= 0 selects the
+// default) — small frontiers expand sequentially, since fan-out overhead
+// would dominate.
+type TraversalOpts struct {
+	Parallelism int
+	Threshold   int
+}
+
+// defaultTraversalThreshold is the frontier size below which level
+// expansion stays sequential.
+const defaultTraversalThreshold = 64
+
+func (t TraversalOpts) normalized() TraversalOpts {
+	if t.Parallelism <= 0 {
+		t.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if t.Threshold <= 0 {
+		t.Threshold = defaultTraversalThreshold
+	}
+	return t
+}
+
+// SetTraversalOpts installs the traversal configuration.
+func (e *Engine) SetTraversalOpts(t TraversalOpts) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.trav = t.normalized()
+}
+
+// TraversalOpts returns the current traversal configuration.
+func (e *Engine) TraversalOpts() TraversalOpts {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.trav
+}
+
+// walker carries the per-traversal state of one BFS. mutate selects the
+// write-locked path: fetch applies deferred schema changes via get, and
+// expansion stays sequential (workers must not mutate). On the read
+// path (mutate false) fetch never mutates and fails with errStaleCC when
+// an object it needs has pending changes.
+//
+// plans and maxCC are written only by the merge step (which runs on the
+// goroutine holding the engine latch), never by expansion workers, so the
+// maps need no locking.
+type walker struct {
+	e      *Engine
+	q      QueryOpts
+	cc     uint64
+	catVer uint64
+	mutate bool
+	plans  map[uid.ClassID][]string
+	maxCC  map[uid.ClassID]uint64
+}
+
+func (e *Engine) newWalker(q QueryOpts, cc uint64, mutate bool) *walker {
+	return &walker{
+		e:      e,
+		q:      q,
+		cc:     cc,
+		catVer: e.cat.Version(),
+		mutate: mutate,
+		plans:  make(map[uid.ClassID][]string),
+		maxCC:  make(map[uid.ClassID]uint64),
+	}
+}
+
+// fetch returns the live object for a traversal step. Read path: the
+// object is returned as stored, unless deferred schema changes newer than
+// its CC stamp apply to its class, in which case errStaleCC tells the
+// caller to restart under the write lock. Write path: get, which applies
+// the pending changes.
+func (w *walker) fetch(id uid.UID) (*object.Object, error) {
+	if w.mutate {
+		return w.e.get(id)
+	}
+	o, ok := w.e.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
+	}
+	if o.CC() < w.cc && o.CC() < w.pendingCeiling(id.Class) {
+		return nil, errStaleCC
+	}
+	return o, nil
+}
+
+// pendingCeiling returns the highest CC of a deferred log entry applicable
+// to instances of class c (0 when none), memoized per traversal so the
+// staleness test on each visited object is O(1) after the first instance
+// of its class.
+func (w *walker) pendingCeiling(c uid.ClassID) uint64 {
+	if v, ok := w.maxCC[c]; ok {
+		return v
+	}
+	var v uint64
+	if cl, err := w.e.cat.ClassByID(c); err == nil {
+		if entries := w.e.cat.Pending(cl.Name, 0); len(entries) > 0 {
+			v = entries[len(entries)-1].CC
+		}
+	}
+	w.maxCC[c] = v
+	return v
+}
+
+// planFor memoizes the composite attributes of class c that pass the edge
+// filter, consulting the engine-wide plan cache first (catalog attribute
+// resolution walks the inheritance lattice on every call, which dominates
+// traversal cost on deep schemas). Merge-side only.
+func (w *walker) planFor(c uid.ClassID) {
+	if _, ok := w.plans[c]; ok {
+		return
+	}
+	key := planKey{class: c, exclusive: w.q.Exclusive, shared: w.q.Shared}
+	if ent := w.e.cache.lookupPlan(key); ent != nil && ent.ver == w.catVer {
+		w.e.stats.planHits.Add(1)
+		w.plans[c] = ent.attrs
+		return
+	}
+	w.e.stats.planMisses.Add(1)
+	var names []string
+	if cl, err := w.e.cat.ClassByID(c); err == nil {
+		if attrs, err := w.e.cat.Attributes(cl.Name); err == nil {
+			for _, spec := range attrs {
+				if spec.Composite && w.q.wantEdge(spec.Exclusive) {
+					names = append(names, spec.Name)
+				}
+			}
+		}
+	}
+	w.plans[c] = names
+	w.e.cache.storePlan(key, &planEntry{attrs: names, ver: w.catVer})
+}
+
+// children returns the UIDs o references through the planned composite
+// attributes, in attribute order. The plan for o's class must already be
+// in w.plans (the merge step guarantees this before expansion).
+func (w *walker) children(o *object.Object) []uid.UID {
+	var out []uid.UID
+	for _, name := range w.plans[o.Class()] {
+		out = o.Get(name).Refs(out)
+	}
+	return out
+}
+
+// expand computes the outgoing edges of every frontier object — composite
+// children (down) or composite parents via reverse references (up) — as
+// one slice per frontier slot, preserving per-object order. Large
+// frontiers are split across workers; because each worker writes only its
+// own slots and reads only immutable traversal state, the result is
+// identical to the sequential expansion, and the caller's ordered merge
+// preserves the BFS level-order output contract exactly.
+func (w *walker) expand(frontier []*object.Object, down bool) [][]uid.UID {
+	out := make([][]uid.UID, len(frontier))
+	expand1 := func(i int) {
+		o := frontier[i]
+		if down {
+			out[i] = w.children(o)
+			return
+		}
+		for _, r := range o.Reverse() {
+			if w.q.wantEdge(r.Exclusive) {
+				out[i] = append(out[i], r.Parent)
+			}
+		}
+	}
+	opts := w.e.trav
+	if w.mutate || opts.Parallelism <= 1 || len(frontier) < opts.Threshold {
+		for i := range frontier {
+			expand1(i)
+		}
+		return out
+	}
+	workers := opts.Parallelism
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	chunk := (len(frontier) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(frontier); lo += chunk {
+		hi := lo + chunk
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				expand1(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// componentsLocked runs the (components-of ...) BFS from root. The
+// traversal is level-synchronous: each level is expanded (possibly in
+// parallel), then merged sequentially in frontier order, so the output is
+// the exact BFS level-order sequence the sequential walk produces. Caller
+// holds e.mu — for reading when w.mutate is false, for writing otherwise.
+func (e *Engine) componentsLocked(root *object.Object, q QueryOpts, cc uint64, mutate bool) ([]uid.UID, error) {
+	w := e.newWalker(q, cc, mutate)
+	id := root.UID()
+	w.planFor(id.Class)
+	seen := uid.NewSet(id)
+	frontier := []*object.Object{root}
+	frontierIDs := []uid.UID{id}
+	var out []uid.UID
+	for level := 0; len(frontier) > 0; level++ {
+		if q.Level > 0 && level >= q.Level {
+			break
+		}
+		var next []*object.Object
+		var nextIDs []uid.UID
+		for i, kids := range w.expand(frontier, true) {
+			for _, child := range kids {
+				if !seen.Add(child) {
+					continue
+				}
+				co, err := w.fetch(child)
+				if err != nil {
+					if errors.Is(err, errStaleCC) {
+						return nil, err
+					}
+					if q.Strict {
+						return nil, fmt.Errorf("core: %v references missing component %v: %w",
+							frontierIDs[i], child, ErrDangling)
+					}
+					continue // dangling composite ref would be an integrity bug; skip defensively
+				}
+				if e.wantClass(q, child) {
+					out = append(out, child)
+				}
+				w.planFor(child.Class)
+				next = append(next, co)
+				nextIDs = append(nextIDs, child)
+			}
+		}
+		frontier, frontierIDs = next, nextIDs
+	}
+	return out, nil
+}
+
+// ancestorsLocked runs the reverse BFS from start over the reverse
+// composite references. With raw true, the edge filter is all-pass and
+// every ancestor is collected (the cacheable form; class filtering
+// happens on the cached order afterwards). A reverse reference to a
+// missing parent still contributes the parent to the output — ParentsOf
+// reads reverse references without an existence check, and ancestors-of
+// is its closure — but is not expanded; with q.Strict it is an error.
+// Caller holds e.mu as for componentsLocked.
+func (e *Engine) ancestorsLocked(start *object.Object, q QueryOpts, cc uint64, mutate, raw bool) ([]uid.UID, error) {
+	if raw {
+		q = QueryOpts{Strict: q.Strict}
+	}
+	w := e.newWalker(q, cc, mutate)
+	seen := uid.NewSet(start.UID())
+	frontier := []*object.Object{start}
+	frontierIDs := []uid.UID{start.UID()}
+	var out []uid.UID
+	for len(frontier) > 0 {
+		var next []*object.Object
+		var nextIDs []uid.UID
+		for i, parents := range w.expand(frontier, false) {
+			for _, p := range parents {
+				if !seen.Add(p) {
+					continue
+				}
+				keep := raw || e.wantClass(q, p)
+				po, err := w.fetch(p)
+				if err != nil {
+					if errors.Is(err, errStaleCC) {
+						return nil, err
+					}
+					if q.Strict {
+						return nil, fmt.Errorf("core: %v holds a reverse reference to missing parent %v: %w",
+							frontierIDs[i], p, ErrDangling)
+					}
+					if keep {
+						out = append(out, p)
+					}
+					continue
+				}
+				if keep {
+					out = append(out, p)
+				}
+				next = append(next, po)
+				nextIDs = append(nextIDs, p)
+			}
+		}
+		frontier, frontierIDs = next, nextIDs
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/uid"
 	"repro/internal/value"
@@ -59,7 +60,17 @@ type Catalog struct {
 	// logs) and lets an instance carry one stamp even when changes arrive
 	// through several superclasses.
 	globalCC uint64
+	// version counts catalog mutations of any kind (class definitions,
+	// attribute changes, lattice edits, reloads). Read-path plan caches
+	// key their validity on it; unlike globalCC it advances for changes
+	// that deferred evolution does not log.
+	version atomic.Uint64
 }
+
+// Version returns the catalog mutation counter. It advances (at least)
+// once per successful or attempted catalog mutation, so any cached
+// derivation of the schema is stale whenever the counter moved.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -76,6 +87,7 @@ func NewCatalog() *Catalog {
 // may shadow inherited attributes, which ORION treats as overriding).
 func (c *Catalog) DefineClass(def ClassDef) (*Class, error) {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	if def.Name == "" {
 		return nil, fmt.Errorf("schema: class with empty name")

@@ -71,6 +71,7 @@ type OpLog struct {
 // The returned LogEntry describes the flag rewrite in either mode.
 func (c *Catalog) ChangeAttributeType(name, attr string, kind ChangeKind, deferred bool) (LogEntry, error) {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	def, err := c.definingClassLocked(name, attr)
 	if err != nil {
@@ -133,6 +134,7 @@ func (c *Catalog) ChangeAttributeType(name, attr string, kind ChangeKind, deferr
 // records the new spec here.
 func (c *Catalog) UpdateAttributeFlags(name, attr string, composite, exclusive, dependent bool) error {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	def, err := c.definingClassLocked(name, attr)
 	if err != nil {
@@ -233,6 +235,7 @@ func (c *Catalog) ApplyPending(className string, o *object.Object) int {
 // AddAttribute appends a new own attribute to the class.
 func (c *Catalog) AddAttribute(name string, spec AttrSpec) error {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	cl, err := c.classLocked(name)
 	if err != nil {
@@ -266,6 +269,7 @@ func (c *Catalog) AddAttribute(name string, spec AttrSpec) error {
 // delete dependent components per the Deletion Rule.
 func (c *Catalog) DropAttribute(name, attr string) (AttrSpec, error) {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	cl, err := c.classLocked(name)
 	if err != nil {
@@ -290,6 +294,7 @@ func (c *Catalog) DropAttribute(name, attr string) (AttrSpec, error) {
 // with DropAttribute.
 func (c *Catalog) RenameAttribute(name, attr, newName string) error {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	cl, err := c.classLocked(name)
 	if err != nil {
@@ -321,6 +326,7 @@ func (c *Catalog) RenameAttribute(name, attr, newName string) error {
 // the IS-A lattice), rejecting cycles.
 func (c *Catalog) AddSuperclass(name, super string) error {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	cl, err := c.classLocked(name)
 	if err != nil {
@@ -348,6 +354,7 @@ func (c *Catalog) AddSuperclass(name, super string) error {
 // them to cascade deletions.
 func (c *Catalog) RemoveSuperclass(name, super string) ([]AttrSpec, error) {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	cl, err := c.classLocked(name)
 	if err != nil {
@@ -419,6 +426,7 @@ func (c *Catalog) domainUsageLocked(name string) error {
 // catalog referentially sound.
 func (c *Catalog) DropClass(name string) (*Class, error) {
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	cl, err := c.classLocked(name)
 	if err != nil {

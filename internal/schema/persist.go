@@ -45,6 +45,7 @@ func (c *Catalog) Load(r io.Reader) error {
 		return fmt.Errorf("schema: load catalog: %w", err)
 	}
 	c.mu.Lock()
+	defer c.version.Add(1)
 	defer c.mu.Unlock()
 	c.nextID = st.NextID
 	c.globalCC = st.GlobalCC

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts buffer-pool activity. Reads/Writes are device I/Os; Hits
@@ -30,18 +31,44 @@ type frame struct {
 	elem  *list.Element // position in the LRU list when unpinned; nil when pinned
 }
 
-// BufferPool caches pages from a Device with LRU replacement of unpinned
-// frames. It is safe for concurrent use; pages returned by Fetch/NewPage
-// are pinned and must be released with Unpin. Concurrent mutators of the
-// same page must coordinate externally (the object store holds its own
-// latch).
-type BufferPool struct {
+// shard is one independently locked slice of the pool: its own frame
+// table, LRU list, and capacity share. Pages map to shards by PageID, so
+// two readers faulting on different pages contend only when the pages
+// hash to the same shard.
+type shard struct {
 	mu       sync.Mutex
-	dev      Device
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // of PageID, front = most recently unpinned
-	stats    Stats
+}
+
+// Shard sizing: the shard count is the largest power of two (up to
+// maxPoolShards) that still leaves every shard at least minShardFrames
+// frames. Small pools therefore keep a single shard — and with it the
+// exact global LRU order the replacement tests and the clustering bench
+// rely on — while the default 256-page pool splits 16 ways.
+const (
+	maxPoolShards  = 16
+	minShardFrames = 16
+)
+
+// BufferPool caches pages from a Device with LRU replacement of unpinned
+// frames. It is safe for concurrent use; pages returned by Fetch/NewPage
+// are pinned and must be released with Unpin. Locking is striped by
+// PageID so concurrent fetches of different pages proceed in parallel
+// (eviction is per shard: each shard runs LRU over its own capacity
+// share). Concurrent mutators of the same page must coordinate externally
+// (the object store holds its own latch).
+type BufferPool struct {
+	dev    Device
+	shards []*shard
+	mask   uint32
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	reads     atomic.Uint64
+	writes    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // NewBufferPool returns a pool holding at most capacity pages.
@@ -49,56 +76,84 @@ func NewBufferPool(dev Device, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		dev:      dev,
-		capacity: capacity,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
+	n := 1
+	for n < maxPoolShards && capacity/(n*2) >= minShardFrames {
+		n *= 2
 	}
+	bp := &BufferPool{dev: dev, mask: uint32(n - 1)}
+	per, rem := capacity/n, capacity%n
+	for i := 0; i < n; i++ {
+		c := per
+		if i < rem {
+			c++
+		}
+		bp.shards = append(bp.shards, &shard{
+			capacity: c,
+			frames:   make(map[PageID]*frame),
+			lru:      list.New(),
+		})
+	}
+	return bp
 }
+
+func (bp *BufferPool) shardFor(id PageID) *shard {
+	return bp.shards[uint32(id)&bp.mask]
+}
+
+// Shards returns the number of lock stripes (for tests and diagnostics).
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
 
 // Device returns the underlying device.
 func (bp *BufferPool) Device() Device { return bp.dev }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. Counters are atomics, so
+// the snapshot is race-clean even against concurrent fetches (each field
+// is individually exact; the set is not a single instant's cut).
 func (bp *BufferPool) Stats() Stats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return Stats{
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Reads:     bp.reads.Load(),
+		Writes:    bp.writes.Load(),
+		Evictions: bp.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the pool counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = Stats{}
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.reads.Store(0)
+	bp.writes.Store(0)
+	bp.evictions.Store(0)
 }
 
-// evictOne writes back and drops the least recently used unpinned frame.
-// Caller holds bp.mu.
-func (bp *BufferPool) evictOne() error {
-	back := bp.lru.Back()
+// evictOne writes back and drops the shard's least recently used unpinned
+// frame. Caller holds s.mu.
+func (bp *BufferPool) evictOne(s *shard) error {
+	back := s.lru.Back()
 	if back == nil {
 		return ErrPoolFull
 	}
 	id := back.Value.(PageID)
-	fr := bp.frames[id]
+	fr := s.frames[id]
 	if fr.dirty {
 		if err := bp.dev.WritePage(&fr.page); err != nil {
 			return err
 		}
-		bp.stats.Writes++
+		bp.writes.Add(1)
 	}
-	bp.lru.Remove(back)
-	delete(bp.frames, id)
-	bp.stats.Evictions++
+	s.lru.Remove(back)
+	delete(s.frames, id)
+	bp.evictions.Add(1)
 	return nil
 }
 
-// ensureRoom makes space for one more frame. Caller holds bp.mu.
-func (bp *BufferPool) ensureRoom() error {
-	for len(bp.frames) >= bp.capacity {
-		if err := bp.evictOne(); err != nil {
+// ensureRoom makes space for one more frame in the shard. Caller holds
+// s.mu.
+func (bp *BufferPool) ensureRoom(s *shard) error {
+	for len(s.frames) >= s.capacity {
+		if err := bp.evictOne(s); err != nil {
 			return err
 		}
 	}
@@ -107,55 +162,58 @@ func (bp *BufferPool) ensureRoom() error {
 
 // Fetch returns the page pinned. The caller must Unpin it.
 func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if fr, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+	s := bp.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fr, ok := s.frames[id]; ok {
+		bp.hits.Add(1)
 		if fr.elem != nil {
-			bp.lru.Remove(fr.elem)
+			s.lru.Remove(fr.elem)
 			fr.elem = nil
 		}
 		fr.pins++
 		return &fr.page, nil
 	}
-	bp.stats.Misses++
-	if err := bp.ensureRoom(); err != nil {
+	bp.misses.Add(1)
+	if err := bp.ensureRoom(s); err != nil {
 		return nil, err
 	}
 	fr := &frame{pins: 1}
 	if err := bp.dev.ReadPage(id, &fr.page); err != nil {
 		return nil, err
 	}
-	bp.stats.Reads++
-	bp.frames[id] = fr
+	bp.reads.Add(1)
+	s.frames[id] = fr
 	return &fr.page, nil
 }
 
 // NewPage allocates a fresh page on the device, initializes it as an empty
 // slotted page, and returns it pinned and dirty.
 func (bp *BufferPool) NewPage() (*Page, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if err := bp.ensureRoom(); err != nil {
-		return nil, err
-	}
 	id, err := bp.dev.Allocate()
 	if err != nil {
+		return nil, err
+	}
+	s := bp.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := bp.ensureRoom(s); err != nil {
 		return nil, err
 	}
 	fr := &frame{pins: 1, dirty: true}
 	fr.page.ID = id
 	fr.page.InitPage()
-	bp.frames[id] = fr
+	s.frames[id] = fr
 	return &fr.page, nil
 }
 
 // Unpin releases one pin on the page, marking it dirty if the caller
 // modified it. When the pin count reaches zero the page becomes evictable.
 func (bp *BufferPool) Unpin(id PageID, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	fr, ok := bp.frames[id]
+	s := bp.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.frames[id]
 	if !ok || fr.pins == 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
 	}
@@ -164,30 +222,37 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 	}
 	fr.pins--
 	if fr.pins == 0 {
-		fr.elem = bp.lru.PushFront(id)
+		fr.elem = s.lru.PushFront(id)
 	}
 }
 
 // FlushAll writes every dirty frame back to the device and syncs it.
 // Frames stay cached.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, fr := range bp.frames {
-		if fr.dirty {
-			if err := bp.dev.WritePage(&fr.page); err != nil {
-				return err
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.dirty {
+				if err := bp.dev.WritePage(&fr.page); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				bp.writes.Add(1)
+				fr.dirty = false
 			}
-			bp.stats.Writes++
-			fr.dirty = false
 		}
+		s.mu.Unlock()
 	}
 	return bp.dev.Sync()
 }
 
 // Len returns the number of cached frames.
 func (bp *BufferPool) Len() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return len(bp.frames)
+	n := 0
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -229,3 +229,78 @@ func TestMemDeviceBadPage(t *testing.T) {
 		t.Fatalf("write unallocated: %v", err)
 	}
 }
+
+func TestBufferPoolShardScaling(t *testing.T) {
+	dev := NewMemDevice()
+	// Small pools must stay single-sharded so the exact-LRU replacement
+	// tests (and the clustering bench's miss accounting) keep their global
+	// ordering; large pools split up to 16 ways with >=16 frames each.
+	cases := []struct{ capacity, shards int }{
+		{1, 1}, {2, 1}, {4, 1}, {31, 1}, {32, 2}, {64, 4}, {256, 16}, {10000, 16},
+	}
+	for _, c := range cases {
+		if got := NewBufferPool(dev, c.capacity).Shards(); got != c.shards {
+			t.Errorf("capacity %d: shards = %d, want %d", c.capacity, got, c.shards)
+		}
+	}
+	// Capacity is preserved across the split: filling a 64-page pool with
+	// unpinned pages never exceeds 64 cached frames.
+	bp := NewBufferPool(dev, 64)
+	for i := 0; i < 100; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(p.ID, false)
+	}
+	if bp.Len() > 64 {
+		t.Fatalf("pool over capacity: %d frames cached", bp.Len())
+	}
+}
+
+func TestBufferPoolParallelStats(t *testing.T) {
+	dev := NewMemDevice()
+	bp := NewBufferPool(dev, 256)
+	if bp.Shards() != 16 {
+		t.Fatalf("expected 16 shards, got %d", bp.Shards())
+	}
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		p, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Insert([]byte{byte(i)})
+		ids = append(ids, p.ID)
+		bp.Unpin(p.ID, true)
+	}
+	bp.ResetStats()
+	const workers, iters = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ids[(w*7+i)%len(ids)]
+				p, err := bp.Fetch(id)
+				if err != nil {
+					t.Errorf("Fetch: %v", err)
+					return
+				}
+				if _, err := p.Read(0); err != nil {
+					t.Errorf("Read: %v", err)
+				}
+				bp.Unpin(id, false)
+				// Interleave stats snapshots with fetches: must be
+				// race-clean and monotonic per counter.
+				_ = bp.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := bp.Stats()
+	if st.Hits+st.Misses != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d (stats %+v)", st.Hits+st.Misses, workers*iters, st)
+	}
+}

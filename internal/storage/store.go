@@ -38,9 +38,10 @@ type segment struct {
 
 // Store maps UIDs to records placed in segments, with optional clustered
 // placement next to a designated neighbor object. It is safe for
-// concurrent use.
+// concurrent use; lookups hold the directory latch shared, so concurrent
+// readers serialize only inside the buffer pool's per-shard locks.
 type Store struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	pool      *BufferPool
 	segs      map[SegmentID]*segment
 	segByName map[string]SegmentID
@@ -80,40 +81,40 @@ func (s *Store) CreateSegment(name string) (SegmentID, error) {
 
 // SegmentByName returns the segment with the given name.
 func (s *Store) SegmentByName(name string) (SegmentID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.segByName[name]
 	return id, ok
 }
 
 // SegmentOf returns the segment an object is stored in.
 func (s *Store) SegmentOf(id uid.UID) (SegmentID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sg, ok := s.segOf[id]
 	return sg, ok
 }
 
 // Has reports whether the object exists.
 func (s *Store) Has(id uid.UID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.dir[id]
 	return ok
 }
 
 // Len returns the number of stored objects.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.dir)
 }
 
 // PageOf returns the page an object currently lives on, for clustering
 // measurements.
 func (s *Store) PageOf(id uid.UID) (PageID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rid, ok := s.dir[id]
 	return rid.Page, ok
 }
@@ -223,8 +224,8 @@ func (s *Store) insertLocked(sg *segment, id uid.UID, rec []byte, near uid.UID) 
 
 // Get returns a copy of the record for id.
 func (s *Store) Get(id uid.UID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	rid, ok := s.dir[id]
 	if !ok {
 		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
@@ -267,8 +268,8 @@ func (s *Store) Delete(id uid.UID) error {
 
 // UIDs returns every stored UID in sorted order.
 func (s *Store) UIDs() []uid.UID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]uid.UID, 0, len(s.dir))
 	for id := range s.dir {
 		out = append(out, id)
@@ -280,14 +281,14 @@ func (s *Store) UIDs() []uid.UID {
 // ScanSegment calls fn for every object in the segment, in UID order. fn
 // receives a copy of the record.
 func (s *Store) ScanSegment(seg SegmentID, fn func(id uid.UID, rec []byte) error) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	var ids []uid.UID
 	for id, sg := range s.segOf {
 		if sg == seg {
 			ids = append(ids, id)
 		}
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	for _, id := range ids {
 		rec, err := s.Get(id)
@@ -322,7 +323,7 @@ type metaEntry struct {
 // SaveMeta serializes the segment table and object directory. Combined
 // with BufferPool.FlushAll this checkpoints the store.
 func (s *Store) SaveMeta(w io.Writer) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	m := meta{NextSeg: s.nextSeg}
 	for _, sg := range s.segs {
 		m.Segments = append(m.Segments, *sg)
@@ -334,7 +335,7 @@ func (s *Store) SaveMeta(w io.Writer) error {
 			Seg: s.segOf[id], Page: rid.Page, Slot: rid.Slot,
 		})
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	sort.Slice(m.Objects, func(i, j int) bool {
 		a, b := m.Objects[i], m.Objects[j]
 		if a.Class != b.Class {

@@ -432,21 +432,19 @@ func (m *Manager) noteRefAdded(parent, child uid.UID, spec schema.AttrSpec) {
 		// engine's own reverse reference in the generic already records it.
 		return
 	}
-	gObj, err := m.e.Get(gID)
-	if err != nil {
-		return
-	}
-	if i := gObj.FindReverse(key); i >= 0 && gObj.Reverse()[i].Count > 0 {
-		r := gObj.Reverse()[i]
-		r.Count++
-		gObj.AddReverse(r)
-		return
-	}
-	gObj.AddReverse(object.ReverseRef{
-		Parent:    key,
-		Dependent: spec.Dependent,
-		Exclusive: spec.Exclusive,
-		Count:     1,
+	_ = m.e.Mutate(gID, func(gObj *object.Object) {
+		if i := gObj.FindReverse(key); i >= 0 && gObj.Reverse()[i].Count > 0 {
+			r := gObj.Reverse()[i]
+			r.Count++
+			gObj.AddReverse(r)
+			return
+		}
+		gObj.AddReverse(object.ReverseRef{
+			Parent:    key,
+			Dependent: spec.Dependent,
+			Exclusive: spec.Exclusive,
+			Count:     1,
+		})
 	})
 }
 
@@ -465,19 +463,17 @@ func (m *Manager) noteRefRemoved(parent, child uid.UID) {
 	if gID == child && key == parent {
 		return
 	}
-	gObj, err := m.e.Get(gID)
-	if err != nil {
-		return
-	}
-	if i := gObj.FindReverse(key); i >= 0 {
-		r := gObj.Reverse()[i]
-		if r.Count > 1 {
-			r.Count--
-			gObj.AddReverse(r)
-		} else {
-			gObj.RemoveReverse(key)
+	_ = m.e.Mutate(gID, func(gObj *object.Object) {
+		if i := gObj.FindReverse(key); i >= 0 {
+			r := gObj.Reverse()[i]
+			if r.Count > 1 {
+				r.Count--
+				gObj.AddReverse(r)
+			} else {
+				gObj.RemoveReverse(key)
+			}
 		}
-	}
+	})
 }
 
 // SetDefault pins the default version of g (dynamic references resolve to
@@ -671,16 +667,19 @@ func (m *Manager) DeleteGeneric(g uid.UID) error {
 	m.mu.Unlock()
 	sort.Slice(others, func(i, j int) bool { return others[i].Less(others[j]) })
 	for _, id := range others {
-		obj, err := m.e.Get(id)
-		if err != nil {
+		var r object.ReverseRef
+		var hit bool
+		if err := m.e.Mutate(id, func(obj *object.Object) {
+			if i := obj.FindReverse(g); i >= 0 {
+				r = obj.Reverse()[i]
+				hit = true
+				obj.RemoveReverse(g)
+			}
+		}); err != nil {
 			continue
 		}
-		if i := obj.FindReverse(g); i >= 0 {
-			r := obj.Reverse()[i]
-			obj.RemoveReverse(g)
-			if r.Exclusive && r.Dependent {
-				cascade = append(cascade, id)
-			}
+		if hit && r.Exclusive && r.Dependent {
+			cascade = append(cascade, id)
 		}
 	}
 	if m.e.Exists(g) {
