@@ -18,6 +18,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/index"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/schema"
 	"repro/internal/storage"
@@ -251,6 +252,8 @@ func clusteringRun(b *testing.B, clustered bool) {
 	const fanout = 8
 	dev := storage.NewMemDevice()
 	pool := storage.NewBufferPool(dev, 4) // small pool: locality matters
+	reg := obs.NewRegistry()
+	pool.SetObservability(reg)
 	st := storage.NewStore(pool)
 	seg, _ := st.CreateSegment("all")
 	payload := make([]byte, 400) // ~9 records per 4 KiB page
@@ -305,8 +308,16 @@ func clusteringRun(b *testing.B, clustered bool) {
 			}
 		}
 	}
-	stats := pool.Stats()
-	b.ReportMetric(float64(stats.Misses)/float64(b.N), "pagereads/op")
+	// Report from the registry snapshot: the same counters /metrics
+	// exposes, so the JSON bench artifact and a scrape agree.
+	snap := reg.Snapshot()
+	hits := snap.Counters["storage_pool_hits_total"]
+	misses := snap.Counters["storage_pool_misses_total"]
+	b.ReportMetric(float64(misses)/float64(b.N), "pagereads/op")
+	if tot := hits + misses; tot > 0 {
+		b.ReportMetric(float64(hits)/float64(tot), "cache-hit-rate")
+	}
+	b.ReportMetric(float64(snap.Counters["storage_pool_evictions_total"]), "pool-evictions")
 }
 
 func BenchmarkClusteringOn(b *testing.B)  { clusteringRun(b, true) }
@@ -800,6 +811,18 @@ func BenchmarkComponentsOfParallel(b *testing.B) {
 	if tot := s.PlanHits + s.PlanMisses; tot > 0 {
 		b.ReportMetric(float64(s.PlanHits)/float64(tot), "plan-hit-rate")
 	}
+	// Aggregate hit rate across the engine's caches, read from the
+	// registry snapshot (the same numbers /metrics serves).
+	snap := e.Observability().Snapshot()
+	hits := snap.Counters["core_cache_plan_hits_total"] +
+		snap.Counters["core_cache_ancestor_hits_total"] +
+		snap.Counters["core_cache_partition_hits_total"]
+	misses := snap.Counters["core_cache_plan_misses_total"] +
+		snap.Counters["core_cache_ancestor_misses_total"] +
+		snap.Counters["core_cache_partition_misses_total"]
+	if tot := hits + misses; tot > 0 {
+		b.ReportMetric(float64(hits)/float64(tot), "cache-hit-rate")
+	}
 }
 
 // BenchmarkComponentsOfSerialized is the baseline for the parallel bench:
@@ -851,6 +874,40 @@ func BenchmarkAncestorsOfCached(b *testing.B) {
 	if tot := s.AncestorHits + s.AncestorMisses; tot > 0 {
 		b.ReportMetric(float64(s.AncestorHits)/float64(tot), "anc-hit-rate")
 	}
+}
+
+// ---------------------------------------------------------------------
+// Observability overhead (internal/obs)
+// ---------------------------------------------------------------------
+
+// BenchmarkObsDisabled pins the cost of the disabled instrumentation on
+// the hot traversal path. "baseline" binds a nil registry — every
+// instrument is a nil pointer and each emission site is a single branch,
+// the closest buildable approximation of no instrumentation at all.
+// "registry" is the default configuration: live counters, tracer and
+// slow log off. EXPERIMENTS.md records the two; the acceptance budget is
+// registry within 5% of baseline.
+func BenchmarkObsDisabled(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		e := partEngine(b, true, true)
+		e.SetObservability(reg)
+		root := buildTree(b, e, 8, 2)
+		want := treeNodes(8, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comps, err := e.ComponentsOf(root, core.QueryOpts{})
+			if err != nil || len(comps) != want {
+				b.Fatalf("components = %d, %v", len(comps), err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, nil) })
+	b.Run("registry", func(b *testing.B) { run(b, obs.NewRegistry()) })
+	b.Run("tracing", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		reg.Tracer().SetActive(true)
+		run(b, reg)
+	})
 }
 
 // BenchmarkBufferPoolParallelFetch measures the striped pool under

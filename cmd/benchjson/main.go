@@ -20,13 +20,19 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. The cache hit rate and
+// buffer-pool eviction count — reported by the benches from the
+// observability registry snapshot — are promoted to typed fields
+// (pointers, so a true zero survives omitempty); any other custom
+// units land in Metrics.
 type Result struct {
-	Name    string             `json:"name"`
-	Procs   int                `json:"procs"`
-	N       int64              `json:"n"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name          string             `json:"name"`
+	Procs         int                `json:"procs"`
+	N             int64              `json:"n"`
+	NsPerOp       float64            `json:"ns_per_op"`
+	CacheHitRate  *float64           `json:"cache_hit_rate,omitempty"`
+	PoolEvictions *float64           `json:"pool_evictions,omitempty"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
 }
 
 // parseLine parses a single `go test -bench` result line, e.g.
@@ -59,9 +65,18 @@ func parseLine(line string) (Result, bool) {
 			return Result{}, false
 		}
 		unit := fields[i+1]
-		if unit == "ns/op" {
+		switch unit {
+		case "ns/op":
 			r.NsPerOp = v
 			sawNs = true
+			continue
+		case "cache-hit-rate":
+			hr := v
+			r.CacheHitRate = &hr
+			continue
+		case "pool-evictions":
+			ev := v
+			r.PoolEvictions = &ev
 			continue
 		}
 		if r.Metrics == nil {

@@ -26,6 +26,27 @@ func TestParseLine(t *testing.T) {
 	if r.Metrics["B/op"] != 16 || r.Metrics["allocs/op"] != 2 {
 		t.Fatalf("parsed %+v", r)
 	}
+	// Registry-sourced units are promoted to typed fields, zero included.
+	r, ok = parseLine("BenchmarkAncestorsOfCached-4 500 987 ns/op 0.8800 cache-hit-rate 0 pool-evictions")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	if r.CacheHitRate == nil || *r.CacheHitRate != 0.88 {
+		t.Fatalf("cache hit rate not promoted: %+v", r)
+	}
+	if r.PoolEvictions == nil || *r.PoolEvictions != 0 {
+		t.Fatalf("pool evictions not promoted: %+v", r)
+	}
+	if _, ok := r.Metrics["cache-hit-rate"]; ok {
+		t.Fatalf("promoted unit still in Metrics: %+v", r)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"pool_evictions":0`) {
+		t.Fatalf("zero pool_evictions dropped from JSON: %s", b)
+	}
 	for _, bad := range []string{
 		"goos: linux",
 		"PASS",

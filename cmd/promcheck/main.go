@@ -1,0 +1,65 @@
+// Command promcheck validates Prometheus text exposition on stdin: every
+// line must parse (metric name, labels, value), and with -require each
+// comma-separated prefix must match at least one sample. CI scrapes the
+// orion-shell /metrics endpoint and pipes it through this tool to assert
+// the exposition stays well-formed and that the core, storage, lock, and
+// txn families are all present.
+//
+//	curl -fs http://127.0.0.1:9464/metrics | promcheck -require core_,storage_,lock_,txn_
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// check parses the exposition and verifies every required prefix has at
+// least one sample, returning the sample count.
+func check(r io.Reader, prefixes []string) (int, error) {
+	samples, err := obs.ParseExposition(r)
+	if err != nil {
+		return 0, err
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	for _, p := range prefixes {
+		found := false
+		for _, s := range samples {
+			if strings.HasPrefix(s.Name, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return len(samples), fmt.Errorf("no sample with prefix %q", p)
+		}
+	}
+	return len(samples), nil
+}
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric-name prefixes that must each match a sample")
+	flag.Parse()
+	var prefixes []string
+	for _, p := range strings.Split(*require, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	n, err := check(os.Stdin, prefixes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d samples ok", n)
+	if len(prefixes) > 0 {
+		fmt.Printf(", prefixes %s present", strings.Join(prefixes, " "))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheck(t *testing.T) {
+	expo := strings.Join([]string{
+		"# TYPE core_attach_total counter",
+		"core_attach_total 3",
+		"# TYPE lock_acquire_total counter",
+		"lock_acquire_total 0",
+		"core_delete_ns_bucket{le=\"1000\"} 1",
+	}, "\n")
+	n, err := check(strings.NewReader(expo), []string{"core_", "lock_"})
+	if err != nil || n != 3 {
+		t.Fatalf("check = %d, %v", n, err)
+	}
+	if _, err := check(strings.NewReader(expo), []string{"txn_"}); err == nil {
+		t.Fatal("missing prefix not reported")
+	}
+	if _, err := check(strings.NewReader("not valid exposition !!"), nil); err == nil {
+		t.Fatal("malformed exposition not reported")
+	}
+	if _, err := check(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty exposition not reported")
+	}
+}

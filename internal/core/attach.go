@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/uid"
 	"repro/internal/value"
@@ -208,6 +209,11 @@ func (e *Engine) attachCheckedLocked(parent uid.UID, attr string, childID uid.UI
 		po.Set(attr, value.Ref(childID))
 	}
 	dirty.add(parent)
+	e.o.attaches.Inc()
+	if tr := e.o.tr; tr.Active() {
+		tr.Point(0, "core.attach", obs.F("parent", parent), obs.F("attr", attr), obs.F("child", childID),
+			obs.F("ref", spec.RefKind()))
+	}
 	return nil
 }
 
@@ -281,6 +287,10 @@ func (e *Engine) Detach(parent uid.UID, attr string, child uid.UID) error {
 			co.RemoveReverse(parent)
 			dirty.add(child)
 		}
+	}
+	e.o.detaches.Inc()
+	if tr := e.o.tr; tr.Active() {
+		tr.Point(0, "core.detach", obs.F("parent", parent), obs.F("attr", attr), obs.F("child", child))
 	}
 	return e.flush(dirty, uid.Nil, uid.Nil)
 }

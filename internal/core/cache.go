@@ -2,8 +2,8 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/uid"
 )
 
@@ -25,41 +25,33 @@ type Stats struct {
 	Invalidations uint64
 }
 
-// engineStats holds the live counters. They are atomics because cache
-// hits happen under the engine's read lock, where plain increments would
-// race.
-type engineStats struct {
-	ancestorHits    atomic.Uint64
-	ancestorMisses  atomic.Uint64
-	partitionHits   atomic.Uint64
-	partitionMisses atomic.Uint64
-	planHits        atomic.Uint64
-	planMisses      atomic.Uint64
-	invalidations   atomic.Uint64
-}
-
-// Stats returns a snapshot of the read-path cache counters.
+// Stats returns a snapshot of the read-path cache counters. It is a
+// thin view over the obs registry (the counters live there now, under
+// the core_cache_* families); each field is an atomic load, so the
+// snapshot is race-clean though not a single instant's cut.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		AncestorHits:    e.stats.ancestorHits.Load(),
-		AncestorMisses:  e.stats.ancestorMisses.Load(),
-		PartitionHits:   e.stats.partitionHits.Load(),
-		PartitionMisses: e.stats.partitionMisses.Load(),
-		PlanHits:        e.stats.planHits.Load(),
-		PlanMisses:      e.stats.planMisses.Load(),
-		Invalidations:   e.stats.invalidations.Load(),
+		AncestorHits:    e.o.ancestorHits.Load(),
+		AncestorMisses:  e.o.ancestorMisses.Load(),
+		PartitionHits:   e.o.partitionHits.Load(),
+		PartitionMisses: e.o.partitionMisses.Load(),
+		PlanHits:        e.o.planHits.Load(),
+		PlanMisses:      e.o.planMisses.Load(),
+		Invalidations:   e.o.invalidations.Load(),
 	}
 }
 
-// ResetStats zeroes the read-path cache counters.
+// ResetStats zeroes the read-path cache counters. Each reset is an
+// atomic store on the registry counter, so it is safe against readers
+// and writers running concurrently (no torn values under -race).
 func (e *Engine) ResetStats() {
-	e.stats.ancestorHits.Store(0)
-	e.stats.ancestorMisses.Store(0)
-	e.stats.partitionHits.Store(0)
-	e.stats.partitionMisses.Store(0)
-	e.stats.planHits.Store(0)
-	e.stats.planMisses.Store(0)
-	e.stats.invalidations.Store(0)
+	e.o.ancestorHits.Reset()
+	e.o.ancestorMisses.Reset()
+	e.o.partitionHits.Reset()
+	e.o.partitionMisses.Reset()
+	e.o.planHits.Reset()
+	e.o.planMisses.Reset()
+	e.o.invalidations.Reset()
 }
 
 // PartitionSets are the four partition sets of Definition 1 (§2.2): the
@@ -200,7 +192,10 @@ func (c *readCache) drop(id uid.UID) int {
 func (e *Engine) bumpLocked(id uid.UID) {
 	e.gens[id]++
 	if n := e.cache.drop(id); n > 0 {
-		e.stats.invalidations.Add(uint64(n))
+		e.o.invalidations.Add(uint64(n))
+		if tr := e.o.tr; tr.Active() {
+			tr.Point(0, "core.cache.invalidate", obs.F("uid", id), obs.F("entries", n))
+		}
 	}
 }
 
@@ -260,12 +255,12 @@ func (e *Engine) Partitions(id uid.UID) (PartitionSets, error) {
 	e.mu.RLock()
 	cc := e.cat.CurrentCC()
 	if ent := e.cache.lookupPart(id); ent != nil && ent.cc == cc && ent.gen == e.gens[id] {
-		e.stats.partitionHits.Add(1)
+		e.o.partitionHits.Inc()
 		out := ent.sets.clone()
 		e.mu.RUnlock()
 		return out, nil
 	}
-	e.stats.partitionMisses.Add(1)
+	e.o.partitionMisses.Inc()
 	o, err := e.readObject(id, cc)
 	if err == nil {
 		ent := &partitionEntry{

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/uid"
 	"repro/internal/value"
@@ -104,17 +105,19 @@ type Engine struct {
 	// bumped (under the write lock) whenever the object is mutated,
 	// created, deleted, restored, or evicted; cached query results carry
 	// the generation sum of everything they read and are invalidated by
-	// any change to it. cache and stats have their own synchronization
-	// because readers fill them while holding only the read lock.
+	// any change to it. cache and the obs instruments have their own
+	// synchronization because readers fill them while holding only the
+	// read lock.
 	gens  map[uid.UID]uint64
 	cache *readCache
-	stats engineStats
+	o     engineObs
 	trav  TraversalOpts
 }
 
-// NewEngine returns an empty engine over the catalog.
+// NewEngine returns an empty engine over the catalog, instrumented with
+// a private obs registry (swap in a shared one with SetObservability).
 func NewEngine(cat *schema.Catalog) *Engine {
-	return &Engine{
+	e := &Engine{
 		cat:     cat,
 		gen:     uid.NewGenerator(),
 		objects: make(map[uid.UID]*object.Object),
@@ -123,6 +126,8 @@ func NewEngine(cat *schema.Catalog) *Engine {
 		cache:   newReadCache(),
 		trav:    TraversalOpts{}.normalized(),
 	}
+	e.bindObs(obs.NewRegistry())
+	return e
 }
 
 // Catalog returns the engine's schema catalog.
@@ -242,7 +247,11 @@ func (e *Engine) get(id uid.UID) (*object.Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.cat.ApplyPending(cl.Name, o) > 0 {
+	if n := e.cat.ApplyPending(cl.Name, o); n > 0 {
+		e.o.evolutionReplays.Add(uint64(n))
+		if tr := e.o.tr; tr.Active() {
+			tr.Point(0, "core.evolution.replay", obs.F("uid", id), obs.F("changes", n))
+		}
 		e.bumpLocked(id)
 	}
 	return o, nil
@@ -265,6 +274,7 @@ func (e *Engine) readObject(id uid.UID, cc uint64) (*object.Object, error) {
 			return nil, err
 		}
 		if len(e.cat.Pending(cl.Name, o.CC())) > 0 {
+			e.o.staleRetries.Inc()
 			return nil, errStaleCC
 		}
 	}

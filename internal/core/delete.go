@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/uid"
 )
 
@@ -29,9 +31,27 @@ func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
 	if _, ok := e.objects[id]; !ok {
 		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
 	}
+	start := time.Now()
+	var sp uint64
+	if tr := e.o.tr; tr.Active() {
+		sp = tr.Begin(0, "core.delete", obs.F("uid", id))
+	}
 	dirty := newDirtySet()
 	deleted := uid.NewSet()
-	e.deleteLocked(id, deleted, dirty)
+	e.deleteLocked(id, deleted, dirty, sp)
+	n := len(deleted.Slice())
+	e.o.deletes.Inc()
+	if n > 1 {
+		e.o.deleteCascaded.Add(uint64(n - 1))
+	}
+	dur := time.Since(start)
+	e.o.deleteNs.Observe(int64(dur))
+	if e.o.slow.Active() {
+		e.o.slow.Observe("core.delete", dur, fmt.Sprintf("%v cascade=%d", id, n-1))
+	}
+	if tr := e.o.tr; tr.Active() {
+		tr.End(sp, "core.delete", obs.F("deleted", n))
+	}
 	for _, d := range deleted.Slice() {
 		e.bumpLocked(d)
 	}
@@ -51,8 +71,11 @@ func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
 }
 
 // deleteLocked removes id and cascades. deleted accumulates the casualty
-// list and doubles as the visited set for cyclic part hierarchies.
-func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
+// list and doubles as the visited set for cyclic part hierarchies. span
+// is the enclosing trace span (0 when tracing is off); each cascaded
+// object opens a nested core.delete.object span under it, so a trace
+// dump reconstructs the cascade tree exactly.
+func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet, span uint64) {
 	if deleted.Contains(id) {
 		return
 	}
@@ -61,6 +84,10 @@ func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
 		return
 	}
 	deleted.Add(id)
+	if tr := e.o.tr; tr.Active() {
+		span = tr.Begin(span, "core.delete.object", obs.F("uid", id))
+		defer tr.End(span, "core.delete.object")
+	}
 	cl, err := e.cat.ClassByID(id.Class)
 	if err != nil {
 		// Class dropped out from under the instance; just unlink it.
@@ -69,7 +96,9 @@ func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
 		return
 	}
 	// Make sure the flags consulted below are current.
-	e.cat.ApplyPending(cl.Name, o)
+	if n := e.cat.ApplyPending(cl.Name, o); n > 0 {
+		e.o.evolutionReplays.Add(uint64(n))
+	}
 	attrs, err := e.cat.Attributes(cl.Name)
 	if err == nil {
 		for _, spec := range attrs {
@@ -77,7 +106,7 @@ func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
 				continue
 			}
 			for _, childID := range o.Get(spec.Name).Refs(nil) {
-				e.reapAfterUnlink(id, childID, spec.Dependent, spec.Exclusive, deleted, dirty)
+				e.reapAfterUnlink(id, childID, spec.Dependent, spec.Exclusive, deleted, dirty, span)
 			}
 		}
 	}
@@ -89,19 +118,43 @@ func (e *Engine) deleteLocked(id uid.UID, deleted *uid.Set, dirty *dirtySet) {
 	}
 }
 
+// reapRule classifies one severed reference for the trace: which clause
+// of the Deletion Rule fired, or why the child survived. The last-parent
+// case (Rule 2) gets its own label so traces distinguish "deleted
+// because dependent exclusive" from "deleted because the last
+// dependent-shared parent died".
+func reapRule(dependent, exclusive, lastDS bool) string {
+	switch {
+	case dependent && exclusive:
+		return "cascade-dependent-exclusive"
+	case dependent && lastDS:
+		return "cascade-last-ds-parent"
+	case dependent:
+		return "survives-ds-parents-remain"
+	default:
+		return "survives-independent"
+	}
+}
+
 // reapAfterUnlink removes the reverse reference from childID to parent and
 // cascades deletion per the Deletion Rule given the (dependent, exclusive)
-// flags of the severed reference.
-func (e *Engine) reapAfterUnlink(parent, childID uid.UID, dependent, exclusive bool, deleted *uid.Set, dirty *dirtySet) {
+// flags of the severed reference. span is the deleting parent's trace
+// span.
+func (e *Engine) reapAfterUnlink(parent, childID uid.UID, dependent, exclusive bool, deleted *uid.Set, dirty *dirtySet, span uint64) {
 	child, ok := e.objects[childID]
 	if !ok || deleted.Contains(childID) {
 		return
 	}
 	child.RemoveReverse(parent)
-	if dependent && (exclusive || len(child.DS()) == 0) {
+	lastDS := len(child.DS()) == 0
+	if tr := e.o.tr; tr.Active() {
+		tr.Point(span, "core.delete.reap", obs.F("child", childID),
+			obs.F("rule", reapRule(dependent, exclusive, lastDS)))
+	}
+	if dependent && (exclusive || lastDS) {
 		// Rule 1 (dependent exclusive) or Rule 2 (last dependent-shared
 		// parent is gone).
-		e.deleteLocked(childID, deleted, dirty)
+		e.deleteLocked(childID, deleted, dirty, span)
 		return
 	}
 	dirty.add(childID)

@@ -62,7 +62,7 @@ func (e *Engine) dropAttrValuesLocked(class string, spec schema.AttrSpec) (*uid.
 		}
 		if spec.Composite {
 			for _, childID := range v.Refs(nil) {
-				e.reapAfterUnlink(id, childID, spec.Dependent, spec.Exclusive, deleted, dirty)
+				e.reapAfterUnlink(id, childID, spec.Dependent, spec.Exclusive, deleted, dirty, 0)
 			}
 		}
 		if o, ok = e.objects[id]; ok { // may have died in a cyclic cascade
@@ -130,7 +130,7 @@ func (e *Engine) DropClass(class string) ([]uid.UID, error) {
 	deleted := uid.NewSet()
 	for _, id := range append([]uid.UID(nil), e.extents[cl.ID].Slice()...) {
 		if !deleted.Contains(id) {
-			e.deleteLocked(id, deleted, dirty)
+			e.deleteLocked(id, deleted, dirty, 0)
 		}
 	}
 	for _, d := range deleted.Slice() {

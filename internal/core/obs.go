@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// engineObs holds the engine's pre-resolved observability instruments.
+// Counters are bound once from a registry (private by default, shared
+// when db.Open installs its own), so hot paths pay one atomic add per
+// event and never a registry lookup. With a nil registry every
+// instrument is nil and each emission site reduces to a nil-check — the
+// no-instrumentation baseline BenchmarkObsDisabled measures against.
+type engineObs struct {
+	reg  *obs.Registry
+	tr   *obs.Tracer
+	slow *obs.SlowLog
+
+	// Read-path cache counters (the former engineStats).
+	ancestorHits    *obs.Counter
+	ancestorMisses  *obs.Counter
+	partitionHits   *obs.Counter
+	partitionMisses *obs.Counter
+	planHits        *obs.Counter
+	planMisses      *obs.Counter
+	invalidations   *obs.Counter
+
+	// Mutation and evolution counters.
+	attaches         *obs.Counter
+	detaches         *obs.Counter
+	deletes          *obs.Counter
+	deleteCascaded   *obs.Counter
+	evolutionReplays *obs.Counter
+	staleRetries     *obs.Counter
+
+	deleteNs    *obs.Histogram
+	traversalNs *obs.Histogram
+}
+
+// timed reports whether the current operation should take timestamps:
+// either the tracer or the slow log wants durations. One-to-two atomic
+// loads; used to keep time.Now off the disabled query path.
+func (o *engineObs) timed() bool {
+	return o.tr.Active() || o.slow.Active()
+}
+
+// bindObs resolves the engine's instruments from r. A nil registry binds
+// nil instruments (every obs method accepts a nil receiver), making all
+// instrumentation a branch.
+func (e *Engine) bindObs(r *obs.Registry) {
+	e.o = engineObs{
+		reg:              r,
+		tr:               r.Tracer(),
+		slow:             r.Slow(),
+		ancestorHits:     r.Counter("core_cache_ancestor_hits_total"),
+		ancestorMisses:   r.Counter("core_cache_ancestor_misses_total"),
+		partitionHits:    r.Counter("core_cache_partition_hits_total"),
+		partitionMisses:  r.Counter("core_cache_partition_misses_total"),
+		planHits:         r.Counter("core_cache_plan_hits_total"),
+		planMisses:       r.Counter("core_cache_plan_misses_total"),
+		invalidations:    r.Counter("core_cache_invalidations_total"),
+		attaches:         r.Counter("core_attach_total"),
+		detaches:         r.Counter("core_detach_total"),
+		deletes:          r.Counter("core_delete_total"),
+		deleteCascaded:   r.Counter("core_delete_cascaded_total"),
+		evolutionReplays: r.Counter("core_evolution_replays_total"),
+		staleRetries:     r.Counter("core_stalecc_retries_total"),
+		deleteNs:         r.Histogram("core_delete_ns", nil),
+		traversalNs:      r.Histogram("core_traversal_ns", nil),
+	}
+}
+
+// Observability returns the engine's registry: its own private one by
+// default, or whatever SetObservability installed (possibly nil).
+func (e *Engine) Observability() *obs.Registry { return e.o.reg }
+
+// SetObservability rebinds the engine's instruments to r — db.Open uses
+// it to share one registry across every subsystem. A nil r disables
+// instrumentation entirely (nil-check fast path, no atomics). It must be
+// called before the engine is used concurrently: rebinding swaps the
+// instrument pointers without synchronization.
+func (e *Engine) SetObservability(r *obs.Registry) { e.bindObs(r) }

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/uid"
 )
 
@@ -114,12 +116,41 @@ func (e *Engine) withFresh(id uid.UID, fn func(o *object.Object)) error {
 	return nil
 }
 
+// observeQuery wraps a traversal query with tracing and slow-path
+// accounting. It is only entered when the tracer or the slow log is
+// active (e.o.timed()), so the common path pays a couple of atomic loads
+// and no time.Now calls.
+func (e *Engine) observeQuery(op string, id uid.UID, run func() ([]uid.UID, error)) ([]uid.UID, error) {
+	start := time.Now()
+	var sp uint64
+	if tr := e.o.tr; tr.Active() {
+		sp = tr.Begin(0, op, obs.F("uid", id))
+	}
+	out, err := run()
+	d := time.Since(start)
+	e.o.traversalNs.Observe(int64(d))
+	if tr := e.o.tr; tr.Active() {
+		tr.End(sp, op, obs.F("results", len(out)))
+	}
+	e.o.slow.Observe(op, d, id.String())
+	return out, err
+}
+
 // ComponentsOf implements (components-of Object ...): the objects directly
 // or indirectly referenced from the object via composite references, in
 // BFS order (so level-n components appear before level-n+1 components,
 // where the level of a component is the length of the shortest composite
 // path from the object, §2.2).
 func (e *Engine) ComponentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	if e.o.timed() {
+		return e.observeQuery("core.query.components", id, func() ([]uid.UID, error) {
+			return e.componentsOf(id, q)
+		})
+	}
+	return e.componentsOf(id, q)
+}
+
+func (e *Engine) componentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	e.mu.RLock()
 	cc := e.cat.CurrentCC()
 	root, err := e.readObject(id, cc)
@@ -163,17 +194,26 @@ func (e *Engine) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 // ancestor set is served from (and fills) the invalidation-aware cache;
 // the Classes filter applies to the cached order.
 func (e *Engine) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	if e.o.timed() {
+		return e.observeQuery("core.query.ancestors", id, func() ([]uid.UID, error) {
+			return e.ancestorsOf(id, q)
+		})
+	}
+	return e.ancestorsOf(id, q)
+}
+
+func (e *Engine) ancestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	cacheable := q.cacheable()
 	e.mu.RLock()
 	cc := e.cat.CurrentCC()
 	if cacheable {
 		if ent := e.cache.lookupAnc(id); ent != nil && e.ancestorValidLocked(ent, cc) {
-			e.stats.ancestorHits.Add(1)
+			e.o.ancestorHits.Inc()
 			out := e.filterAncestors(q, ent.order)
 			e.mu.RUnlock()
 			return out, nil
 		}
-		e.stats.ancestorMisses.Add(1)
+		e.o.ancestorMisses.Inc()
 	}
 	out, err := e.ancestorsRead(id, q, cc, cacheable)
 	e.mu.RUnlock()
@@ -222,10 +262,10 @@ func (e *Engine) ancestorsRead(id uid.UID, q QueryOpts, cc uint64, cacheable boo
 // reading; errStaleCC propagates for the caller's write-locked retry.
 func (e *Engine) rawAncestorEntry(id uid.UID, cc uint64) (*ancestorEntry, error) {
 	if ent := e.cache.lookupAnc(id); ent != nil && e.ancestorValidLocked(ent, cc) {
-		e.stats.ancestorHits.Add(1)
+		e.o.ancestorHits.Inc()
 		return ent, nil
 	}
-	e.stats.ancestorMisses.Add(1)
+	e.o.ancestorMisses.Inc()
 	root, err := e.readObject(id, cc)
 	if err != nil {
 		return nil, err

@@ -107,6 +107,7 @@ func (w *walker) fetch(id uid.UID) (*object.Object, error) {
 		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
 	}
 	if o.CC() < w.cc && o.CC() < w.pendingCeiling(id.Class) {
+		w.e.o.staleRetries.Inc()
 		return nil, errStaleCC
 	}
 	return o, nil
@@ -140,11 +141,11 @@ func (w *walker) planFor(c uid.ClassID) {
 	}
 	key := planKey{class: c, exclusive: w.q.Exclusive, shared: w.q.Shared}
 	if ent := w.e.cache.lookupPlan(key); ent != nil && ent.ver == w.catVer {
-		w.e.stats.planHits.Add(1)
+		w.e.o.planHits.Inc()
 		w.plans[c] = ent.attrs
 		return
 	}
-	w.e.stats.planMisses.Add(1)
+	w.e.o.planMisses.Inc()
 	var names []string
 	if cl, err := w.e.cat.ClassByID(c); err == nil {
 		if attrs, err := w.e.cat.Attributes(cl.Name); err == nil {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/index"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -60,6 +61,7 @@ type DB struct {
 	txm    *txn.Manager
 	idx    *index.Manager
 	idxDef [][2]string // persisted (class, attr) index definitions
+	reg    *obs.Registry
 	closed bool
 }
 
@@ -78,8 +80,12 @@ func Open(opts Options) (*DB, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = 256
 	}
-	d := &DB{opts: opts, cat: schema.NewCatalog()}
+	d := &DB{opts: opts, cat: schema.NewCatalog(), reg: obs.NewRegistry()}
 	d.engine = core.NewEngine(d.cat)
+	// One registry for every subsystem, installed before anything runs
+	// concurrently: the /metrics endpoint then exposes core, storage,
+	// lock, and txn families side by side.
+	d.engine.SetObservability(d.reg)
 	if opts.Dir == "" {
 		d.dev = storage.NewMemDevice()
 	} else {
@@ -93,10 +99,11 @@ func Open(opts Options) (*DB, error) {
 		d.dev = dev
 	}
 	d.pool = storage.NewBufferPool(d.dev, opts.PoolPages)
+	d.pool.SetObservability(d.reg)
 	d.store = storage.NewStore(d.pool)
 	d.vers = version.NewManager(d.engine)
 	d.auth = authz.NewStore(d.engine)
-	d.txm = txn.NewManager(d.engine)
+	d.txm = txn.NewManager(d.engine) // picks up d.reg via the engine
 	d.idx = index.NewManager(d.engine)
 
 	if opts.Dir != "" {
@@ -109,6 +116,7 @@ func Open(opts Options) (*DB, error) {
 			d.dev.Close()
 			return nil, err
 		}
+		wal.SetObservability(d.reg)
 		d.wal = wal
 	}
 	d.engine.SetHook(core.MultiHook{&hook{d: d}, d.idx, d.vers})
@@ -334,6 +342,10 @@ func (d *DB) Pool() *storage.BufferPool { return d.pool }
 
 // Indexes returns the secondary-index manager.
 func (d *DB) Indexes() *index.Manager { return d.idx }
+
+// Observability returns the registry shared by every subsystem — the
+// source for the /metrics exposition, trace control, and the slow log.
+func (d *DB) Observability() *obs.Registry { return d.reg }
 
 // CreateIndex declares and builds a secondary index on (class, attr); the
 // declaration persists across reopen (the index itself is rebuilt from

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/uid"
 )
 
@@ -66,9 +68,26 @@ type Manager struct {
 	granules map[string]*granuleState
 	held     map[TxID]map[string]bool // reverse index for ReleaseAll
 	waitsFor map[TxID]map[TxID]bool   // wait-for graph edges
+	o        managerObs
 }
 
-// NewManager returns an empty lock manager.
+// managerObs holds the manager's pre-resolved observability instruments
+// (see internal/obs): grant/wait/upgrade/deadlock counters plus a wait
+// latency histogram, bound from a registry so db.Open can share one
+// across subsystems.
+type managerObs struct {
+	tr        *obs.Tracer
+	slow      *obs.SlowLog
+	acquires  *obs.Counter
+	waits     *obs.Counter
+	upgrades  *obs.Counter
+	deadlocks *obs.Counter
+	releases  *obs.Counter
+	waitNs    *obs.Histogram
+}
+
+// NewManager returns an empty lock manager bound to a private obs
+// registry (swap in a shared one with SetObservability).
 func NewManager() *Manager {
 	m := &Manager{
 		granules: make(map[string]*granuleState),
@@ -76,7 +95,23 @@ func NewManager() *Manager {
 		waitsFor: make(map[TxID]map[TxID]bool),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.SetObservability(obs.NewRegistry())
 	return m
+}
+
+// SetObservability rebinds the manager's instruments to r (nil disables
+// them). Call before the manager is used concurrently.
+func (m *Manager) SetObservability(r *obs.Registry) {
+	m.o = managerObs{
+		tr:        r.Tracer(),
+		slow:      r.Slow(),
+		acquires:  r.Counter("lock_acquire_total"),
+		waits:     r.Counter("lock_wait_total"),
+		upgrades:  r.Counter("lock_upgrade_total"),
+		deadlocks: r.Counter("lock_deadlock_total"),
+		releases:  r.Counter("lock_release_all_total"),
+		waitNs:    r.Histogram("lock_wait_ns", nil),
+	}
 }
 
 func (m *Manager) state(key string) *granuleState {
@@ -146,13 +181,32 @@ func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.state(key)
+	var waitStart time.Time
+	var waitSpan uint64
+	waited := false
 	for {
 		blockers := st.blockers(tx, mode)
 		if len(blockers) == 0 {
 			break
 		}
 		if m.wouldDeadlock(tx, blockers) {
+			m.o.deadlocks.Inc()
+			if tr := m.o.tr; tr.Active() {
+				tr.Point(waitSpan, "lock.deadlock", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
+				tr.End(waitSpan, "lock.wait", obs.F("outcome", "deadlock"))
+			}
 			return fmt.Errorf("tx %d requesting %s on %s: %w", tx, mode, g, ErrDeadlock)
+		}
+		if !waited {
+			// First block on this request: count the wait once and start
+			// the clock. Blocking is already slow, so timing it is free
+			// relative to the sleep.
+			waited = true
+			m.o.waits.Inc()
+			waitStart = time.Now()
+			if tr := m.o.tr; tr.Active() {
+				waitSpan = tr.Begin(0, "lock.wait", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
+			}
 		}
 		edges := m.waitsFor[tx]
 		if edges == nil {
@@ -165,10 +219,30 @@ func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 		m.cond.Wait()
 		delete(m.waitsFor, tx)
 	}
+	if waited {
+		d := time.Since(waitStart)
+		m.o.waitNs.Observe(int64(d))
+		m.o.slow.Observe("lock.wait", d, key)
+		if tr := m.o.tr; tr.Active() {
+			tr.End(waitSpan, "lock.wait", obs.F("outcome", "granted"))
+		}
+	}
 	for _, h := range st.holders[tx] {
 		if h == mode {
 			return nil
 		}
+	}
+	if len(st.holders[tx]) > 0 {
+		// Accumulating a second mode on a held granule is a conversion
+		// (upgrade) in this manager's model.
+		m.o.upgrades.Inc()
+		if tr := m.o.tr; tr.Active() {
+			tr.Point(0, "lock.upgrade", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
+		}
+	}
+	m.o.acquires.Inc()
+	if tr := m.o.tr; tr.Active() {
+		tr.Point(0, "lock.acquire", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
 	}
 	st.holders[tx] = append(st.holders[tx], mode)
 	hs := m.held[tx]
@@ -194,6 +268,7 @@ func (m *Manager) TryLock(tx TxID, g Granule, mode Mode) bool {
 			return true
 		}
 	}
+	m.o.acquires.Inc()
 	st.holders[tx] = append(st.holders[tx], mode)
 	hs := m.held[tx]
 	if hs == nil {
@@ -255,6 +330,10 @@ func (m *Manager) Unlock(tx TxID, g Granule) error {
 func (m *Manager) ReleaseAll(tx TxID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.o.releases.Inc()
+	if tr := m.o.tr; tr.Active() {
+		tr.Point(0, "lock.release-all", obs.F("tx", tx), obs.F("granules", len(m.held[tx])))
+	}
 	for key := range m.held[tx] {
 		if st := m.granules[key]; st != nil {
 			delete(st.holders, tx)

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` header per family, cumulative
+// `_bucket{le="..."}` series plus `_sum`/`_count` for histograms.
+// Families are emitted in sorted name order so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	counters, gauges, hists := r.names()
+	for _, n := range counters {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, r.Counter(n).Load())
+	}
+	for _, n := range gauges {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, r.Gauge(n).Load())
+	}
+	for _, n := range hists {
+		h := r.Histogram(n, nil)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, bound, cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.sum.Load())
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.count.Load())
+	}
+	return bw.Flush()
+}
+
+// Sample is one parsed exposition line: a metric name, optional label
+// pairs, and a value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition parses Prometheus text exposition format, returning
+// every sample. It validates metric-name syntax, label syntax, and that
+// each value parses as a float; any malformed line is an error. The CI
+// scrape check and the handler tests run the emitted text back through
+// this parser.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Comment: only HELP and TYPE are defined; others tolerated.
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Metric name runs up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("no value: %q", line)
+	}
+	s.Name = rest[:end]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		labels, err := parseLabels(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return s, fmt.Errorf("want value and optional timestamp, got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	out := map[string]string{}
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return out, nil
+	}
+	for _, pair := range splitLabelPairs(body) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label pair %q", pair)
+		}
+		k := strings.TrimSpace(pair[:eq])
+		v := strings.TrimSpace(pair[eq+1:])
+		if !validLabelName(k) {
+			return nil, fmt.Errorf("bad label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return nil, fmt.Errorf("label value not quoted: %q", v)
+		}
+		out[k] = v[1 : len(v)-1]
+	}
+	return out, nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one recorded slow operation.
+type SlowEntry struct {
+	Op     string        `json:"op"`
+	Dur    time.Duration `json:"dur_ns"`
+	At     time.Time     `json:"at"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// SlowLog records operations whose duration meets a configurable
+// threshold into a fixed ring. A zero threshold (the default) disables
+// it; emission sites guard with Active() — a nil check plus one atomic
+// load — so the disabled path never calls time.Now.
+type SlowLog struct {
+	thresh atomic.Int64 // nanoseconds; 0 = disabled
+
+	mu    sync.Mutex
+	buf   []SlowEntry
+	start int
+	n     int
+}
+
+// NewSlowLog returns a disabled slow log with a ring of the given
+// capacity (minimum 16).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &SlowLog{buf: make([]SlowEntry, capacity)}
+}
+
+// Active reports whether the log records anything. Safe on nil.
+func (s *SlowLog) Active() bool {
+	return s != nil && s.thresh.Load() > 0
+}
+
+// SetThreshold sets the minimum duration to record; 0 disables.
+func (s *SlowLog) SetThreshold(d time.Duration) {
+	if s != nil {
+		s.thresh.Store(int64(d))
+	}
+}
+
+// Threshold returns the current threshold.
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.thresh.Load())
+}
+
+// Observe records op if d meets the threshold.
+func (s *SlowLog) Observe(op string, d time.Duration, detail string) {
+	if s == nil {
+		return
+	}
+	t := s.thresh.Load()
+	if t <= 0 || int64(d) < t {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := (s.start + s.n) % len(s.buf)
+	s.buf[i] = SlowEntry{Op: op, Dur: d, At: time.Now(), Detail: detail}
+	if s.n < len(s.buf) {
+		s.n++
+	} else {
+		s.start = (s.start + 1) % len(s.buf)
+	}
+}
+
+// Entries returns the recorded entries, oldest first.
+func (s *SlowLog) Entries() []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SlowEntry, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// Clear empties the ring.
+func (s *SlowLog) Clear() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.start, s.n = 0, 0
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Field is one key/value annotation on a trace event.
+type Field struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// F builds a Field, stringifying the value with %v.
+func F(key string, val any) Field {
+	s, ok := val.(string)
+	if !ok {
+		s = fmt.Sprintf("%v", val)
+	}
+	return Field{Key: key, Val: s}
+}
+
+// Event phases.
+const (
+	PhaseBegin = "B" // span start; Span is the new span's id
+	PhaseEnd   = "E" // span end; Span names the span being closed
+	PhasePoint = "I" // instant event attached to Span as parent
+)
+
+// Event is one trace record. Spans nest through Parent: a Begin event
+// opens span Span under Parent; Points attach to their parent span via
+// Span; End closes it. Seq is a per-tracer monotonic sequence number, so
+// a dumped ring reads in emission order even after wrap-around.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Span   uint64    `json:"span"`
+	Parent uint64    `json:"parent,omitempty"`
+	Phase  string    `json:"ph"`
+	Name   string    `json:"name"`
+	Time   time.Time `json:"ts"`
+	Fields []Field   `json:"fields,omitempty"`
+}
+
+// String renders the event compactly for writers and shells.
+func (e Event) String() string {
+	s := fmt.Sprintf("%d %s %s span=%d", e.Seq, e.Phase, e.Name, e.Span)
+	if e.Parent != 0 {
+		s += fmt.Sprintf(" parent=%d", e.Parent)
+	}
+	for _, f := range e.Fields {
+		s += " " + f.Key + "=" + f.Val
+	}
+	return s
+}
+
+// Tracer records span-like operation events into a fixed ring buffer,
+// optionally mirroring each event to a pluggable writer. It is disabled
+// by default; every emission site guards with Active(), which is a nil
+// check plus one atomic load, so the disabled path allocates nothing.
+type Tracer struct {
+	on atomic.Bool
+
+	mu    sync.Mutex
+	buf   []Event // ring of capacity cap(buf)
+	start int     // index of oldest event
+	n     int     // live events
+	seq   uint64
+	w     io.Writer
+}
+
+// NewTracer returns a disabled tracer with a ring of the given capacity
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Active reports whether the tracer records events. Safe on nil.
+func (t *Tracer) Active() bool {
+	return t != nil && t.on.Load()
+}
+
+// SetActive enables or disables recording.
+func (t *Tracer) SetActive(on bool) {
+	if t != nil {
+		t.on.Store(on)
+	}
+}
+
+// SetWriter installs a writer that receives one rendered line per event
+// (nil to disable). The writer is invoked under the tracer's mutex; keep
+// it fast or buffered.
+func (t *Tracer) SetWriter(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.w = w
+}
+
+// push appends the event to the ring, assigning Seq, and mirrors it to
+// the writer.
+func (t *Tracer) push(e Event) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	e.Seq = t.seq
+	if e.Span == 0 {
+		e.Span = e.Seq
+	}
+	i := (t.start + t.n) % len(t.buf)
+	t.buf[i] = e
+	if t.n < len(t.buf) {
+		t.n++
+	} else {
+		t.start = (t.start + 1) % len(t.buf)
+	}
+	if t.w != nil {
+		fmt.Fprintln(t.w, e.String())
+	}
+	return e.Seq
+}
+
+// Begin opens a span named name under parent (0 = root), returning the
+// new span id, or 0 when the tracer is inactive.
+func (t *Tracer) Begin(parent uint64, name string, fields ...Field) uint64 {
+	if !t.Active() {
+		return 0
+	}
+	return t.push(Event{Parent: parent, Phase: PhaseBegin, Name: name, Time: time.Now(), Fields: fields})
+}
+
+// End closes the span opened by Begin. A zero span (Begin while
+// inactive, or tracing toggled mid-operation) is ignored.
+func (t *Tracer) End(span uint64, name string, fields ...Field) {
+	if span == 0 || !t.Active() {
+		return
+	}
+	t.push(Event{Span: span, Phase: PhaseEnd, Name: name, Time: time.Now(), Fields: fields})
+}
+
+// Point records an instant event under parent (0 = root).
+func (t *Tracer) Point(parent uint64, name string, fields ...Field) {
+	if !t.Active() {
+		return
+	}
+	t.push(Event{Parent: parent, Phase: PhasePoint, Name: name, Time: time.Now(), Fields: fields})
+}
+
+// Events returns the ring contents in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Clear empties the ring (the sequence counter keeps running).
+func (t *Tracer) Clear() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.start, t.n = 0, 0
+}

@@ -5,7 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Stats counts buffer-pool activity. Reads/Writes are device I/Os; Hits
@@ -63,12 +64,7 @@ type BufferPool struct {
 	dev    Device
 	shards []*shard
 	mask   uint32
-
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	reads     atomic.Uint64
-	writes    atomic.Uint64
-	evictions atomic.Uint64
+	o      poolObs
 }
 
 // NewBufferPool returns a pool holding at most capacity pages.
@@ -81,6 +77,7 @@ func NewBufferPool(dev Device, capacity int) *BufferPool {
 		n *= 2
 	}
 	bp := &BufferPool{dev: dev, mask: uint32(n - 1)}
+	bp.SetObservability(obs.NewRegistry())
 	per, rem := capacity/n, capacity%n
 	for i := 0; i < n; i++ {
 		c := per
@@ -106,26 +103,28 @@ func (bp *BufferPool) Shards() int { return len(bp.shards) }
 // Device returns the underlying device.
 func (bp *BufferPool) Device() Device { return bp.dev }
 
-// Stats returns a snapshot of the pool counters. Counters are atomics, so
-// the snapshot is race-clean even against concurrent fetches (each field
+// Stats returns a snapshot of the pool counters — a view over the
+// registry instruments (internal/obs). Counters are atomics, so the
+// snapshot is race-clean even against concurrent fetches (each field
 // is individually exact; the set is not a single instant's cut).
 func (bp *BufferPool) Stats() Stats {
 	return Stats{
-		Hits:      bp.hits.Load(),
-		Misses:    bp.misses.Load(),
-		Reads:     bp.reads.Load(),
-		Writes:    bp.writes.Load(),
-		Evictions: bp.evictions.Load(),
+		Hits:      bp.o.hits.Load(),
+		Misses:    bp.o.misses.Load(),
+		Reads:     bp.o.reads.Load(),
+		Writes:    bp.o.writes.Load(),
+		Evictions: bp.o.evictions.Load(),
 	}
 }
 
-// ResetStats zeroes the pool counters.
+// ResetStats zeroes the pool counters (atomic stores; safe against
+// concurrent fetches).
 func (bp *BufferPool) ResetStats() {
-	bp.hits.Store(0)
-	bp.misses.Store(0)
-	bp.reads.Store(0)
-	bp.writes.Store(0)
-	bp.evictions.Store(0)
+	bp.o.hits.Reset()
+	bp.o.misses.Reset()
+	bp.o.reads.Reset()
+	bp.o.writes.Reset()
+	bp.o.evictions.Reset()
 }
 
 // evictOne writes back and drops the shard's least recently used unpinned
@@ -141,11 +140,14 @@ func (bp *BufferPool) evictOne(s *shard) error {
 		if err := bp.dev.WritePage(&fr.page); err != nil {
 			return err
 		}
-		bp.writes.Add(1)
+		bp.o.writes.Inc()
 	}
 	s.lru.Remove(back)
 	delete(s.frames, id)
-	bp.evictions.Add(1)
+	bp.o.evictions.Inc()
+	if tr := bp.o.tr; tr.Active() {
+		tr.Point(0, "storage.pool.evict", obs.F("page", id), obs.F("dirty", fr.dirty))
+	}
 	return nil
 }
 
@@ -166,7 +168,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if fr, ok := s.frames[id]; ok {
-		bp.hits.Add(1)
+		bp.o.hits.Inc()
 		if fr.elem != nil {
 			s.lru.Remove(fr.elem)
 			fr.elem = nil
@@ -174,7 +176,10 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		fr.pins++
 		return &fr.page, nil
 	}
-	bp.misses.Add(1)
+	bp.o.misses.Inc()
+	if tr := bp.o.tr; tr.Active() {
+		tr.Point(0, "storage.pool.miss", obs.F("page", id))
+	}
 	if err := bp.ensureRoom(s); err != nil {
 		return nil, err
 	}
@@ -182,7 +187,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	if err := bp.dev.ReadPage(id, &fr.page); err != nil {
 		return nil, err
 	}
-	bp.reads.Add(1)
+	bp.o.reads.Inc()
 	s.frames[id] = fr
 	return &fr.page, nil
 }
@@ -237,7 +242,7 @@ func (bp *BufferPool) FlushAll() error {
 					s.mu.Unlock()
 					return err
 				}
-				bp.writes.Add(1)
+				bp.o.writes.Inc()
 				fr.dirty = false
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/uid"
 	"repro/internal/value"
 )
@@ -32,17 +33,49 @@ type Manager struct {
 	locks  *lock.Manager
 	proto  *lock.Protocol
 	next   atomic.Uint64
+	o      managerObs
 }
 
-// NewManager returns a transaction manager over the engine.
+// managerObs holds the manager's pre-resolved instruments (see
+// internal/obs): transaction lifecycle counters plus the tracer for
+// begin/commit/abort points.
+type managerObs struct {
+	tr              *obs.Tracer
+	begins          *obs.Counter
+	commits         *obs.Counter
+	aborts          *obs.Counter
+	deadlockRetries *obs.Counter
+}
+
+// NewManager returns a transaction manager over the engine, sharing the
+// engine's observability registry with its lock manager.
 func NewManager(e *core.Engine) *Manager {
 	lm := lock.NewManager()
-	return &Manager{
+	m := &Manager{
 		engine: e,
 		locks:  lm,
 		proto:  lock.NewProtocol(lm, e),
 	}
+	m.SetObservability(e.Observability())
+	return m
 }
+
+// SetObservability rebinds the manager's instruments — and those of its
+// lock manager — to r (nil disables them). Call before concurrent use.
+func (m *Manager) SetObservability(r *obs.Registry) {
+	m.o = managerObs{
+		tr:              r.Tracer(),
+		begins:          r.Counter("txn_begin_total"),
+		commits:         r.Counter("txn_commit_total"),
+		aborts:          r.Counter("txn_abort_total"),
+		deadlockRetries: r.Counter("txn_deadlock_retries_total"),
+	}
+	m.locks.SetObservability(r)
+}
+
+// Observability returns the engine's registry (shared with the lock
+// manager).
+func (m *Manager) Observability() *obs.Registry { return m.engine.Observability() }
 
 // Locks exposes the underlying lock manager (for tests and figures).
 func (m *Manager) Locks() *lock.Manager { return m.locks }
@@ -55,9 +88,14 @@ func (m *Manager) Engine() *core.Engine { return m.engine }
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
+	id := lock.TxID(m.next.Add(1))
+	m.o.begins.Inc()
+	if tr := m.o.tr; tr.Active() {
+		tr.Point(0, "txn.begin", obs.F("tx", id))
+	}
 	return &Txn{
 		m:  m,
-		id: lock.TxID(m.next.Add(1)),
+		id: id,
 	}
 }
 
@@ -292,6 +330,10 @@ func (t *Txn) Commit() error {
 	}
 	t.done = true
 	t.undo = nil
+	t.m.o.commits.Inc()
+	if tr := t.m.o.tr; tr.Active() {
+		tr.Point(0, "txn.commit", obs.F("tx", t.id))
+	}
 	t.m.locks.ReleaseAll(t.id)
 	return nil
 }
@@ -302,6 +344,10 @@ func (t *Txn) Abort() error {
 		return err
 	}
 	t.done = true
+	t.m.o.aborts.Inc()
+	if tr := t.m.o.tr; tr.Active() {
+		tr.Point(0, "txn.abort", obs.F("tx", t.id), obs.F("undo", len(t.undo)))
+	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
 		switch {
@@ -338,6 +384,7 @@ func (m *Manager) Run(fn func(*Txn) error) error {
 		if !errors.Is(err, lock.ErrDeadlock) {
 			return err
 		}
+		m.o.deadlockRetries.Inc()
 		lastErr = err
 	}
 	return fmt.Errorf("txn: giving up after deadlock retries: %w", lastErr)
