@@ -1,0 +1,62 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunCleanSeeds(t *testing.T) {
+	o, err := parseFlags([]string{"-seed", "1", "-seeds", "2", "-ops", "150"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	fail, err := run(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatal(fail.Report())
+	}
+	if got := out.String(); !strings.Contains(got, "seed=1 ops=150 ok") || !strings.Contains(got, "seed=2 ops=150 ok") {
+		t.Fatalf("missing per-seed summary lines:\n%s", got)
+	}
+}
+
+func TestRunReplayTraceFile(t *testing.T) {
+	ops := sim.Generate(rand.New(rand.NewSource(3)), sim.GenConfig{Ops: 120})
+	path := filepath.Join(t.TempDir(), "saved.trace")
+	if err := os.WriteFile(path, []byte(sim.FormatTrace(ops)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseFlags([]string{"-replay", path, "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	fail, err := run(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatal(fail.Report())
+	}
+	if !strings.Contains(out.String(), "replaying") {
+		t.Fatalf("missing replay banner:\n%s", out.String())
+	}
+}
+
+func TestCrashImpliesDurable(t *testing.T) {
+	o, err := parseFlags([]string{"-crash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.durable {
+		t.Fatal("-crash should imply -durable")
+	}
+}

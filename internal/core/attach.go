@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/object"
@@ -79,7 +80,8 @@ func (e *Engine) setAttrLocked(o *object.Object, name string, v value.Value, dir
 		return fmt.Errorf("core: assembling existing objects through %s.%s (bottom-up creation): %w",
 			cl.Name, name, ErrLegacyRestriction)
 	}
-	// Validate every addition before mutating anything.
+	// Validate every addition and resolve every removal before mutating
+	// anything, so a failing reference leaves the graph untouched.
 	children := make([]*object.Object, len(added))
 	for i, r := range added {
 		child, err := e.get(r)
@@ -94,13 +96,20 @@ func (e *Engine) setAttrLocked(o *object.Object, name string, v value.Value, dir
 		}
 		children[i] = child
 	}
+	dropped := make([]*object.Object, 0, len(removed))
 	for _, r := range removed {
 		child, err := e.get(r)
 		if err != nil {
+			if errors.Is(err, ErrNoObject) {
+				continue // dropping a dangling reference is always fine
+			}
 			return err
 		}
+		dropped = append(dropped, child)
+	}
+	for _, child := range dropped {
 		child.RemoveReverse(o.UID())
-		dirty.add(r)
+		dirty.add(child.UID())
 	}
 	for _, child := range children {
 		linkChild(child, o.UID(), spec)

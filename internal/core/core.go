@@ -165,26 +165,40 @@ func (e *Engine) Generator() *uid.Generator { return e.gen }
 // Restore overwrites (or re-creates) the engine's record for o.UID() with
 // o, without running any composite semantics. It is the transaction
 // layer's undo primitive: before-images captured with Snapshot are put
-// back verbatim on abort.
-func (e *Engine) Restore(o *object.Object) {
+// back verbatim on abort. The restore is pushed through the persistence
+// hook — the WAL is redo-only, so an abort must log the before-image
+// again or a crash would resurrect the aborted write.
+func (e *Engine) Restore(o *object.Object) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.objects[o.UID()] = o
 	e.extentFor(o.Class()).Add(o.UID())
 	e.gen.Seed(o.UID().Serial)
 	e.bumpLocked(o.UID())
+	if e.hook != nil {
+		return e.hook.OnWrite(o, uid.Nil)
+	}
+	return nil
 }
 
 // Evict removes the object without running the Deletion Rule — the undo
-// primitive for aborted creations. It is a no-op if the object is absent.
-func (e *Engine) Evict(id uid.UID) {
+// primitive for aborted creations, written through the persistence hook
+// for the same reason as Restore. It is a no-op if the object is absent.
+func (e *Engine) Evict(id uid.UID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if _, ok := e.objects[id]; !ok {
+		return nil
+	}
 	delete(e.objects, id)
 	if ext := e.extents[id.Class]; ext != nil {
 		ext.Remove(id)
 	}
 	e.bumpLocked(id)
+	if e.hook != nil {
+		return e.hook.OnDelete(id)
+	}
+	return nil
 }
 
 // Snapshot returns a deep copy of the object for undo logging.
@@ -404,8 +418,26 @@ func (e *Engine) New(class string, attrs map[string]value.Value, parents ...Pare
 	cleanup := func() {
 		delete(e.objects, o.UID())
 		e.extents[cl.ID].Remove(o.UID())
-		// Reverse references inserted before the failure stay behind
-		// (historical behavior); invalidate whatever read them.
+		// Unlink everything the partial make touched: reverse references
+		// inserted into attribute-referenced children and forward
+		// references set in already-attached parents. A failed make must
+		// leave no trace, or the dangling edges violate the topology
+		// invariants the next mutation checks.
+		for _, id := range dirty.ids.Slice() {
+			if id == o.UID() {
+				continue
+			}
+			t, ok := e.objects[id]
+			if !ok {
+				continue
+			}
+			t.RemoveReverse(o.UID())
+			for _, name := range t.AttrNames() {
+				if v := t.Get(name); v.ContainsRef(o.UID()) {
+					t.Set(name, v.WithoutRef(o.UID()))
+				}
+			}
+		}
 		e.bumpDirtyLocked(dirty)
 	}
 	for name, v := range attrs {

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// TestNewFailureLeavesNoTrace: a make that fails after partial progress
+// (attribute references already linked, some parents already attached)
+// must unlink everything it touched — no dangling reverse references in
+// children, no forward references in parents.
+func TestNewFailureLeavesNoTrace(t *testing.T) {
+	e := propEngine(t)
+	leaf, err := e.New("Leaf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := e.New("DX", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parts accepts only Leaf instances, so attaching the new DX object to
+	// parent.Parts fails after the attrs loop already linked leaf.
+	_, err = e.New("DX", map[string]value.Value{"Parts": value.RefSet(leaf.UID())},
+		ParentSpec{Parent: parent.UID(), Attr: "Parts"})
+	if err == nil {
+		t.Fatal("make succeeded, wanted domain mismatch")
+	}
+	l, err := e.Get(leaf.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.HasAnyReverse() {
+		t.Fatalf("leaf kept reverse refs from the failed make: %v", l.Reverse())
+	}
+	if v := e.Integrity(); len(v) != 0 {
+		t.Fatalf("integrity violations after failed make: %v", v)
+	}
+}
+
+// TestNewFailureUnwindsEarlierParents: with several parents, a failure on
+// the Nth attach must also remove the forward references the first N-1
+// parents already gained.
+func TestNewFailureUnwindsEarlierParents(t *testing.T) {
+	e := propEngine(t)
+	p1, err := e.New("DS", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := uid.UID{Class: p1.UID().Class, Serial: p1.UID().Serial + 1000}
+	_, err = e.New("DS", nil,
+		ParentSpec{Parent: p1.UID(), Attr: "Subs"},
+		ParentSpec{Parent: dead, Attr: "Subs"})
+	if err == nil {
+		t.Fatal("make succeeded, wanted missing-parent error")
+	}
+	got, err := e.Get(p1.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs := got.Get("Subs").Refs(nil); len(refs) != 0 {
+		t.Fatalf("first parent kept forward refs from the failed make: %v", refs)
+	}
+	if v := e.Integrity(); len(v) != 0 {
+		t.Fatalf("integrity violations after failed make: %v", v)
+	}
+}

@@ -25,6 +25,39 @@ func (d *DB) DefineClass(def schema.ClassDef) (*schema.Class, error) {
 	return cl, nil
 }
 
+// checkpointSchema persists a schema mutation on durable databases —
+// the catalog (including deferred-evolution op logs and the change
+// counter) lives in the checkpoint, not the WAL, so an un-checkpointed
+// change would silently vanish on crash while objects already carry its
+// effects.
+func (d *DB) checkpointSchema(err error) error {
+	if err != nil {
+		return err
+	}
+	if d.opts.Dir != "" {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
+// ChangeAttributeType applies a state-independent reference-type change
+// (I1–I4, §4.3), immediately or deferred, and makes it durable.
+func (d *DB) ChangeAttributeType(class, attr string, kind schema.ChangeKind, deferred bool) error {
+	return d.checkpointSchema(d.engine.ChangeAttributeType(class, attr, kind, deferred))
+}
+
+// MakeComposite upgrades a weak reference attribute to a composite one
+// (D1/D2, §4.3 — state-dependent, always immediate) and makes it durable.
+func (d *DB) MakeComposite(class, attr string, exclusive, dependent bool) error {
+	return d.checkpointSchema(d.engine.MakeComposite(class, attr, exclusive, dependent))
+}
+
+// MakeExclusive upgrades a shared composite attribute to exclusive (D3,
+// §4.3 — state-dependent, always immediate) and makes it durable.
+func (d *DB) MakeExclusive(class, attr string) error {
+	return d.checkpointSchema(d.engine.MakeExclusive(class, attr))
+}
+
 // Make creates an instance (the make message, §2.3): attribute values
 // plus optional (parent, attribute) pairs placing the new instance into
 // existing composite objects. The instance is clustered with the first

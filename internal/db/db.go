@@ -41,6 +41,10 @@ type Options struct {
 	// SyncWAL forces an fsync per logged write (default: sync at
 	// checkpoints only).
 	SyncWAL bool
+	// Device overrides the page device, e.g. a fault-injecting wrapper
+	// from internal/faultfs. When nil, Open uses a MemDevice for
+	// in-memory databases and a FileDevice on Dir/pages.db otherwise.
+	Device storage.Device
 }
 
 // ErrClosed is returned when a closed DB is used.
@@ -86,9 +90,17 @@ func Open(opts Options) (*DB, error) {
 	// concurrently: the /metrics endpoint then exposes core, storage,
 	// lock, and txn families side by side.
 	d.engine.SetObservability(d.reg)
-	if opts.Dir == "" {
+	switch {
+	case opts.Device != nil:
+		if opts.Dir != "" {
+			if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+				return nil, fmt.Errorf("db: create dir: %w", err)
+			}
+		}
+		d.dev = opts.Device
+	case opts.Dir == "":
 		d.dev = storage.NewMemDevice()
-	} else {
+	default:
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("db: create dir: %w", err)
 		}
@@ -314,6 +326,29 @@ func (d *DB) Close() error {
 	}
 	d.closed = true
 	return d.dev.Close()
+}
+
+// Abandon closes the database's file handles without checkpointing or
+// flushing anything — simulating a process crash for recovery tests.
+// Buffered pages and in-memory state are discarded; whatever the WAL and
+// the last checkpoint captured is what a subsequent Open recovers.
+func (d *DB) Abandon() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var firstErr error
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := d.dev.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Access to the subsystems. The facade re-exports the most common

@@ -1,0 +1,267 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func fill(b byte) *storage.Page {
+	var p storage.Page
+	for i := range p.Data {
+		p.Data[i] = b
+	}
+	return &p
+}
+
+func readBack(t *testing.T, d storage.Device, id storage.PageID) []byte {
+	t.Helper()
+	var p storage.Page
+	if err := d.ReadPage(id, &p); err != nil {
+		t.Fatalf("read page %d: %v", id, err)
+	}
+	return append([]byte(nil), p.Data[:]...)
+}
+
+func TestPassthroughAndVolatility(t *testing.T) {
+	d := New(storage.NewMemDevice(), 1)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := fill(0xaa)
+	pg.ID = id
+	if err := d.WritePage(pg); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, d, id); got[0] != 0xaa {
+		t.Fatalf("read-back before sync: got %x", got[0])
+	}
+	// Unsynced data does not survive a crash.
+	d.Crash()
+	if got := readBack(t, d, id); got[0] != 0 {
+		t.Fatalf("after crash without sync: got %x, want zero page", got[0])
+	}
+	// Synced data does.
+	if err := d.WritePage(pg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := readBack(t, d, id); got[0] != 0xaa {
+		t.Fatalf("after crash with sync: got %x, want 0xaa", got[0])
+	}
+}
+
+func TestShortWriteDamagesDurableImageOnly(t *testing.T) {
+	d := New(storage.NewMemDevice(), 42)
+	id, _ := d.Allocate()
+	old := fill(0x11)
+	old.ID = id
+	if err := d.WritePage(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Inject(Fault{Kind: ShortWrite, At: 2}) // the next write is write #2
+	neu := fill(0x22)
+	neu.ID = id
+	if err := d.WritePage(neu); err != nil {
+		t.Fatalf("short write must report success: %v", err)
+	}
+	if got := readBack(t, d, id); got[0] != 0x22 || got[len(got)-1] != 0x22 {
+		t.Fatal("application read-back must see the full write")
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	got := readBack(t, d, id)
+	if got[0] != 0x22 {
+		t.Fatal("short write persisted nothing")
+	}
+	if got[len(got)-1] != 0x11 {
+		t.Fatal("short write persisted the full page; want a stale suffix")
+	}
+	if st := d.Stats(); st.Fired != 1 {
+		t.Fatalf("fired = %d, want 1", st.Fired)
+	}
+}
+
+func TestTornPageMixesSectors(t *testing.T) {
+	d := New(storage.NewMemDevice(), 7)
+	id, _ := d.Allocate()
+	old := fill(0x11)
+	old.ID = id
+	d.WritePage(old)
+	d.Sync()
+	d.Inject(Fault{Kind: TornPage, At: 2})
+	neu := fill(0x22)
+	neu.ID = id
+	if err := d.WritePage(neu); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+	d.Crash()
+	got := readBack(t, d, id)
+	const sector = 512
+	oldN, newN := 0, 0
+	for s := 0; s*sector < len(got); s++ {
+		sec := got[s*sector : (s+1)*sector]
+		switch {
+		case bytes.Equal(sec, bytes.Repeat([]byte{0x11}, sector)):
+			oldN++
+		case bytes.Equal(sec, bytes.Repeat([]byte{0x22}, sector)):
+			newN++
+		default:
+			t.Fatalf("sector %d is neither old nor new", s)
+		}
+	}
+	if oldN == 0 {
+		t.Fatal("torn page has no stale sector")
+	}
+}
+
+func TestWriteErrAtNthWrite(t *testing.T) {
+	d := New(storage.NewMemDevice(), 3)
+	id, _ := d.Allocate()
+	d.Inject(Fault{Kind: WriteErr, At: 3})
+	pg := fill(0x33)
+	pg.ID = id
+	for i := 1; i <= 2; i++ {
+		if err := d.WritePage(pg); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	err := d.WritePage(pg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3: got %v, want ErrInjected", err)
+	}
+	// One-shot: the plan entry is consumed.
+	if err := d.WritePage(pg); err != nil {
+		t.Fatalf("write 4 failed: %v", err)
+	}
+}
+
+func TestSyncFaults(t *testing.T) {
+	for _, k := range []Kind{SyncErr, SyncLost} {
+		d := New(storage.NewMemDevice(), 9)
+		id, _ := d.Allocate()
+		pg := fill(0x44)
+		pg.ID = id
+		d.WritePage(pg)
+		d.Inject(Fault{Kind: k, At: 1})
+		err := d.Sync()
+		if k == SyncErr && !errors.Is(err, ErrInjected) {
+			t.Fatalf("%v: got %v, want ErrInjected", k, err)
+		}
+		if k == SyncLost && err != nil {
+			t.Fatalf("%v: got %v, want nil (lying fsync)", k, err)
+		}
+		d.Crash()
+		if got := readBack(t, d, id); got[0] != 0 {
+			t.Fatalf("%v: data survived a crash without a real sync", k)
+		}
+	}
+}
+
+func TestSyncRetryAfterFailureIsDurable(t *testing.T) {
+	d := New(storage.NewMemDevice(), 9)
+	id, _ := d.Allocate()
+	pg := fill(0x55)
+	pg.ID = id
+	d.WritePage(pg)
+	d.Inject(Fault{Kind: SyncErr, At: 1})
+	if err := d.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatal("expected injected sync failure")
+	}
+	// The pending image survives the failed sync; a retry persists it.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := readBack(t, d, id); got[0] != 0x55 {
+		t.Fatal("retry sync did not persist the pending image")
+	}
+}
+
+func TestCrashAtFreezesEarlierImage(t *testing.T) {
+	d := New(storage.NewMemDevice(), 5)
+	id, _ := d.Allocate()
+	a := fill(0x0a)
+	a.ID = id
+	d.WritePage(a)
+	d.Sync()
+	opAfterFirst := d.Ops()
+	b := fill(0x0b)
+	b.ID = id
+	d.WritePage(b)
+	d.Sync()
+	if got := readBack(t, d, id); got[0] != 0x0b {
+		t.Fatal("sanity: latest write visible")
+	}
+	if err := d.CrashAt(opAfterFirst); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, d, id); got[0] != 0x0a {
+		t.Fatalf("CrashAt: got %x, want image at first sync", got[0])
+	}
+	// Rewinding to before any sync yields the base (zero) image.
+	if err := d.CrashAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, d, id); got[0] != 0 {
+		t.Fatalf("CrashAt(0): got %x, want zero page", got[0])
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func() []byte {
+		d := New(storage.NewMemDevice(), 1234)
+		id, _ := d.Allocate()
+		old := fill(0x11)
+		old.ID = id
+		d.WritePage(old)
+		d.Sync()
+		d.Inject(Fault{Kind: TornPage, At: 2})
+		neu := fill(0x22)
+		neu.ID = id
+		d.WritePage(neu)
+		d.Sync()
+		d.Crash()
+		var p storage.Page
+		d.ReadPage(id, &p)
+		return append([]byte(nil), p.Data[:]...)
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("same seed, same ops: torn-page damage differs")
+	}
+}
+
+func TestProbabilisticFaultIsSeeded(t *testing.T) {
+	count := func(seed int64) int {
+		d := New(storage.NewMemDevice(), seed)
+		id, _ := d.Allocate()
+		d.Inject(Fault{Kind: WriteErr, Prob: 0.3})
+		pg := fill(0x66)
+		pg.ID = id
+		n := 0
+		for i := 0; i < 100; i++ {
+			if err := d.WritePage(pg); err != nil {
+				n++
+			}
+		}
+		return n
+	}
+	if count(77) != count(77) {
+		t.Fatal("probabilistic faults not reproducible for equal seeds")
+	}
+	if count(77) == 0 {
+		t.Fatal("Prob=0.3 never fired in 100 writes")
+	}
+}

@@ -1,0 +1,586 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// The simulation schema: one leaf class per domain ("Leaf" for set
+// attributes, "Hull" for the single-valued one) and one parent class per
+// reference kind of Definition 1, each with a recursive attribute. Every
+// (owner class, domain class) pair appears at most once, which makes the
+// engine's class-matched deferred replay and its attribute-matched
+// immediate rewrite provably equivalent (see the package comment).
+const (
+	classLeaf = "Leaf"
+	classHull = "Hull"
+)
+
+var parentClasses = []string{"DX", "IX", "DS", "IS"}
+
+// simClassDefs returns the model class table; the harness derives the
+// engine catalog definitions from the same data.
+func simClassDefs() []modelClass {
+	defs := []modelClass{
+		{Name: classLeaf, Attrs: []attrSpec{{Name: "Tag"}}},
+		{Name: classHull, Attrs: []attrSpec{{Name: "Tag"}}},
+	}
+	kind := map[string][2]bool{ // class -> {exclusive, dependent}
+		"DX": {true, true}, "IX": {true, false}, "DS": {false, true}, "IS": {false, false},
+	}
+	for _, name := range parentClasses {
+		k := kind[name]
+		defs = append(defs, modelClass{Name: name, Attrs: []attrSpec{
+			{Name: "Tag"},
+			{Name: "Parts", Domain: classLeaf, SetOf: true, Composite: true, Exclusive: k[0], Dependent: k[1]},
+			{Name: "Main", Domain: classHull, Composite: true, Exclusive: k[0], Dependent: k[1]},
+			{Name: "Subs", Domain: name, SetOf: true, Composite: true, Exclusive: k[0], Dependent: k[1]},
+		}})
+	}
+	return defs
+}
+
+// refDomain returns the domain class of a parent-class reference attr.
+func refDomain(class, attr string) string {
+	switch attr {
+	case "Parts":
+		return classLeaf
+	case "Main":
+		return classHull
+	default:
+		return class // Subs
+	}
+}
+
+// OpKind enumerates the workload vocabulary.
+type OpKind int
+
+// The operation kinds, in trace-keyword order.
+const (
+	OpBegin OpKind = iota
+	OpCommit
+	OpAbort
+	OpNew
+	OpAttach
+	OpDetach
+	OpSetTag
+	OpSetRefs
+	OpDelete
+	OpEvolve
+	OpCheckpoint
+	OpCrash
+)
+
+// OpParent is one (parent slot, attribute) pair of a make message.
+type OpParent struct {
+	Slot int
+	Attr string
+}
+
+// Op is one workload step. Objects are named by slot — the index a
+// successful OpNew assigned — so traces stay replayable after shrinking:
+// an op whose slot was never assigned (its OpNew was removed or failed)
+// is skipped deterministically.
+type Op struct {
+	Kind     OpKind
+	Slot     int        // OpNew: slot to assign; others: target slot
+	Class    string     // OpNew, OpEvolve
+	Attr     string     // OpAttach, OpDetach, OpSetRefs, OpEvolve
+	Child    int        // OpAttach/OpDetach child slot
+	Tag      int64      // OpNew, OpSetTag
+	Refs     []int      // OpSetRefs: referenced slots
+	Parents  []OpParent // OpNew
+	Change   string     // OpEvolve: I1 I2 I3 I4 D1 D2 D3
+	Deferred bool       // OpEvolve I1–I4
+	Dep      bool       // OpEvolve D1/D2: new dependent flag
+}
+
+// GenConfig tunes the workload generator.
+type GenConfig struct {
+	Ops        int
+	Evolution  bool // emit I1–I4/D1–D3 ops
+	Checkpoint bool // emit checkpoint ops
+	Crash      bool // emit crash ops (durable runs only)
+	MaxObjects int  // soft cap; deletes are forced above it (default 120)
+}
+
+// Generate produces a seeded op sequence. Liveness tracking is
+// deliberately approximate (cascade victims are not tracked), so a
+// fraction of ops target dead objects and exercise error paths; the
+// harness requires only that engine and model fail identically.
+func Generate(r *rand.Rand, cfg GenConfig) []Op {
+	if cfg.MaxObjects <= 0 {
+		cfg.MaxObjects = 120
+	}
+	g := &generator{r: r, cfg: cfg}
+	for len(g.ops) < cfg.Ops {
+		g.step()
+	}
+	if g.txnOpen {
+		g.emit(Op{Kind: OpCommit})
+	}
+	return g.ops
+}
+
+type genSlot struct {
+	class string
+	live  bool
+}
+
+type generator struct {
+	r       *rand.Rand
+	cfg     GenConfig
+	ops     []Op
+	slots   []genSlot
+	txnOpen bool
+	txnLen  int
+}
+
+func (g *generator) emit(op Op) { g.ops = append(g.ops, op) }
+
+func (g *generator) liveCount() int {
+	n := 0
+	for _, s := range g.slots {
+		if s.live {
+			n++
+		}
+	}
+	return n
+}
+
+// pickSlot returns a slot of one of the given classes, favouring live
+// ones but returning a dead one ~6% of the time; -1 if none exist.
+func (g *generator) pickSlot(classes ...string) int {
+	var live, dead []int
+	for i, s := range g.slots {
+		ok := false
+		for _, c := range classes {
+			if s.class == c {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if s.live {
+			live = append(live, i)
+		} else {
+			dead = append(dead, i)
+		}
+	}
+	if len(dead) > 0 && (len(live) == 0 || g.r.Float64() < 0.06) {
+		return dead[g.r.Intn(len(dead))]
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	return live[g.r.Intn(len(live))]
+}
+
+func (g *generator) step() {
+	if g.txnOpen {
+		if g.txnLen >= 1 && g.r.Float64() < 0.25 {
+			if g.r.Float64() < 0.25 {
+				g.emit(Op{Kind: OpAbort})
+			} else {
+				g.emit(Op{Kind: OpCommit})
+			}
+			g.txnOpen = false
+			return
+		}
+		g.mutation()
+		g.txnLen++
+		return
+	}
+	switch roll := g.r.Float64(); {
+	case g.cfg.Crash && roll < 0.02:
+		g.emit(Op{Kind: OpCrash})
+	case g.cfg.Checkpoint && roll < 0.05:
+		g.emit(Op{Kind: OpCheckpoint})
+	case g.cfg.Evolution && roll < 0.13:
+		g.evolve()
+	case roll < 0.45:
+		g.emit(Op{Kind: OpBegin})
+		g.txnOpen = true
+		g.txnLen = 0
+	default:
+		g.mutation()
+	}
+}
+
+func (g *generator) mutation() {
+	if g.liveCount() >= g.cfg.MaxObjects {
+		g.delete()
+		return
+	}
+	switch roll := g.r.Float64(); {
+	case roll < 0.34 || g.liveCount() == 0:
+		g.new()
+	case roll < 0.54:
+		g.attach()
+	case roll < 0.64:
+		g.detach()
+	case roll < 0.74:
+		g.setTag()
+	case roll < 0.86:
+		g.setRefs()
+	default:
+		g.delete()
+	}
+}
+
+func (g *generator) new() {
+	var class string
+	switch roll := g.r.Float64(); {
+	case roll < 0.35:
+		class = classLeaf
+	case roll < 0.5:
+		class = classHull
+	default:
+		class = parentClasses[g.r.Intn(len(parentClasses))]
+	}
+	op := Op{Kind: OpNew, Slot: len(g.slots), Class: class, Tag: g.r.Int63n(1 << 30)}
+	// Optional parents: Leaf slots into Parts (up to two — multi-parent
+	// makes need shared attrs, so dependent/independent-shared parents
+	// mostly, but exclusive ones sneak in to exercise the rejection),
+	// Hull into Main, recursive classes into Subs of the same class.
+	nParents := 0
+	switch class {
+	case classLeaf:
+		nParents = g.r.Intn(3)
+	default:
+		nParents = g.r.Intn(2)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < nParents; i++ {
+		var p int
+		var attr string
+		switch class {
+		case classLeaf:
+			if i == 0 && g.r.Float64() < 0.4 {
+				p = g.pickSlot(parentClasses...)
+			} else {
+				p = g.pickSlot("DS", "IS")
+			}
+			attr = "Parts"
+		case classHull:
+			p = g.pickSlot(parentClasses...)
+			attr = "Main"
+		default:
+			p = g.pickSlot(class)
+			attr = "Subs"
+		}
+		if p < 0 || seen[p] {
+			continue
+		}
+		seen[p] = true
+		op.Parents = append(op.Parents, OpParent{Slot: p, Attr: attr})
+	}
+	g.emit(op)
+	g.slots = append(g.slots, genSlot{class: class, live: true})
+}
+
+// parentAndChild picks a parent-class slot, an attribute, and a child slot
+// of the matching domain (wrong-class ~5% of the time for error paths).
+func (g *generator) parentAndChild() (int, string, int) {
+	p := g.pickSlot(parentClasses...)
+	if p < 0 {
+		return -1, "", -1
+	}
+	attr := []string{"Parts", "Main", "Subs"}[g.r.Intn(3)]
+	domain := refDomain(g.slots[p].class, attr)
+	var c int
+	if g.r.Float64() < 0.05 {
+		c = g.pickSlot(classLeaf, classHull, "DX", "IX", "DS", "IS")
+	} else {
+		c = g.pickSlot(domain)
+	}
+	return p, attr, c
+}
+
+func (g *generator) attach() {
+	p, attr, c := g.parentAndChild()
+	if p < 0 || c < 0 {
+		g.new()
+		return
+	}
+	g.emit(Op{Kind: OpAttach, Slot: p, Attr: attr, Child: c})
+}
+
+func (g *generator) detach() {
+	p, attr, c := g.parentAndChild()
+	if p < 0 || c < 0 {
+		g.new()
+		return
+	}
+	g.emit(Op{Kind: OpDetach, Slot: p, Attr: attr, Child: c})
+}
+
+func (g *generator) setTag() {
+	s := g.pickSlot(classLeaf, classHull, "DX", "IX", "DS", "IS")
+	if s < 0 {
+		g.new()
+		return
+	}
+	g.emit(Op{Kind: OpSetTag, Slot: s, Tag: g.r.Int63n(1 << 30)})
+}
+
+func (g *generator) setRefs() {
+	p := g.pickSlot(parentClasses...)
+	if p < 0 {
+		g.new()
+		return
+	}
+	attr := []string{"Parts", "Main", "Subs"}[g.r.Intn(3)]
+	domain := refDomain(g.slots[p].class, attr)
+	max := 3
+	if attr == "Main" {
+		max = 1
+	}
+	var refs []int
+	seen := map[int]bool{}
+	for i, n := 0, g.r.Intn(max+1); i < n; i++ {
+		var c int
+		if g.r.Float64() < 0.05 {
+			c = g.pickSlot(classLeaf, classHull, "DX", "IX", "DS", "IS")
+		} else {
+			c = g.pickSlot(domain)
+		}
+		if c < 0 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		refs = append(refs, c)
+	}
+	g.emit(Op{Kind: OpSetRefs, Slot: p, Attr: attr, Refs: refs})
+}
+
+func (g *generator) delete() {
+	s := g.pickSlot(classLeaf, classHull, "DX", "IX", "DS", "IS")
+	if s < 0 {
+		g.new()
+		return
+	}
+	g.emit(Op{Kind: OpDelete, Slot: s})
+	g.slots[s].live = false
+}
+
+func (g *generator) evolve() {
+	class := parentClasses[g.r.Intn(len(parentClasses))]
+	attr := []string{"Parts", "Main", "Subs"}[g.r.Intn(3)]
+	change := []string{"I1", "I2", "I3", "I4", "D1", "D2", "D3"}[g.r.Intn(7)]
+	op := Op{Kind: OpEvolve, Class: class, Attr: attr, Change: change}
+	switch change {
+	case "D1", "D2":
+		op.Dep = g.r.Float64() < 0.5
+	case "D3":
+	default:
+		op.Deferred = g.r.Float64() < 0.5
+	}
+	g.emit(op)
+}
+
+// FormatTrace renders ops one per line, parseable by ParseTrace.
+func FormatTrace(ops []Op) string {
+	var b strings.Builder
+	for _, op := range ops {
+		b.WriteString(formatOp(op))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatOp(op Op) string {
+	switch op.Kind {
+	case OpBegin:
+		return "begin"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpNew:
+		s := fmt.Sprintf("new %d %s %d", op.Slot, op.Class, op.Tag)
+		for _, p := range op.Parents {
+			s += fmt.Sprintf(" %d:%s", p.Slot, p.Attr)
+		}
+		return s
+	case OpAttach:
+		return fmt.Sprintf("attach %d %s %d", op.Slot, op.Attr, op.Child)
+	case OpDetach:
+		return fmt.Sprintf("detach %d %s %d", op.Slot, op.Attr, op.Child)
+	case OpSetTag:
+		return fmt.Sprintf("settag %d %d", op.Slot, op.Tag)
+	case OpSetRefs:
+		s := fmt.Sprintf("setrefs %d %s", op.Slot, op.Attr)
+		for _, r := range op.Refs {
+			s += fmt.Sprintf(" %d", r)
+		}
+		return s
+	case OpDelete:
+		return fmt.Sprintf("delete %d", op.Slot)
+	case OpEvolve:
+		mode := "-"
+		switch {
+		case op.Change == "D1" || op.Change == "D2":
+			if op.Dep {
+				mode = "dep"
+			} else {
+				mode = "indep"
+			}
+		case op.Change != "D3":
+			if op.Deferred {
+				mode = "deferred"
+			} else {
+				mode = "immediate"
+			}
+		}
+		return fmt.Sprintf("evolve %s %s %s %s", op.Class, op.Attr, op.Change, mode)
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("?%d", op.Kind)
+	}
+}
+
+// ParseTrace parses the FormatTrace representation. Blank lines and
+// #-comments are ignored.
+func ParseTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		op, err := parseOp(text)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace line %d: %w", line, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+func parseOp(text string) (Op, error) {
+	f := strings.Fields(text)
+	atoi := func(s string) (int, error) { return strconv.Atoi(s) }
+	switch f[0] {
+	case "begin":
+		return Op{Kind: OpBegin}, nil
+	case "commit":
+		return Op{Kind: OpCommit}, nil
+	case "abort":
+		return Op{Kind: OpAbort}, nil
+	case "checkpoint":
+		return Op{Kind: OpCheckpoint}, nil
+	case "crash":
+		return Op{Kind: OpCrash}, nil
+	case "new":
+		if len(f) < 4 {
+			return Op{}, fmt.Errorf("new wants ≥3 args")
+		}
+		slot, err := atoi(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		tag, err := strconv.ParseInt(f[3], 10, 64)
+		if err != nil {
+			return Op{}, err
+		}
+		op := Op{Kind: OpNew, Slot: slot, Class: f[2], Tag: tag}
+		for _, p := range f[4:] {
+			ps, attr, ok := strings.Cut(p, ":")
+			if !ok {
+				return Op{}, fmt.Errorf("bad parent %q", p)
+			}
+			pslot, err := atoi(ps)
+			if err != nil {
+				return Op{}, err
+			}
+			op.Parents = append(op.Parents, OpParent{Slot: pslot, Attr: attr})
+		}
+		return op, nil
+	case "attach", "detach":
+		if len(f) != 4 {
+			return Op{}, fmt.Errorf("%s wants 3 args", f[0])
+		}
+		p, err1 := atoi(f[1])
+		c, err2 := atoi(f[3])
+		if err1 != nil || err2 != nil {
+			return Op{}, fmt.Errorf("bad slot in %q", text)
+		}
+		k := OpAttach
+		if f[0] == "detach" {
+			k = OpDetach
+		}
+		return Op{Kind: k, Slot: p, Attr: f[2], Child: c}, nil
+	case "settag":
+		if len(f) != 3 {
+			return Op{}, fmt.Errorf("settag wants 2 args")
+		}
+		s, err := atoi(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		tag, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpSetTag, Slot: s, Tag: tag}, nil
+	case "setrefs":
+		if len(f) < 3 {
+			return Op{}, fmt.Errorf("setrefs wants ≥2 args")
+		}
+		s, err := atoi(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		op := Op{Kind: OpSetRefs, Slot: s, Attr: f[2]}
+		for _, rs := range f[3:] {
+			r, err := atoi(rs)
+			if err != nil {
+				return Op{}, err
+			}
+			op.Refs = append(op.Refs, r)
+		}
+		return op, nil
+	case "delete":
+		if len(f) != 2 {
+			return Op{}, fmt.Errorf("delete wants 1 arg")
+		}
+		s, err := atoi(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpDelete, Slot: s}, nil
+	case "evolve":
+		if len(f) != 5 {
+			return Op{}, fmt.Errorf("evolve wants 4 args")
+		}
+		op := Op{Kind: OpEvolve, Class: f[1], Attr: f[2], Change: f[3]}
+		switch f[4] {
+		case "deferred":
+			op.Deferred = true
+		case "immediate", "-", "indep":
+		case "dep":
+			op.Dep = true
+		default:
+			return Op{}, fmt.Errorf("bad evolve mode %q", f[4])
+		}
+		return op, nil
+	default:
+		return Op{}, fmt.Errorf("unknown op %q", f[0])
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+// ShrinkFailure minimizes a failing trace with ddmin-style chunk removal:
+// repeatedly try deleting contiguous chunks (halving the chunk size when
+// a pass removes nothing) and keep any candidate that still fails — not
+// necessarily with the same message; any divergence is a bug worth the
+// smaller reproducer. Replays are bounded by cfg.ShrinkBudget. Returns
+// the failure of the smallest failing trace, with Trace set to it.
+func ShrinkFailure(cfg Config, ops []Op, orig *Failure) *Failure {
+	budget := cfg.ShrinkBudget
+	if budget <= 0 {
+		budget = 200
+	}
+	best, bestF := ops, orig
+	chunk := (len(best) + 1) / 2
+	for chunk >= 1 && budget > 0 {
+		removed := false
+		for start := 0; start < len(best) && budget > 0; {
+			end := start + chunk
+			if end > len(best) {
+				end = len(best)
+			}
+			if end-start == len(best) {
+				break // never try the empty trace
+			}
+			cand := make([]Op, 0, len(best)-(end-start))
+			cand = append(cand, best[:start]...)
+			cand = append(cand, best[end:]...)
+			budget--
+			if f := RunTrace(cfg, cand); f != nil {
+				best, bestF = cand, f
+				removed = true
+				// The ops after start shifted into place; retry there.
+			} else {
+				start = end
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		} else if max := (len(best) + 1) / 2; chunk > max {
+			chunk = max
+		}
+	}
+	bestF.Trace = best
+	return bestF
+}

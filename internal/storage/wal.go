@@ -37,6 +37,12 @@ type WALRecord struct {
 // torn tail is tolerated silently).
 var ErrCorruptWAL = errors.New("storage: corrupt WAL record")
 
+// MaxWALPayload bounds the declared payload length of a frame. Object
+// records are limited by MaxRecord (one slotted page), so any frame
+// claiming more than this is garbage from a torn header, not data — and
+// trusting the raw u32 would allocate up to 4 GiB during replay.
+const MaxWALPayload = MaxRecord + 64
+
 // WAL is an append-only, checksummed write-ahead log. Frame layout:
 //
 //	len(u32 LE) crc(u32 LE of payload) payload
@@ -126,6 +132,9 @@ func decodeWALPayload(p []byte) (WALRecord, error) {
 // boundaries.
 func (w *WAL) Append(rec WALRecord) error {
 	payload := encodeWALPayload(rec)
+	if len(payload) > MaxWALPayload {
+		return fmt.Errorf("storage: wal record too big (%d bytes)", len(payload))
+	}
 	frame := make([]byte, 8, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
@@ -184,9 +193,12 @@ func (w *WAL) Close() error {
 }
 
 // ReplayWAL reads the log at path, invoking fn for every intact record in
-// order. A torn final record (incomplete frame) ends replay without error,
-// matching crash-at-append semantics; a checksum mismatch on a complete
-// frame returns ErrCorruptWAL.
+// order. Any malformed data at the tail of the log — an incomplete frame,
+// an absurd length, a checksum mismatch, or a payload that fails to
+// decode — ends replay without error, matching crash-at-append semantics:
+// the final frame may have been half-written when power was lost. The
+// same damage followed by more frames cannot come from a torn append, so
+// mid-log corruption still returns ErrCorruptWAL.
 func ReplayWAL(path string, fn func(WALRecord) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -196,6 +208,12 @@ func ReplayWAL(path string, fn func(WALRecord) error) error {
 		return fmt.Errorf("storage: open wal for replay: %w", err)
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: stat wal: %w", err)
+	}
+	size := st.Size()
+	var off int64
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -206,6 +224,12 @@ func ReplayWAL(path string, fn func(WALRecord) error) error {
 		}
 		l := binary.LittleEndian.Uint32(hdr[0:])
 		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if l > MaxWALPayload {
+			// A garbage length gives no way to find the next frame
+			// boundary, so nothing past this point is recoverable; treat
+			// it like a torn tail rather than allocating l bytes.
+			return nil
+		}
 		payload := make([]byte, l)
 		if _, err := io.ReadFull(f, payload); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
@@ -213,15 +237,23 @@ func ReplayWAL(path string, fn func(WALRecord) error) error {
 			}
 			return fmt.Errorf("storage: wal read: %w", err)
 		}
+		frameEnd := off + 8 + int64(l)
 		if crc32.ChecksumIEEE(payload) != crc {
+			if frameEnd >= size {
+				return nil // torn final record
+			}
 			return ErrCorruptWAL
 		}
 		rec, err := decodeWALPayload(payload)
 		if err != nil {
+			if frameEnd >= size {
+				return nil // torn final record
+			}
 			return err
 		}
 		if err := fn(rec); err != nil {
 			return err
 		}
+		off = frameEnd
 	}
 }

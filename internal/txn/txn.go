@@ -339,6 +339,10 @@ func (t *Txn) Commit() error {
 }
 
 // Abort rolls back every change in reverse order and releases all locks.
+// Undo actions write through the engine's persistence hook (the WAL is
+// redo-only), so a persistence failure surfaces here — every undo record
+// is still processed and every lock released before the first such error
+// is returned.
 func (t *Txn) Abort() error {
 	if err := t.check(); err != nil {
 		return err
@@ -348,18 +352,23 @@ func (t *Txn) Abort() error {
 	if tr := t.m.o.tr; tr.Active() {
 		tr.Point(0, "txn.abort", obs.F("tx", t.id), obs.F("undo", len(t.undo)))
 	}
+	var firstErr error
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
+		var err error
 		switch {
 		case u.restore != nil:
-			t.m.engine.Restore(u.restore)
+			err = t.m.engine.Restore(u.restore)
 		case !u.evict.IsNil():
-			t.m.engine.Evict(u.evict)
+			err = t.m.engine.Evict(u.evict)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	t.undo = nil
 	t.m.locks.ReleaseAll(t.id)
-	return nil
+	return firstErr
 }
 
 // Run executes fn in a transaction, committing on nil and aborting on
