@@ -20,19 +20,20 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line. The cache hit rate and
-// buffer-pool eviction count — reported by the benches from the
-// observability registry snapshot — are promoted to typed fields
-// (pointers, so a true zero survives omitempty); any other custom
-// units land in Metrics.
+// Result is one parsed benchmark line. The cache hit rate, buffer-pool
+// eviction count, and fsyncs-per-commit ratio — reported by the benches
+// from the observability registry snapshot — are promoted to typed
+// fields (pointers, so a true zero survives omitempty); any other
+// custom units land in Metrics.
 type Result struct {
-	Name          string             `json:"name"`
-	Procs         int                `json:"procs"`
-	N             int64              `json:"n"`
-	NsPerOp       float64            `json:"ns_per_op"`
-	CacheHitRate  *float64           `json:"cache_hit_rate,omitempty"`
-	PoolEvictions *float64           `json:"pool_evictions,omitempty"`
-	Metrics       map[string]float64 `json:"metrics,omitempty"`
+	Name            string             `json:"name"`
+	Procs           int                `json:"procs"`
+	N               int64              `json:"n"`
+	NsPerOp         float64            `json:"ns_per_op"`
+	CacheHitRate    *float64           `json:"cache_hit_rate,omitempty"`
+	PoolEvictions   *float64           `json:"pool_evictions,omitempty"`
+	FsyncsPerCommit *float64           `json:"fsyncs_per_commit,omitempty"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
 }
 
 // parseLine parses a single `go test -bench` result line, e.g.
@@ -77,6 +78,10 @@ func parseLine(line string) (Result, bool) {
 		case "pool-evictions":
 			ev := v
 			r.PoolEvictions = &ev
+			continue
+		case "fsyncs/commit":
+			fc := v
+			r.FsyncsPerCommit = &fc
 			continue
 		}
 		if r.Metrics == nil {

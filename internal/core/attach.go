@@ -124,6 +124,11 @@ func (e *Engine) setAttrLocked(o *object.Object, name string, v value.Value, dir
 // validation and, for composite attributes, the Make-Component Rule on
 // every newly referenced object (and unlinking every dropped one).
 func (e *Engine) Set(id uid.UID, attr string, v value.Value) error {
+	return e.SetTx(0, id, attr, v)
+}
+
+// SetTx is Set tagged with the transaction performing the update.
+func (e *Engine) SetTx(tx TxnID, id uid.UID, attr string, v value.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	o, err := e.get(id)
@@ -134,7 +139,7 @@ func (e *Engine) Set(id uid.UID, attr string, v value.Value) error {
 	if err := e.setAttrLocked(o, attr, v, dirty); err != nil {
 		return err
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(tx, dirty, uid.Nil, uid.Nil)
 }
 
 // attachLocked makes child a part of parent through attr, implementing
@@ -231,6 +236,11 @@ func (e *Engine) attachCheckedLocked(parent uid.UID, attr string, childID uid.UI
 // is rejected in legacy mode, where components can only come into
 // existence under their parent.
 func (e *Engine) Attach(parent uid.UID, attr string, child uid.UID) error {
+	return e.AttachTx(0, parent, attr, child)
+}
+
+// AttachTx is Attach tagged with the transaction performing the link.
+func (e *Engine) AttachTx(tx TxnID, parent uid.UID, attr string, child uid.UID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.legacy {
@@ -240,7 +250,7 @@ func (e *Engine) Attach(parent uid.UID, attr string, child uid.UID) error {
 	if err := e.attachLocked(parent, attr, child, dirty); err != nil {
 		return err
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(tx, dirty, uid.Nil, uid.Nil)
 }
 
 // AttachWithCheck is Attach with a caller-supplied Make-Component
@@ -258,7 +268,7 @@ func (e *Engine) AttachWithCheck(parent uid.UID, attr string, child uid.UID,
 	if err := e.attachCheckedLocked(parent, attr, child, dirty, check); err != nil {
 		return err
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(0, dirty, uid.Nil, uid.Nil)
 }
 
 // Detach removes the reference from parent.attr to child, unlinking the
@@ -267,6 +277,11 @@ func (e *Engine) AttachWithCheck(parent uid.UID, attr string, child uid.UID,
 // (only Delete applies the Deletion Rule), which is what permits
 // dismantling a vehicle and re-using its parts (Example 1, §2.3).
 func (e *Engine) Detach(parent uid.UID, attr string, child uid.UID) error {
+	return e.DetachTx(0, parent, attr, child)
+}
+
+// DetachTx is Detach tagged with the transaction performing the unlink.
+func (e *Engine) DetachTx(tx TxnID, parent uid.UID, attr string, child uid.UID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.legacy {
@@ -301,5 +316,5 @@ func (e *Engine) Detach(parent uid.UID, attr string, child uid.UID) error {
 	if tr := e.o.tr; tr.Active() {
 		tr.Point(0, "core.detach", obs.F("parent", parent), obs.F("attr", attr), obs.F("child", child))
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(tx, dirty, uid.Nil, uid.Nil)
 }

@@ -46,7 +46,7 @@ func (e *Engine) CopyComposite(root uid.UID) (uid.UID, map[uid.UID]uid.UID, erro
 		e.bumpDirtyLocked(dirty)
 		return uid.Nil, nil, err
 	}
-	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
+	if err := e.flush(0, dirty, uid.Nil, uid.Nil); err != nil {
 		return uid.Nil, nil, err
 	}
 	return copyID, mapping, nil

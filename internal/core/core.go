@@ -47,12 +47,21 @@ var (
 	ErrChangeRejected    = errors.New("core: state-dependent schema change rejected")
 )
 
+// TxnID identifies the transaction a mutation belongs to, threaded from
+// the transaction layer through the engine into the persistence hook so
+// the write-ahead log can delimit transactional record groups. The zero
+// value means auto-commit: the mutation is its own transaction and its
+// log records apply unconditionally on replay.
+type TxnID uint64
+
 // Hook receives write-through notifications so a persistence layer can
-// mirror the in-memory graph. Near is the clustering hint (the first
-// parent at creation, §2.3), valid only for the creating write.
+// mirror the in-memory graph. tx tags the notification with the
+// transaction performing the mutation (0 = auto-commit). Near is the
+// clustering hint (the first parent at creation, §2.3), valid only for
+// the creating write.
 type Hook interface {
-	OnWrite(o *object.Object, near uid.UID) error
-	OnDelete(id uid.UID) error
+	OnWrite(tx TxnID, o *object.Object, near uid.UID) error
+	OnDelete(tx TxnID, id uid.UID) error
 }
 
 // MultiHook fans write-through notifications out to several hooks in
@@ -61,9 +70,9 @@ type Hook interface {
 type MultiHook []Hook
 
 // OnWrite implements Hook.
-func (m MultiHook) OnWrite(o *object.Object, near uid.UID) error {
+func (m MultiHook) OnWrite(tx TxnID, o *object.Object, near uid.UID) error {
 	for _, h := range m {
-		if err := h.OnWrite(o, near); err != nil {
+		if err := h.OnWrite(tx, o, near); err != nil {
 			return err
 		}
 	}
@@ -71,9 +80,9 @@ func (m MultiHook) OnWrite(o *object.Object, near uid.UID) error {
 }
 
 // OnDelete implements Hook.
-func (m MultiHook) OnDelete(id uid.UID) error {
+func (m MultiHook) OnDelete(tx TxnID, id uid.UID) error {
 	for _, h := range m {
-		if err := h.OnDelete(id); err != nil {
+		if err := h.OnDelete(tx, id); err != nil {
 			return err
 		}
 	}
@@ -166,9 +175,12 @@ func (e *Engine) Generator() *uid.Generator { return e.gen }
 // o, without running any composite semantics. It is the transaction
 // layer's undo primitive: before-images captured with Snapshot are put
 // back verbatim on abort. The restore is pushed through the persistence
-// hook — the WAL is redo-only, so an abort must log the before-image
-// again or a crash would resurrect the aborted write.
-func (e *Engine) Restore(o *object.Object) error {
+// hook, tagged with the aborting transaction so the WAL discards the
+// whole group (forward writes and compensations alike) on replay.
+func (e *Engine) Restore(o *object.Object) error { return e.RestoreTx(0, o) }
+
+// RestoreTx is Restore tagged with the transaction performing the undo.
+func (e *Engine) RestoreTx(tx TxnID, o *object.Object) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.objects[o.UID()] = o
@@ -176,7 +188,7 @@ func (e *Engine) Restore(o *object.Object) error {
 	e.gen.Seed(o.UID().Serial)
 	e.bumpLocked(o.UID())
 	if e.hook != nil {
-		return e.hook.OnWrite(o, uid.Nil)
+		return e.hook.OnWrite(tx, o, uid.Nil)
 	}
 	return nil
 }
@@ -184,7 +196,10 @@ func (e *Engine) Restore(o *object.Object) error {
 // Evict removes the object without running the Deletion Rule — the undo
 // primitive for aborted creations, written through the persistence hook
 // for the same reason as Restore. It is a no-op if the object is absent.
-func (e *Engine) Evict(id uid.UID) error {
+func (e *Engine) Evict(id uid.UID) error { return e.EvictTx(0, id) }
+
+// EvictTx is Evict tagged with the transaction performing the undo.
+func (e *Engine) EvictTx(tx TxnID, id uid.UID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.objects[id]; !ok {
@@ -196,7 +211,7 @@ func (e *Engine) Evict(id uid.UID) error {
 	}
 	e.bumpLocked(id)
 	if e.hook != nil {
-		return e.hook.OnDelete(id)
+		return e.hook.OnDelete(tx, id)
 	}
 	return nil
 }
@@ -377,6 +392,11 @@ func (e *Engine) Extent(class string, includeSubclasses bool) ([]uid.UID, error)
 // of Topology Rule 3, enforced here as the paper prescribes). The new
 // object is clustered with the first parent.
 func (e *Engine) New(class string, attrs map[string]value.Value, parents ...ParentSpec) (*object.Object, error) {
+	return e.NewTx(0, class, attrs, parents...)
+}
+
+// NewTx is New tagged with the transaction performing the creation.
+func (e *Engine) NewTx(tx TxnID, class string, attrs map[string]value.Value, parents ...ParentSpec) (*object.Object, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cl, err := e.cat.Class(class)
@@ -457,7 +477,7 @@ func (e *Engine) New(class string, attrs map[string]value.Value, parents ...Pare
 		}
 	}
 	dirty.add(o.UID())
-	return o, e.flush(dirty, o.UID(), near)
+	return o, e.flush(tx, dirty, o.UID(), near)
 }
 
 // dirtySet accumulates mutated objects for write-through.
@@ -468,9 +488,9 @@ func (d *dirtySet) add(id uid.UID) { d.ids.Add(id) }
 
 // flush bumps the generation counters of every dirty object (invalidating
 // cached query results that depend on them) and pushes the objects to the
-// hook. created/near carry the clustering hint for the newly created
-// object, if any.
-func (e *Engine) flush(d *dirtySet, created, near uid.UID) error {
+// hook under the transaction tag tx. created/near carry the clustering
+// hint for the newly created object, if any.
+func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 	e.bumpDirtyLocked(d)
 	if e.hook == nil {
 		return nil
@@ -484,7 +504,7 @@ func (e *Engine) flush(d *dirtySet, created, near uid.UID) error {
 		if id == created {
 			hint = near
 		}
-		if err := e.hook.OnWrite(o, hint); err != nil {
+		if err := e.hook.OnWrite(tx, o, hint); err != nil {
 			return err
 		}
 	}

@@ -339,7 +339,7 @@ type hookRecorder struct {
 	deletes []uid.UID
 }
 
-func (h *hookRecorder) OnWrite(o *object.Object, near uid.UID) error {
+func (h *hookRecorder) OnWrite(_ TxnID, o *object.Object, near uid.UID) error {
 	h.writes = append(h.writes, o.UID())
 	if h.nears == nil {
 		h.nears = map[uid.UID]uid.UID{}
@@ -350,7 +350,7 @@ func (h *hookRecorder) OnWrite(o *object.Object, near uid.UID) error {
 	return nil
 }
 
-func (h *hookRecorder) OnDelete(id uid.UID) error {
+func (h *hookRecorder) OnDelete(_ TxnID, id uid.UID) error {
 	h.deletes = append(h.deletes, id)
 	return nil
 }

@@ -26,6 +26,14 @@ import (
 //
 // It returns the UIDs actually deleted, in UID order.
 func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
+	return e.DeleteTx(0, id)
+}
+
+// DeleteTx is Delete tagged with the transaction performing the removal;
+// every WAL record of the cascade (surviving-parent rewrites and the
+// per-casualty deletes) carries the tag, so replay applies the cascade
+// atomically or not at all.
+func (e *Engine) DeleteTx(tx TxnID, id uid.UID) ([]uid.UID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.objects[id]; !ok {
@@ -55,12 +63,12 @@ func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
 	for _, d := range deleted.Slice() {
 		e.bumpLocked(d)
 	}
-	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
+	if err := e.flush(tx, dirty, uid.Nil, uid.Nil); err != nil {
 		return nil, err
 	}
 	if e.hook != nil {
 		for _, d := range deleted.Slice() {
-			if err := e.hook.OnDelete(d); err != nil {
+			if err := e.hook.OnDelete(tx, d); err != nil {
 				return nil, err
 			}
 		}

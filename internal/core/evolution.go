@@ -73,12 +73,12 @@ func (e *Engine) dropAttrValuesLocked(class string, spec schema.AttrSpec) (*uid.
 	for _, d := range deleted.Slice() {
 		e.bumpLocked(d)
 	}
-	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
+	if err := e.flush(0, dirty, uid.Nil, uid.Nil); err != nil {
 		return nil, err
 	}
 	if e.hook != nil {
 		for _, d := range deleted.Slice() {
-			if err := e.hook.OnDelete(d); err != nil {
+			if err := e.hook.OnDelete(0, d); err != nil {
 				return nil, err
 			}
 		}
@@ -136,12 +136,12 @@ func (e *Engine) DropClass(class string) ([]uid.UID, error) {
 	for _, d := range deleted.Slice() {
 		e.bumpLocked(d)
 	}
-	if err := e.flush(dirty, uid.Nil, uid.Nil); err != nil {
+	if err := e.flush(0, dirty, uid.Nil, uid.Nil); err != nil {
 		return nil, err
 	}
 	if e.hook != nil {
 		for _, d := range deleted.Slice() {
-			if err := e.hook.OnDelete(d); err != nil {
+			if err := e.hook.OnDelete(0, d); err != nil {
 				return nil, err
 			}
 		}
@@ -174,7 +174,7 @@ func (e *Engine) RenameAttribute(class, attr, newName string) error {
 		o.RenameAttr(attr, newName)
 		dirty.add(id)
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(0, dirty, uid.Nil, uid.Nil)
 }
 
 // ChangeAttributeType performs a state-independent attribute-type change
@@ -221,7 +221,7 @@ func (e *Engine) ChangeAttributeType(class, attr string, kind schema.ChangeKind,
 			dirty.add(childID)
 		}
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(0, dirty, uid.Nil, uid.Nil)
 }
 
 // MakeComposite performs the state-dependent changes D1 (weak ->
@@ -290,7 +290,7 @@ func (e *Engine) MakeComposite(class, attr string, exclusive, dependent bool) er
 		linkChild(e.objects[l.child], l.parent, newSpec)
 		dirty.add(l.child)
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(0, dirty, uid.Nil, uid.Nil)
 }
 
 // MakeExclusive performs the state-dependent change D3 of §4.2 (shared
@@ -342,5 +342,5 @@ func (e *Engine) MakeExclusive(class, attr string) error {
 		}
 		dirty.add(childID)
 	}
-	return e.flush(dirty, uid.Nil, uid.Nil)
+	return e.flush(0, dirty, uid.Nil, uid.Nil)
 }

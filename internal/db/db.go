@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/authz"
 	"repro/internal/core"
@@ -38,9 +39,23 @@ type Options struct {
 	Dir string
 	// PoolPages is the buffer-pool capacity in pages (default 256).
 	PoolPages int
-	// SyncWAL forces an fsync per logged write (default: sync at
-	// checkpoints only).
+	// SyncWAL makes commits durable: the WAL is fsynced at every commit
+	// boundary — Txn.Commit, and each auto-commit write issued outside a
+	// transaction — before the operation returns. The fsync is issued
+	// through a group-commit coordinator, so concurrent committers share
+	// one fsync per batch rather than paying one each. Without SyncWAL
+	// the log is synced only at checkpoints, and a crash may lose
+	// recently committed work (it never produces a half-applied
+	// transaction either way; replay is atomic per transaction).
 	SyncWAL bool
+	// GroupCommitWait bounds how long a group-commit leader waits for
+	// concurrent committers to join its batch (default 200µs). The wait
+	// is only taken when other committers are demonstrably in flight, so
+	// a lone committer is never delayed.
+	GroupCommitWait time.Duration
+	// GroupCommitBatch caps how many committers one fsync may cover
+	// (default 64).
+	GroupCommitBatch int
 	// Device overrides the page device, e.g. a fault-injecting wrapper
 	// from internal/faultfs. When nil, Open uses a MemDevice for
 	// in-memory databases and a FileDevice on Dir/pages.db otherwise.
@@ -60,6 +75,7 @@ type DB struct {
 	pool   *storage.BufferPool
 	store  *storage.Store
 	wal    *storage.WAL
+	gc     *storage.GroupCommitter
 	vers   *version.Manager
 	auth   *authz.Store
 	txm    *txn.Manager
@@ -131,7 +147,14 @@ func Open(opts Options) (*DB, error) {
 		wal.SetObservability(d.reg)
 		d.wal = wal
 	}
-	d.engine.SetHook(core.MultiHook{&hook{d: d}, d.idx, d.vers})
+	// The group committer is constructed even for in-memory databases
+	// (d.wal == nil makes every Sync a no-op) so its metric family is
+	// always registered.
+	d.gc = storage.NewGroupCommitter(d.wal, opts.GroupCommitWait, opts.GroupCommitBatch)
+	d.gc.SetObservability(d.reg)
+	h := &hook{d: d, logged: make(map[core.TxnID]bool)}
+	d.engine.SetHook(core.MultiHook{h, d.idx, d.vers})
+	d.txm.SetBoundary(h)
 	return d, nil
 }
 
@@ -164,13 +187,29 @@ func (d *DB) recover() error {
 	}); err != nil {
 		return err
 	}
-	// Replay the WAL into the store.
-	err := storage.ReplayWAL(filepath.Join(d.opts.Dir, walFile), func(rec storage.WALRecord) error {
+	// Replay the WAL into the store. Auto-commit records (Txn == 0) apply
+	// immediately; a transaction's records are buffered and applied only
+	// when its OpCommit is reached, so an uncommitted tail — the log of a
+	// transaction interrupted by a crash, or one that logged an OpAbort —
+	// is discarded wholesale and can never leave a partial cascade behind.
+	// Segment IDs below this boundary come from the checkpoint's segment
+	// table and are stable across recovery; IDs at or above it were
+	// assigned dynamically after the checkpoint, and replay may hand
+	// them out in a different order (e.g. when a discarded transaction
+	// created a segment first), so they cannot be trusted by number.
+	ckptSegs := d.store.NextSegment()
+	apply := func(rec storage.WALRecord) error {
 		switch rec.Op {
 		case storage.OpPut:
-			seg, err := d.segmentForClass(rec.UID.Class)
-			if err != nil {
-				return err
+			// Prefer the segment persisted with the record; fall back to
+			// the class assignment when the record predates segment
+			// logging or references a post-checkpoint segment.
+			seg := rec.Seg
+			if seg == 0 || seg >= ckptSegs || !d.store.HasSegment(seg) {
+				var err error
+				if seg, err = d.segmentForClass(rec.UID.Class); err != nil {
+					return err
+				}
 			}
 			return d.store.Put(seg, rec.UID, rec.Data, rec.Near)
 		case storage.OpDelete:
@@ -181,10 +220,38 @@ func (d *DB) recover() error {
 		default:
 			return fmt.Errorf("db: unknown WAL op %d", rec.Op)
 		}
+	}
+	pending := make(map[uint64][]storage.WALRecord)
+	err := storage.ReplayWAL(filepath.Join(d.opts.Dir, walFile), func(rec storage.WALRecord) error {
+		switch rec.Op {
+		case storage.OpBegin:
+			// Transaction IDs restart from 1 on reopen, so a fresh Begin
+			// may reuse the ID of a discarded tail; reset its buffer.
+			pending[rec.Txn] = []storage.WALRecord{}
+			return nil
+		case storage.OpCommit:
+			for _, buffered := range pending[rec.Txn] {
+				if err := apply(buffered); err != nil {
+					return err
+				}
+			}
+			delete(pending, rec.Txn)
+			return nil
+		case storage.OpAbort:
+			delete(pending, rec.Txn)
+			return nil
+		default:
+			if rec.Txn != 0 {
+				pending[rec.Txn] = append(pending[rec.Txn], rec)
+				return nil
+			}
+			return apply(rec)
+		}
 	})
 	if err != nil {
 		return fmt.Errorf("db: WAL replay: %w", err)
 	}
+	// Whatever remains in pending is the uncommitted tail: dropped.
 	// Rebuild the engine from the store.
 	for _, id := range d.store.UIDs() {
 		rec, err := d.store.Get(id)
@@ -221,10 +288,37 @@ func (d *DB) segmentForClass(c uid.ClassID) (storage.SegmentID, error) {
 	return d.store.CreateSegment(cl.Segment)
 }
 
-// hook mirrors engine mutations into the WAL and page store.
-type hook struct{ d *DB }
+// hook mirrors engine mutations into the WAL and page store, and (as the
+// transaction manager's Boundary) writes the commit/abort records that
+// delimit each transaction's group in the log. logged tracks which open
+// transactions have emitted at least one record, so read-only
+// transactions commit without touching the log and the OpBegin marker is
+// written lazily with the transaction's first change.
+type hook struct {
+	d      *DB
+	mu     sync.Mutex
+	logged map[core.TxnID]bool
+}
 
-func (h *hook) OnWrite(o *object.Object, near uid.UID) error {
+// logRecord appends rec, emitting the transaction's OpBegin first when
+// this is its first logged change. Auto-commit records (tx == 0) carry no
+// Begin/Commit bracket: replay applies them immediately.
+func (h *hook) logRecord(tx core.TxnID, rec storage.WALRecord) error {
+	if tx != 0 {
+		h.mu.Lock()
+		first := !h.logged[tx]
+		h.logged[tx] = true
+		h.mu.Unlock()
+		if first {
+			if err := h.d.wal.Append(storage.WALRecord{Op: storage.OpBegin, Txn: uint64(tx)}); err != nil {
+				return err
+			}
+		}
+	}
+	return h.d.wal.Append(rec)
+}
+
+func (h *hook) OnWrite(tx core.TxnID, o *object.Object, near uid.UID) error {
 	d := h.d
 	seg, err := d.segmentForClass(o.Class())
 	if err != nil {
@@ -232,11 +326,14 @@ func (h *hook) OnWrite(o *object.Object, near uid.UID) error {
 	}
 	rec := encoding.EncodeObject(o)
 	if d.wal != nil {
-		if err := d.wal.Append(storage.WALRecord{Op: storage.OpPut, UID: o.UID(), Seg: seg, Near: near, Data: rec}); err != nil {
+		if err := h.logRecord(tx, storage.WALRecord{
+			Op: storage.OpPut, Txn: uint64(tx), UID: o.UID(), Seg: seg, Near: near, Data: rec,
+		}); err != nil {
 			return err
 		}
-		if d.opts.SyncWAL {
-			if err := d.wal.Sync(); err != nil {
+		if tx == 0 && d.opts.SyncWAL {
+			// An auto-commit write is its own commit boundary.
+			if err := d.gc.Sync(); err != nil {
 				return err
 			}
 		}
@@ -244,17 +341,77 @@ func (h *hook) OnWrite(o *object.Object, near uid.UID) error {
 	return d.store.Put(seg, o.UID(), rec, near)
 }
 
-func (h *hook) OnDelete(id uid.UID) error {
+func (h *hook) OnDelete(tx core.TxnID, id uid.UID) error {
 	d := h.d
 	if d.wal != nil {
-		if err := d.wal.Append(storage.WALRecord{Op: storage.OpDelete, UID: id}); err != nil {
+		// Record the segment the object lived in (best effort: the class
+		// assignment when the store no longer has it), so replay tooling
+		// sees where the delete landed. Near is meaningless for deletes
+		// and stays Nil.
+		seg, ok := d.store.SegmentOf(id)
+		if !ok {
+			seg, _ = d.segmentForClass(id.Class)
+		}
+		if err := h.logRecord(tx, storage.WALRecord{
+			Op: storage.OpDelete, Txn: uint64(tx), UID: id, Seg: seg,
+		}); err != nil {
 			return err
+		}
+		if tx == 0 && d.opts.SyncWAL {
+			if err := d.gc.Sync(); err != nil {
+				return err
+			}
 		}
 	}
 	if err := d.store.Delete(id); err != nil && !errors.Is(err, storage.ErrNotFound) {
 		return err
 	}
 	return nil
+}
+
+// OnCommit implements txn.Boundary: it seals the transaction's record
+// group with OpCommit and, under SyncWAL, makes it durable before the
+// transaction manager releases any lock (strict 2PL durability point).
+// Read-only transactions (nothing logged) skip the log entirely.
+func (h *hook) OnCommit(tx core.TxnID) error {
+	d := h.d
+	if d.wal == nil {
+		return nil
+	}
+	h.mu.Lock()
+	wrote := h.logged[tx]
+	delete(h.logged, tx)
+	h.mu.Unlock()
+	if !wrote {
+		return nil
+	}
+	if err := d.wal.Append(storage.WALRecord{Op: storage.OpCommit, Txn: uint64(tx)}); err != nil {
+		return err
+	}
+	if d.opts.SyncWAL {
+		return d.gc.Sync()
+	}
+	return nil
+}
+
+// OnAbort implements txn.Boundary: it seals the group with OpAbort so
+// replay discards the transaction's records — including the compensating
+// undo writes Abort issued, which carry the same transaction ID. No sync:
+// an abort that never reaches the log is discarded as an uncommitted
+// tail, which is the same outcome.
+func (h *hook) OnAbort(tx core.TxnID) error {
+	d := h.d
+	if d.wal == nil {
+		return nil
+	}
+	h.mu.Lock()
+	wrote := h.logged[tx]
+	delete(h.logged, tx)
+	h.mu.Unlock()
+	if !wrote {
+		return nil
+	}
+	return d.wal.Append(storage.WALRecord{Op: storage.OpAbort, Txn: uint64(tx)})
 }
 
 // Checkpoint flushes dirty pages and metadata to disk and truncates the
@@ -309,23 +466,29 @@ func (d *DB) checkpointLocked() error {
 	return d.wal.Truncate()
 }
 
-// Close checkpoints (for durable databases) and releases resources.
+// Close checkpoints (for durable databases) and releases resources. A
+// failing checkpoint no longer leaks the WAL and device handles: every
+// release step runs regardless, and the first error wins.
 func (d *DB) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
+	var firstErr error
 	if d.opts.Dir != "" {
-		if err := d.checkpointLocked(); err != nil {
-			return err
-		}
-		if err := d.wal.Close(); err != nil {
-			return err
-		}
+		firstErr = d.checkpointLocked()
 	}
 	d.closed = true
-	return d.dev.Close()
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := d.dev.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Abandon closes the database's file handles without checkpointing or

@@ -191,7 +191,7 @@ func (m *Manager) Lookup(class, attr string, v value.Value) ([]uid.UID, error) {
 
 // OnWrite implements core.Hook: refresh every index the written object
 // participates in.
-func (m *Manager) OnWrite(o *object.Object, _ uid.UID) error {
+func (m *Manager) OnWrite(_ core.TxnID, o *object.Object, _ uid.UID) error {
 	cl, err := m.e.Catalog().ClassByID(o.Class())
 	if err != nil {
 		return nil // class dropped mid-flight; nothing to index
@@ -208,7 +208,7 @@ func (m *Manager) OnWrite(o *object.Object, _ uid.UID) error {
 }
 
 // OnDelete implements core.Hook.
-func (m *Manager) OnDelete(id uid.UID) error {
+func (m *Manager) OnDelete(_ core.TxnID, id uid.UID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, x := range m.indexes {

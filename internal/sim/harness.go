@@ -293,13 +293,11 @@ func (h *harness) step(i int, op Op) *Failure {
 		}
 	case OpCrash:
 		if h.cfg.Durable {
+			// A crash may land mid-transaction: the open transaction is
+			// simply dropped — no abort, no commit — and its WAL group is
+			// left unsealed. Recovery must discard that uncommitted tail
+			// and come back at the last committed model (DESIGN.md §10).
 			if h.tx != nil {
-				// No transaction markers exist in the redo-only WAL, so a
-				// crash with an open transaction is out of the model's
-				// scope (see DESIGN.md §9); the workload aborts it first.
-				if err := h.tx.Abort(); err != nil {
-					return h.failOp(i, op, "pre-crash abort: "+err.Error())
-				}
 				h.working, h.tx = nil, nil
 			}
 			if f := h.crash(i); f != nil {

@@ -37,6 +37,6 @@ func FuzzDecodeWALPayload(f *testing.F) {
 }
 
 func recordsEqualF(a, b WALRecord) bool {
-	return a.Op == b.Op && a.UID == b.UID && a.Seg == b.Seg && a.Near == b.Near &&
+	return a.Op == b.Op && a.Txn == b.Txn && a.UID == b.UID && a.Seg == b.Seg && a.Near == b.Near &&
 		bytes.Equal(a.Data, b.Data)
 }

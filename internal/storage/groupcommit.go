@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Group-commit defaults: how long a batch leader waits for stragglers
+// and how many waiters one fsync may cover.
+const (
+	DefaultCommitWait  = 200 * time.Microsecond
+	DefaultCommitBatch = 64
+)
+
+// GroupCommitter amortizes WAL fsyncs across concurrent committers.
+// Every caller of Sync joins the current batch; the first batch member
+// to reach the sync latch becomes the leader, optionally waits up to
+// maxWait for the batch to fill (bounded by maxBatch), issues one
+// WAL.Sync covering every member's appended records, and wakes the
+// followers. Committers arriving while a sync is in flight form the
+// next batch, so under load the fsync count grows with the number of
+// batches, not the number of commits.
+//
+// The leader only waits when more committers are demonstrably en route
+// (they have entered Sync but not yet joined a batch), so a lone
+// committer — including an auto-commit write issued under the engine
+// latch — pays exactly one fsync and no artificial delay.
+type GroupCommitter struct {
+	wal      *WAL
+	maxWait  time.Duration
+	maxBatch int
+
+	// active counts goroutines currently inside Sync. The leader
+	// compares it against its batch size to decide whether waiting can
+	// grow the batch at all.
+	active atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	cur  *gcBatch
+
+	// syncMu serializes batch syncs; the holder is the current leader.
+	syncMu sync.Mutex
+
+	o gcObs
+}
+
+// gcBatch is one group of committers covered by a single fsync.
+type gcBatch struct {
+	n       int
+	err     error
+	done    chan struct{}
+	expired bool
+}
+
+// NewGroupCommitter returns a coordinator over w (nil for an in-memory
+// database: every Sync is then a no-op, but the instruments still
+// register so the metric family is always exposed). maxWait <= 0 and
+// maxBatch <= 0 select the defaults; Options at the db layer map
+// negative values to "no wait" before calling here.
+func NewGroupCommitter(w *WAL, maxWait time.Duration, maxBatch int) *GroupCommitter {
+	if maxWait <= 0 {
+		maxWait = DefaultCommitWait
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultCommitBatch
+	}
+	g := &GroupCommitter{wal: w, maxWait: maxWait, maxBatch: maxBatch}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Sync blocks until one WAL fsync covers everything appended before the
+// call, sharing the fsync with every concurrent caller. It returns the
+// error of the covering fsync (every member of a failed batch sees it).
+func (g *GroupCommitter) Sync() error {
+	if g == nil || g.wal == nil {
+		return nil
+	}
+	start := time.Now()
+	g.active.Add(1)
+	defer g.active.Add(-1)
+
+	g.mu.Lock()
+	b := g.cur
+	if b == nil {
+		b = &gcBatch{done: make(chan struct{})}
+		g.cur = b
+	}
+	b.n++
+	g.cond.Broadcast()
+	g.mu.Unlock()
+
+	g.syncMu.Lock()
+	g.mu.Lock()
+	if g.cur != b {
+		// A leader sealed and synced our batch while we queued for the
+		// latch; done is closed before the latch is released, so the
+		// verdict is already in.
+		g.mu.Unlock()
+		g.syncMu.Unlock()
+		<-b.done
+		g.o.waiters.Inc()
+		g.o.waitNs.Observe(int64(time.Since(start)))
+		return b.err
+	}
+	// Leader: give stragglers a bounded window to join, but only while
+	// some are actually en route.
+	if g.maxWait > 0 && b.n < g.maxBatch && int64(b.n) < g.active.Load() {
+		timer := time.AfterFunc(g.maxWait, func() {
+			g.mu.Lock()
+			b.expired = true
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+		for !b.expired && b.n < g.maxBatch && int64(b.n) < g.active.Load() {
+			g.cond.Wait()
+		}
+		timer.Stop()
+	}
+	g.cur = nil
+	n := b.n
+	g.mu.Unlock()
+	b.err = g.wal.Sync()
+	close(b.done)
+	g.syncMu.Unlock()
+
+	g.o.syncs.Inc()
+	g.o.batchSize.Observe(int64(n))
+	g.o.waiters.Inc()
+	g.o.waitNs.Observe(int64(time.Since(start)))
+	return b.err
+}

@@ -87,6 +87,27 @@ func (s *Store) SegmentByName(name string) (SegmentID, bool) {
 	return id, ok
 }
 
+// HasSegment reports whether the segment ID is registered. WAL replay
+// uses it to decide whether a record's persisted segment can be honored
+// or the class→segment assignment must be re-derived.
+func (s *Store) HasSegment(seg SegmentID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.segs[seg]
+	return ok
+}
+
+// NextSegment returns the ID the next CreateSegment call will assign.
+// Recovery snapshots it right after LoadMeta as the boundary between
+// checkpoint-loaded segments (stable IDs a WAL record may reference)
+// and segments created during replay itself (fresh IDs that need not
+// match the pre-crash run's numbering).
+func (s *Store) NextSegment() SegmentID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextSeg
+}
+
 // SegmentOf returns the segment an object is stored in.
 func (s *Store) SegmentOf(id uid.UID) (SegmentID, bool) {
 	s.mu.RLock()

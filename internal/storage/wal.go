@@ -17,16 +17,29 @@ import (
 // WALOp distinguishes write-ahead-log record kinds.
 type WALOp byte
 
-// WAL operations.
+// WAL operations. OpBegin/OpCommit/OpAbort carry only a transaction ID
+// and delimit transactional record groups: replay buffers the records of
+// a transaction and applies them only when its OpCommit is seen, so a
+// crash mid-transaction (including mid-cascade) never replays a partial
+// effect.
 const (
 	OpPut    WALOp = 1 // upsert of an object record
 	OpDelete WALOp = 2 // removal of an object
+	OpBegin  WALOp = 3 // first record of a transaction (marker)
+	OpCommit WALOp = 4 // transaction committed; buffered records apply
+	OpAbort  WALOp = 5 // transaction aborted; buffered records discard
 )
 
-// WALRecord is one logical change. For OpPut, Seg and Near carry the
-// placement request so replay reproduces clustering decisions.
+// WALRecord is one logical change. Txn tags the record with the
+// transaction that produced it (0 = auto-commit: the record is its own
+// transaction and applies immediately on replay). For OpPut, Seg and
+// Near carry the placement request so replay reproduces clustering
+// decisions; OpDelete records Seg too (the segment the object lived in)
+// while Near stays Nil — the clustering hint is only defined for the
+// creating write.
 type WALRecord struct {
 	Op   WALOp
+	Txn  uint64
 	UID  uid.UID
 	Seg  SegmentID
 	Near uid.UID
@@ -46,7 +59,7 @@ const MaxWALPayload = MaxRecord + 64
 // WAL is an append-only, checksummed write-ahead log. Frame layout:
 //
 //	len(u32 LE) crc(u32 LE of payload) payload
-//	payload := op(1) uid seg(uvarint) nearUID dataLen(uvarint) data
+//	payload := op(1) txn(uvarint) uid seg(uvarint) nearUID dataLen(uvarint) data
 type WAL struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -85,8 +98,9 @@ func readUvarintUID(b []byte) (uid.UID, []byte, error) {
 }
 
 func encodeWALPayload(rec WALRecord) []byte {
-	p := make([]byte, 0, 16+len(rec.Data))
+	p := make([]byte, 0, 24+len(rec.Data))
 	p = append(p, byte(rec.Op))
+	p = binary.AppendUvarint(p, rec.Txn)
 	p = appendUvarintUID(p, rec.UID)
 	p = binary.AppendUvarint(p, uint64(rec.Seg))
 	p = appendUvarintUID(p, rec.Near)
@@ -101,6 +115,12 @@ func decodeWALPayload(p []byte) (WALRecord, error) {
 	}
 	rec.Op = WALOp(p[0])
 	p = p[1:]
+	tx, n := binary.Uvarint(p)
+	if n <= 0 {
+		return rec, ErrCorruptWAL
+	}
+	rec.Txn = tx
+	p = p[n:]
 	var err error
 	rec.UID, p, err = readUvarintUID(p)
 	if err != nil {
@@ -155,9 +175,13 @@ func (w *WAL) Append(rec WALRecord) error {
 // Sync flushes the log to stable storage. The fsync is always timed —
 // it is orders of magnitude above the instrumentation cost — and feeds
 // the latency histogram and the slow log.
+//
+// Sync deliberately does not hold the append mutex across the fsync:
+// appends issued while a sync is in flight must proceed (they belong to
+// the next group-commit batch), and fsync concurrent with write on one
+// file descriptor is safe — the sync covers at least every byte written
+// before it was issued, which is exactly the batch it seals.
 func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	start := time.Now()
 	err := w.f.Sync()
 	dur := time.Since(start)
@@ -200,6 +224,16 @@ func (w *WAL) Close() error {
 // same damage followed by more frames cannot come from a torn append, so
 // mid-log corruption still returns ErrCorruptWAL.
 func ReplayWAL(path string, fn func(WALRecord) error) error {
+	return ReplayWALFrames(path, func(rec WALRecord, _, _ int64) error {
+		return fn(rec)
+	})
+}
+
+// ReplayWALFrames is ReplayWAL with frame byte offsets: fn additionally
+// receives the [start, end) range each record's frame occupies in the
+// file. Crash-point tests and segment-aware tooling use the offsets to
+// truncate the log between two specific records of one transaction.
+func ReplayWALFrames(path string, fn func(rec WALRecord, start, end int64) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -251,7 +285,7 @@ func ReplayWAL(path string, fn func(WALRecord) error) error {
 			}
 			return err
 		}
-		if err := fn(rec); err != nil {
+		if err := fn(rec, off, frameEnd); err != nil {
 			return err
 		}
 		off = frameEnd

@@ -27,14 +27,30 @@ import (
 // ErrDone is returned when a finished transaction is used again.
 var ErrDone = errors.New("txn: transaction already committed or aborted")
 
+// Boundary receives transaction outcomes before locks are released. The
+// db facade implements it to write the WAL commit/abort records that
+// delimit each transaction's group: OnCommit is the durability point
+// (under strict 2PL it must complete before any lock is released, or a
+// reader could observe state that a crash then rolls back), OnAbort
+// seals the group so replay discards it.
+type Boundary interface {
+	OnCommit(tx core.TxnID) error
+	OnAbort(tx core.TxnID) error
+}
+
 // Manager creates transactions bound to one engine and lock manager.
 type Manager struct {
-	engine *core.Engine
-	locks  *lock.Manager
-	proto  *lock.Protocol
-	next   atomic.Uint64
-	o      managerObs
+	engine   *core.Engine
+	locks    *lock.Manager
+	proto    *lock.Protocol
+	next     atomic.Uint64
+	boundary Boundary
+	o        managerObs
 }
+
+// SetBoundary installs the commit/abort observer. Call before any
+// transaction begins.
+func (m *Manager) SetBoundary(b Boundary) { m.boundary = b }
 
 // managerObs holds the manager's pre-resolved instruments (see
 // internal/obs): transaction lifecycle counters plus the tracer for
@@ -119,6 +135,10 @@ type Txn struct {
 // ID returns the transaction's lock-manager identity.
 func (t *Txn) ID() lock.TxID { return t.id }
 
+// txid returns the identity the engine's persistence hook tags WAL
+// records with.
+func (t *Txn) txid() core.TxnID { return core.TxnID(t.id) }
+
 func (t *Txn) check() error {
 	if t.done {
 		return ErrDone
@@ -187,7 +207,7 @@ func (t *Txn) WriteAttr(id uid.UID, attr string, v value.Value) error {
 			}
 		}
 	}
-	return t.m.engine.Set(id, attr, v)
+	return t.m.engine.SetTx(t.txid(), id, attr, v)
 }
 
 // New creates an instance within the transaction, locking the class in IX
@@ -220,7 +240,7 @@ func (t *Txn) New(class string, attrs map[string]value.Value, parents ...core.Pa
 			}
 		}
 	}
-	o, err := t.m.engine.New(class, attrs, parents...)
+	o, err := t.m.engine.NewTx(t.txid(), class, attrs, parents...)
 	if err != nil {
 		return nil, err
 	}
@@ -245,10 +265,15 @@ func (t *Txn) Attach(parent uid.UID, attr string, child uid.UID) error {
 			return err
 		}
 	}
-	return t.m.engine.Attach(parent, attr, child)
+	return t.m.engine.AttachTx(t.txid(), parent, attr, child)
 }
 
-// Detach removes the parent-child reference within the transaction.
+// Detach removes the parent-child reference within the transaction. The
+// child may no longer exist — a weak (non-composite) reference dangles
+// after its target is deleted, and detaching is exactly how such a
+// reference is cleaned up — so a missing child snapshot is tolerated:
+// with no child object there is no child state to undo, and the engine's
+// Detach likewise skips reverse-reference maintenance for it.
 func (t *Txn) Detach(parent uid.UID, attr string, child uid.UID) error {
 	if err := t.check(); err != nil {
 		return err
@@ -258,10 +283,13 @@ func (t *Txn) Detach(parent uid.UID, attr string, child uid.UID) error {
 			return err
 		}
 		if err := t.snapshot(id); err != nil {
+			if id == child && errors.Is(err, core.ErrNoObject) {
+				continue
+			}
 			return err
 		}
 	}
-	return t.m.engine.Detach(parent, attr, child)
+	return t.m.engine.DetachTx(t.txid(), parent, attr, child)
 }
 
 // ReadComposite locks the composite object rooted at root with the §7 read
@@ -319,30 +347,45 @@ func (t *Txn) Delete(id uid.UID) ([]uid.UID, error) {
 			return nil, err
 		}
 	}
-	return t.m.engine.Delete(id)
+	return t.m.engine.DeleteTx(t.txid(), id)
 }
 
-// Commit ends the transaction, releasing all locks. The undo log is
-// discarded.
+// Commit ends the transaction: the boundary makes its WAL group durable
+// (OnCommit — the commit record, fsynced under SyncWAL via group
+// commit), then every lock is released and the undo log discarded. The
+// ordering is load-bearing: releasing locks before the commit record is
+// durable would let a reader observe state a crash then rolls back. On a
+// boundary error the locks are still released and the error returned —
+// the transaction's effects remain in memory but are not durable, and
+// replay discards its unsealed WAL group.
 func (t *Txn) Commit() error {
 	if err := t.check(); err != nil {
 		return err
 	}
 	t.done = true
 	t.undo = nil
-	t.m.o.commits.Inc()
+	var err error
+	if t.m.boundary != nil {
+		err = t.m.boundary.OnCommit(t.txid())
+	}
 	if tr := t.m.o.tr; tr.Active() {
 		tr.Point(0, "txn.commit", obs.F("tx", t.id))
 	}
 	t.m.locks.ReleaseAll(t.id)
+	if err != nil {
+		return err
+	}
+	t.m.o.commits.Inc()
 	return nil
 }
 
 // Abort rolls back every change in reverse order and releases all locks.
-// Undo actions write through the engine's persistence hook (the WAL is
-// redo-only), so a persistence failure surfaces here — every undo record
-// is still processed and every lock released before the first such error
-// is returned.
+// Undo actions write through the engine's persistence hook tagged with
+// this transaction, so both the forward writes and these compensating
+// writes land in the same WAL group — which OnAbort then seals with an
+// abort record, making replay discard the whole group. A persistence
+// failure surfaces here; every undo record is still processed and every
+// lock released before the first such error is returned.
 func (t *Txn) Abort() error {
 	if err := t.check(); err != nil {
 		return err
@@ -358,15 +401,20 @@ func (t *Txn) Abort() error {
 		var err error
 		switch {
 		case u.restore != nil:
-			err = t.m.engine.Restore(u.restore)
+			err = t.m.engine.RestoreTx(t.txid(), u.restore)
 		case !u.evict.IsNil():
-			err = t.m.engine.Evict(u.evict)
+			err = t.m.engine.EvictTx(t.txid(), u.evict)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	t.undo = nil
+	if t.m.boundary != nil {
+		if err := t.m.boundary.OnAbort(t.txid()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	t.m.locks.ReleaseAll(t.id)
 	return firstErr
 }

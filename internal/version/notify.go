@@ -1,9 +1,10 @@
 package version
 
 import (
-	"repro/internal/object"
 	"sync"
 
+	"repro/internal/core"
+	"repro/internal/object"
 	"repro/internal/uid"
 )
 
@@ -133,12 +134,12 @@ func (m *Manager) PendingNotifications(g uid.UID) int {
 // which the db facade's API does.
 
 // OnWrite implements core.Hook (no-op: writes don't move version state).
-func (m *Manager) OnWrite(_ *object.Object, _ uid.UID) error { return nil }
+func (m *Manager) OnWrite(_ core.TxnID, _ *object.Object, _ uid.UID) error { return nil }
 
 // OnDelete implements core.Hook: drop bookkeeping for deleted version or
 // generic instances. It must not call back into the engine (the engine
 // latch is held during hook dispatch).
-func (m *Manager) OnDelete(id uid.UID) error {
+func (m *Manager) OnDelete(_ core.TxnID, id uid.UID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if g, ok := m.versionOf[id]; ok {
