@@ -30,6 +30,7 @@ type options struct {
 	checkpoint bool
 	crash      bool
 	replay     string
+	workers    int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -44,6 +45,7 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.checkpoint, "checkpoint", false, "include checkpoint ops (durable only)")
 	fs.BoolVar(&o.crash, "crash", false, "include crash/recovery ops (implies -durable)")
 	fs.StringVar(&o.replay, "replay", "", "replay a saved trace file instead of generating a workload")
+	fs.IntVar(&o.workers, "workers", 0, "run the concurrent harness with this many writer goroutines (0 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -83,6 +85,21 @@ func run(o options, out io.Writer) (*sim.Failure, error) {
 	}
 	for i := 0; i < o.seeds; i++ {
 		seed := o.seed + int64(i)
+		if o.workers > 0 {
+			res := sim.RunConcurrent(sim.ConcurrentConfig{
+				Seed:    seed,
+				Workers: o.workers,
+				Ops:     o.ops,
+				Durable: o.durable,
+				Dir:     o.dir,
+			})
+			if res.Failure != nil {
+				return res.Failure, nil
+			}
+			fmt.Fprintf(out, "seed=%d workers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d ok\n",
+				seed, o.workers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries)
+			continue
+		}
 		if fail := sim.Run(o.config(seed)); fail != nil {
 			return fail, nil
 		}

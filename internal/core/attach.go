@@ -130,16 +130,19 @@ func (e *Engine) Set(id uid.UID, attr string, v value.Value) error {
 // SetTx is Set tagged with the transaction performing the update.
 func (e *Engine) SetTx(tx TxnID, id uid.UID, attr string, v value.Value) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	o, err := e.get(id)
 	if err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	dirty := newDirtySet()
 	if err := e.setAttrLocked(o, attr, v, dirty); err != nil {
+		e.mu.Unlock()
 		return err
 	}
-	return e.flush(tx, dirty, uid.Nil, uid.Nil)
+	e.bumpDirtyLocked(dirty)
+	e.mu.Unlock()
+	return e.writeThrough(tx, dirty, uid.Nil, uid.Nil, nil)
 }
 
 // attachLocked makes child a part of parent through attr, implementing
@@ -242,15 +245,18 @@ func (e *Engine) Attach(parent uid.UID, attr string, child uid.UID) error {
 // AttachTx is Attach tagged with the transaction performing the link.
 func (e *Engine) AttachTx(tx TxnID, parent uid.UID, attr string, child uid.UID) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.legacy {
+		e.mu.Unlock()
 		return fmt.Errorf("core: attach of existing object %v (bottom-up creation): %w", child, ErrLegacyRestriction)
 	}
 	dirty := newDirtySet()
 	if err := e.attachLocked(parent, attr, child, dirty); err != nil {
+		e.mu.Unlock()
 		return err
 	}
-	return e.flush(tx, dirty, uid.Nil, uid.Nil)
+	e.bumpDirtyLocked(dirty)
+	e.mu.Unlock()
+	return e.writeThrough(tx, dirty, uid.Nil, uid.Nil, nil)
 }
 
 // AttachWithCheck is Attach with a caller-supplied Make-Component
@@ -263,12 +269,14 @@ func (e *Engine) AttachTx(tx TxnID, parent uid.UID, attr string, child uid.UID) 
 func (e *Engine) AttachWithCheck(parent uid.UID, attr string, child uid.UID,
 	check func(child *object.Object, spec schema.AttrSpec) error) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	dirty := newDirtySet()
 	if err := e.attachCheckedLocked(parent, attr, child, dirty, check); err != nil {
+		e.mu.Unlock()
 		return err
 	}
-	return e.flush(0, dirty, uid.Nil, uid.Nil)
+	e.bumpDirtyLocked(dirty)
+	e.mu.Unlock()
+	return e.writeThrough(0, dirty, uid.Nil, uid.Nil, nil)
 }
 
 // Detach removes the reference from parent.attr to child, unlinking the
@@ -282,26 +290,35 @@ func (e *Engine) Detach(parent uid.UID, attr string, child uid.UID) error {
 
 // DetachTx is Detach tagged with the transaction performing the unlink.
 func (e *Engine) DetachTx(tx TxnID, parent uid.UID, attr string, child uid.UID) error {
+	dirty, err := e.detachLocked(parent, attr, child)
+	if err != nil {
+		return err
+	}
+	return e.writeThrough(tx, dirty, uid.Nil, uid.Nil, nil)
+}
+
+// detachLocked performs the unlink under the exclusive latch.
+func (e *Engine) detachLocked(parent uid.UID, attr string, child uid.UID) (*dirtySet, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.legacy {
-		return fmt.Errorf("core: detach of %v (component re-use): %w", child, ErrLegacyRestriction)
+		return nil, fmt.Errorf("core: detach of %v (component re-use): %w", child, ErrLegacyRestriction)
 	}
 	po, err := e.get(parent)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pcl, err := e.cat.ClassByID(po.Class())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	spec, err := e.cat.Attribute(pcl.Name, attr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cur := po.Get(attr)
 	if !cur.ContainsRef(child) {
-		return fmt.Errorf("core: %v.%s does not reference %v: %w", parent, attr, child, ErrNotReferenced)
+		return nil, fmt.Errorf("core: %v.%s does not reference %v: %w", parent, attr, child, ErrNotReferenced)
 	}
 	dirty := newDirtySet()
 	po.Set(attr, cur.WithoutRef(child))
@@ -316,5 +333,6 @@ func (e *Engine) DetachTx(tx TxnID, parent uid.UID, attr string, child uid.UID) 
 	if tr := e.o.tr; tr.Active() {
 		tr.Point(0, "core.detach", obs.F("parent", parent), obs.F("attr", attr), obs.F("child", child))
 	}
-	return e.flush(tx, dirty, uid.Nil, uid.Nil)
+	e.bumpDirtyLocked(dirty)
+	return dirty, nil
 }

@@ -64,6 +64,16 @@ type Hook interface {
 	OnDelete(tx TxnID, id uid.UID) error
 }
 
+// AutoCommitSyncer is an optional Hook extension. After an auto-commit
+// mutation (tx 0) finishes its write-through, the engine calls
+// SyncAutoCommit exactly once, outside the engine latch, so a durability
+// fsync covers the whole operation without stalling concurrent writers.
+// Hooks that do not implement it get no call; transactional mutations
+// sync at their Boundary instead.
+type AutoCommitSyncer interface {
+	SyncAutoCommit() error
+}
+
 // MultiHook fans write-through notifications out to several hooks in
 // order (e.g. the persistence hook plus index maintenance). A failing
 // hook aborts the chain.
@@ -84,6 +94,19 @@ func (m MultiHook) OnDelete(tx TxnID, id uid.UID) error {
 	for _, h := range m {
 		if err := h.OnDelete(tx, id); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// SyncAutoCommit implements AutoCommitSyncer by forwarding to every
+// member that implements it.
+func (m MultiHook) SyncAutoCommit() error {
+	for _, h := range m {
+		if s, ok := h.(AutoCommitSyncer); ok {
+			if err := s.SyncAutoCommit(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -182,15 +205,14 @@ func (e *Engine) Restore(o *object.Object) error { return e.RestoreTx(0, o) }
 // RestoreTx is Restore tagged with the transaction performing the undo.
 func (e *Engine) RestoreTx(tx TxnID, o *object.Object) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.objects[o.UID()] = o
 	e.extentFor(o.Class()).Add(o.UID())
 	e.gen.Seed(o.UID().Serial)
 	e.bumpLocked(o.UID())
-	if e.hook != nil {
-		return e.hook.OnWrite(tx, o, uid.Nil)
-	}
-	return nil
+	e.mu.Unlock()
+	d := newDirtySet()
+	d.add(o.UID())
+	return e.writeThrough(tx, d, uid.Nil, uid.Nil, nil)
 }
 
 // Evict removes the object without running the Deletion Rule — the undo
@@ -201,8 +223,8 @@ func (e *Engine) Evict(id uid.UID) error { return e.EvictTx(0, id) }
 // EvictTx is Evict tagged with the transaction performing the undo.
 func (e *Engine) EvictTx(tx TxnID, id uid.UID) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.objects[id]; !ok {
+		e.mu.Unlock()
 		return nil
 	}
 	delete(e.objects, id)
@@ -210,10 +232,8 @@ func (e *Engine) EvictTx(tx TxnID, id uid.UID) error {
 		ext.Remove(id)
 	}
 	e.bumpLocked(id)
-	if e.hook != nil {
-		return e.hook.OnDelete(tx, id)
-	}
-	return nil
+	e.mu.Unlock()
+	return e.writeThrough(tx, nil, uid.Nil, uid.Nil, []uid.UID{id})
 }
 
 // Snapshot returns a deep copy of the object for undo logging.
@@ -397,29 +417,40 @@ func (e *Engine) New(class string, attrs map[string]value.Value, parents ...Pare
 
 // NewTx is New tagged with the transaction performing the creation.
 func (e *Engine) NewTx(tx TxnID, class string, attrs map[string]value.Value, parents ...ParentSpec) (*object.Object, error) {
+	o, dirty, near, err := e.makeLocked(class, attrs, parents)
+	if err != nil {
+		return nil, err
+	}
+	return o, e.writeThrough(tx, dirty, o.UID(), near, nil)
+}
+
+// makeLocked runs the make message under the exclusive latch and returns
+// the created object, the dirty set for write-through, and the
+// clustering hint.
+func (e *Engine) makeLocked(class string, attrs map[string]value.Value, parents []ParentSpec) (*object.Object, *dirtySet, uid.UID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cl, err := e.cat.Class(class)
 	if err != nil {
-		return nil, err
+		return nil, nil, uid.Nil, err
 	}
 	specs, err := e.cat.Attributes(class)
 	if err != nil {
-		return nil, err
+		return nil, nil, uid.Nil, err
 	}
 	// Validate parent specs before allocating anything.
 	if len(parents) > 1 {
 		for _, p := range parents {
 			pcl, err := e.cat.ClassByID(p.Parent.Class)
 			if err != nil {
-				return nil, err
+				return nil, nil, uid.Nil, err
 			}
 			a, err := e.cat.Attribute(pcl.Name, p.Attr)
 			if err != nil {
-				return nil, err
+				return nil, nil, uid.Nil, err
 			}
 			if !a.Composite || a.Exclusive {
-				return nil, fmt.Errorf("core: multiple parents require shared composite attributes; %s.%s is %s: %w",
+				return nil, nil, uid.Nil, fmt.Errorf("core: multiple parents require shared composite attributes; %s.%s is %s: %w",
 					pcl.Name, p.Attr, a.RefKind(), ErrTopologyViolation)
 			}
 		}
@@ -463,21 +494,22 @@ func (e *Engine) NewTx(tx TxnID, class string, attrs map[string]value.Value, par
 	for name, v := range attrs {
 		if err := e.setAttrLocked(o, name, v, dirty); err != nil {
 			cleanup()
-			return nil, err
+			return nil, nil, uid.Nil, err
 		}
 	}
 	var near uid.UID
 	for i, p := range parents {
 		if err := e.attachLocked(p.Parent, p.Attr, o.UID(), dirty); err != nil {
 			cleanup()
-			return nil, err
+			return nil, nil, uid.Nil, err
 		}
 		if i == 0 {
 			near = p.Parent
 		}
 	}
 	dirty.add(o.UID())
-	return o, e.flush(tx, dirty, o.UID(), near)
+	e.bumpDirtyLocked(dirty)
+	return o, dirty, near, nil
 }
 
 // dirtySet accumulates mutated objects for write-through.
@@ -488,8 +520,11 @@ func (d *dirtySet) add(id uid.UID) { d.ids.Add(id) }
 
 // flush bumps the generation counters of every dirty object (invalidating
 // cached query results that depend on them) and pushes the objects to the
-// hook under the transaction tag tx. created/near carry the clustering
-// hint for the newly created object, if any.
+// hook under the transaction tag tx, all under the exclusive latch the
+// caller already holds. Only the schema-evolution paths still use it:
+// they are rare, already hold the latch for the whole class rewrite, and
+// their durability comes from the schema checkpoint that follows. The
+// regular mutation paths use writeThrough instead.
 func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 	e.bumpDirtyLocked(d)
 	if e.hook == nil {
@@ -506,6 +541,61 @@ func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 		}
 		if err := e.hook.OnWrite(tx, o, hint); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// writeThrough pushes an operation's effects to the persistence hook
+// under the SHARED latch: first OnWrite for every object in d that is
+// still live (created/near carry the clustering hint for a newly created
+// object), then OnDelete for each id in deleted. The caller has already
+// spliced the graph and bumped generations under the exclusive latch, so
+// writers of disjoint composite units encode and log in parallel here.
+// The whole hook loop runs inside one continuous read-locked window: a
+// splice needs the exclusive latch and therefore cannot interleave, which
+// keeps every object's log-record order consistent with its mutation
+// order (two concurrent windows that both cover an object write
+// byte-identical records for it). For auto-commit mutations the hook's
+// optional AutoCommitSyncer then runs once, after the latch drops, so a
+// durability fsync never stalls other writers.
+func (e *Engine) writeThrough(tx TxnID, d *dirtySet, created, near uid.UID, deleted []uid.UID) error {
+	e.mu.RLock()
+	h := e.hook
+	if h == nil {
+		e.mu.RUnlock()
+		return nil
+	}
+	var err error
+	if d != nil {
+		for _, id := range d.ids.Slice() {
+			o, ok := e.objects[id]
+			if !ok {
+				continue // deleted during the same operation
+			}
+			hint := uid.Nil
+			if id == created {
+				hint = near
+			}
+			if err = h.OnWrite(tx, o, hint); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		for _, id := range deleted {
+			if err = h.OnDelete(tx, id); err != nil {
+				break
+			}
+		}
+	}
+	e.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if tx == 0 {
+		if s, ok := h.(AutoCommitSyncer); ok {
+			return s.SyncAutoCommit()
 		}
 	}
 	return nil

@@ -35,8 +35,8 @@ func (e *Engine) Delete(id uid.UID) ([]uid.UID, error) {
 // atomically or not at all.
 func (e *Engine) DeleteTx(tx TxnID, id uid.UID) ([]uid.UID, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.objects[id]; !ok {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
 	}
 	start := time.Now()
@@ -63,18 +63,16 @@ func (e *Engine) DeleteTx(tx TxnID, id uid.UID) ([]uid.UID, error) {
 	for _, d := range deleted.Slice() {
 		e.bumpLocked(d)
 	}
-	if err := e.flush(tx, dirty, uid.Nil, uid.Nil); err != nil {
+	e.bumpDirtyLocked(dirty)
+	out := append([]uid.UID(nil), deleted.Slice()...)
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	// Survivor rewrites first, then the casualty deletes, matching the
+	// order the exclusive-latch path used: replaying the log must not
+	// resurrect a reference to an object whose delete record precedes it.
+	if err := e.writeThrough(tx, dirty, uid.Nil, uid.Nil, out); err != nil {
 		return nil, err
 	}
-	if e.hook != nil {
-		for _, d := range deleted.Slice() {
-			if err := e.hook.OnDelete(tx, d); err != nil {
-				return nil, err
-			}
-		}
-	}
-	out := append([]uid.UID(nil), deleted.Slice()...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out, nil
 }
 

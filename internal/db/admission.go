@@ -1,0 +1,63 @@
+package db
+
+import (
+	"errors"
+
+	"repro/internal/lock"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// Auto-commit mutations (Make/Set/Attach/Detach/Delete outside an explicit
+// transaction) go through the same §7 composite-unit lock admission that
+// transactional writes use: each operation reserves a transaction identity,
+// takes IX on the affected classes and X on the composite units it will
+// touch, runs the engine operation, and releases. Writers on disjoint
+// composite hierarchies therefore run in parallel while writers inside one
+// hierarchy serialize on its root granule.
+//
+// Admission deadlocks are retried here because at that point the engine
+// operation has not run yet — aborting the admission attempt has no state
+// to undo. Errors from the operation itself are never retried.
+
+const admissionRetries = 3
+
+// withAdmission runs admit (lock acquisition only) and then op under a
+// reserved transaction identity, releasing all locks on every path.
+func (d *DB) withAdmission(admit func(tx lock.TxID) error, op func() error) error {
+	lm := d.txm.Locks()
+	for attempt := 0; ; attempt++ {
+		tx := d.txm.Reserve()
+		err := admit(tx)
+		if err != nil {
+			lm.ReleaseAll(tx)
+			if errors.Is(err, lock.ErrDeadlock) && attempt+1 < admissionRetries {
+				continue
+			}
+			return err
+		}
+		err = op()
+		lm.ReleaseAll(tx)
+		return err
+	}
+}
+
+// admitUnitsWrite is withAdmission with write admission to the composite
+// units containing ids (missing objects are locked directly, so racers on
+// concurrently vanishing objects still serialize).
+func (d *DB) admitUnitsWrite(op func() error, ids ...uid.UID) error {
+	return d.withAdmission(func(tx lock.TxID) error {
+		return d.txm.Protocol().LockUnitsWrite(tx, ids...)
+	}, op)
+}
+
+// refUnits collects the objects referenced by the attribute values of a
+// make call; each is mutated (reverse-reference insertion) when the
+// attribute is composite, so each needs write admission.
+func refUnits(attrs map[string]value.Value) []uid.UID {
+	var out []uid.UID
+	for _, v := range attrs {
+		out = append(out, v.Refs(nil)...)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package db
 
 import (
 	"repro/internal/core"
+	"repro/internal/lock"
 	"repro/internal/object"
 	"repro/internal/schema"
 	"repro/internal/txn"
@@ -63,28 +64,65 @@ func (d *DB) MakeExclusive(class, attr string) error {
 // existing composite objects. The instance is clustered with the first
 // parent.
 func (d *DB) Make(class string, attrs map[string]value.Value, parents ...core.ParentSpec) (*object.Object, error) {
-	return d.engine.New(class, attrs, parents...)
+	units := refUnits(attrs)
+	for _, p := range parents {
+		units = append(units, p.Parent)
+	}
+	var o *object.Object
+	err := d.withAdmission(func(tx lock.TxID) error {
+		if err := d.txm.Locks().Lock(tx, lock.ClassGranule(class), lock.IX); err != nil {
+			return err
+		}
+		return d.txm.Protocol().LockUnitsWrite(tx, units...)
+	}, func() (err error) {
+		o, err = d.engine.New(class, attrs, parents...)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
 }
 
 // Get returns the object (read-only).
 func (d *DB) Get(id uid.UID) (*object.Object, error) { return d.engine.Get(id) }
 
 // Set assigns an attribute value with full composite semantics.
-func (d *DB) Set(id uid.UID, attr string, v value.Value) error { return d.engine.Set(id, attr, v) }
+func (d *DB) Set(id uid.UID, attr string, v value.Value) error {
+	return d.admitUnitsWrite(func() error {
+		return d.engine.Set(id, attr, v)
+	}, append([]uid.UID{id}, v.Refs(nil)...)...)
+}
 
 // Attach makes child a component of parent through attr.
 func (d *DB) Attach(parent uid.UID, attr string, child uid.UID) error {
-	return d.engine.Attach(parent, attr, child)
+	return d.admitUnitsWrite(func() error {
+		return d.engine.Attach(parent, attr, child)
+	}, parent, child)
 }
 
 // Detach removes the parent-child reference.
 func (d *DB) Detach(parent uid.UID, attr string, child uid.UID) error {
-	return d.engine.Detach(parent, attr, child)
+	return d.admitUnitsWrite(func() error {
+		return d.engine.Detach(parent, attr, child)
+	}, parent, child)
 }
 
 // Delete removes the object per the Deletion Rule and returns the
 // casualty list.
-func (d *DB) Delete(id uid.UID) ([]uid.UID, error) { return d.engine.Delete(id) }
+func (d *DB) Delete(id uid.UID) ([]uid.UID, error) {
+	var out []uid.UID
+	err := d.withAdmission(func(tx lock.TxID) error {
+		return d.txm.Protocol().LockForDelete(tx, id)
+	}, func() (err error) {
+		out, err = d.engine.Delete(id)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // ComponentsOf implements (components-of ...), §3.1.
 func (d *DB) ComponentsOf(id uid.UID, q core.QueryOpts) ([]uid.UID, error) {

@@ -331,14 +331,21 @@ func (h *hook) OnWrite(tx core.TxnID, o *object.Object, near uid.UID) error {
 		}); err != nil {
 			return err
 		}
-		if tx == 0 && d.opts.SyncWAL {
-			// An auto-commit write is its own commit boundary.
-			if err := d.gc.Sync(); err != nil {
-				return err
-			}
-		}
 	}
 	return d.store.Put(seg, o.UID(), rec, near)
+}
+
+// SyncAutoCommit implements core.AutoCommitSyncer: an auto-commit
+// mutation is its own commit boundary, so under SyncWAL the engine calls
+// this once per operation — after the write-through, outside the engine
+// latch — and the group committer batches the fsync with any concurrent
+// committers.
+func (h *hook) SyncAutoCommit() error {
+	d := h.d
+	if d.wal == nil || !d.opts.SyncWAL {
+		return nil
+	}
+	return d.gc.Sync()
 }
 
 func (h *hook) OnDelete(tx core.TxnID, id uid.UID) error {
@@ -356,11 +363,6 @@ func (h *hook) OnDelete(tx core.TxnID, id uid.UID) error {
 			Op: storage.OpDelete, Txn: uint64(tx), UID: id, Seg: seg,
 		}); err != nil {
 			return err
-		}
-		if tx == 0 && d.opts.SyncWAL {
-			if err := d.gc.Sync(); err != nil {
-				return err
-			}
 		}
 	}
 	if err := d.store.Delete(id); err != nil && !errors.Is(err, storage.ErrNotFound) {

@@ -55,6 +55,13 @@ var (
 // granuleState tracks holders and waiters of one granule.
 type granuleState struct {
 	holders map[TxID][]Mode
+	// waiters counts transactions parked on this granule. Grants do not
+	// queue behind waits, so a new holder can become a blocker of an
+	// already-parked waiter; the grant path broadcasts when waiters > 0
+	// so the waiter recomputes its blockers (and wait-for edges) against
+	// the new holder. The state must not be dropped from the granule map
+	// while waiters > 0 — parked waiters keep a pointer into it.
+	waiters int
 }
 
 // Manager is a blocking lock manager with deadlock detection via a
@@ -68,6 +75,7 @@ type Manager struct {
 	granules map[string]*granuleState
 	held     map[TxID]map[string]bool // reverse index for ReleaseAll
 	waitsFor map[TxID]map[TxID]bool   // wait-for graph edges
+	doomed   map[TxID]bool            // deadlock victims pending abort
 	o        managerObs
 }
 
@@ -82,6 +90,7 @@ type managerObs struct {
 	waits     *obs.Counter
 	upgrades  *obs.Counter
 	deadlocks *obs.Counter
+	victims   *obs.Counter
 	releases  *obs.Counter
 	waitNs    *obs.Histogram
 }
@@ -93,6 +102,7 @@ func NewManager() *Manager {
 		granules: make(map[string]*granuleState),
 		held:     make(map[TxID]map[string]bool),
 		waitsFor: make(map[TxID]map[TxID]bool),
+		doomed:   make(map[TxID]bool),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.SetObservability(obs.NewRegistry())
@@ -109,6 +119,7 @@ func (m *Manager) SetObservability(r *obs.Registry) {
 		waits:     r.Counter("lock_wait_total"),
 		upgrades:  r.Counter("lock_upgrade_total"),
 		deadlocks: r.Counter("lock_deadlock_total"),
+		victims:   r.Counter("lock_deadlock_victim_total"),
 		releases:  r.Counter("lock_release_all_total"),
 		waitNs:    r.Histogram("lock_wait_ns", nil),
 	}
@@ -142,13 +153,19 @@ func (st *granuleState) blockers(tx TxID, mode Mode) []TxID {
 	return out
 }
 
-// wouldDeadlock reports whether adding edges tx->blockers closes a cycle
-// in the wait-for graph. Caller holds m.mu.
-func (m *Manager) wouldDeadlock(tx TxID, blockers []TxID) bool {
-	// DFS from each blocker looking for tx.
+// findCycle reports the transactions on a wait-for cycle that adding
+// edges tx->blockers would close: the path blocker -> ... -> tx plus tx
+// itself. Paths through already-doomed transactions are ignored — their
+// abort is in flight and will break the cycle without a second victim.
+// An empty result means no (new) deadlock. Caller holds m.mu.
+func (m *Manager) findCycle(tx TxID, blockers []TxID) []TxID {
 	seen := map[TxID]bool{}
+	var path []TxID
 	var dfs func(cur TxID) bool
 	dfs = func(cur TxID) bool {
+		if m.doomed[cur] {
+			return false
+		}
 		if cur == tx {
 			return true
 		}
@@ -156,26 +173,59 @@ func (m *Manager) wouldDeadlock(tx TxID, blockers []TxID) bool {
 			return false
 		}
 		seen[cur] = true
+		path = append(path, cur)
 		for next := range m.waitsFor[cur] {
 			if dfs(next) {
 				return true
 			}
 		}
+		path = path[:len(path)-1]
 		return false
 	}
 	for _, b := range blockers {
 		if dfs(b) {
-			return true
+			return append(path, tx)
 		}
 	}
-	return false
+	return nil
+}
+
+// chooseVictim picks the youngest transaction (highest TxID, i.e. most
+// recently started) from the cycle — it has done the least work and its
+// abort is the cheapest way to break the deadlock.
+func chooseVictim(cycle []TxID) TxID {
+	victim := cycle[0]
+	for _, t := range cycle[1:] {
+		if t > victim {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// abortVictim fails tx's pending request with ErrDeadlock. Caller holds
+// m.mu. The victim's locks stay held until its transaction aborts and
+// calls ReleaseAll — 2PL's usual abort path — which also clears its doom.
+func (m *Manager) abortVictim(tx TxID, key string, mode Mode, g Granule, waitSpan uint64) error {
+	m.o.victims.Inc()
+	if tr := m.o.tr; tr.Active() {
+		if waitSpan != 0 {
+			tr.End(waitSpan, "lock.wait", obs.F("outcome", "deadlock"))
+		} else {
+			tr.Point(0, "lock.deadlock", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
+		}
+	}
+	return fmt.Errorf("tx %d requesting %s on %s: %w", tx, mode, g, ErrDeadlock)
 }
 
 // Lock acquires mode on g for tx, blocking while incompatible locks are
-// held by other transactions. It returns ErrDeadlock if waiting would
-// close a wait-for cycle (the requester is chosen as the victim).
-// Re-requesting a held mode is a no-op; requesting an additional mode
-// records both (lock conversion by accumulation).
+// held by other transactions. When waiting would close a wait-for cycle
+// the manager picks the youngest cycle member as the victim: if that is
+// the requester it fails immediately with ErrDeadlock; otherwise the
+// victim is doomed — its own pending Lock call wakes and returns
+// ErrDeadlock — and the requester keeps waiting for the victim's abort
+// to release its locks. Re-requesting a held mode is a no-op; requesting
+// an additional mode records both (lock conversion by accumulation).
 func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 	key := g.String()
 	m.mu.Lock()
@@ -184,24 +234,43 @@ func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 	var waitStart time.Time
 	var waitSpan uint64
 	waited := false
+	leaveWait := func() {
+		if waited {
+			st.waiters--
+		}
+	}
 	for {
+		if m.doomed[tx] {
+			leaveWait()
+			return m.abortVictim(tx, key, mode, g, waitSpan)
+		}
 		blockers := st.blockers(tx, mode)
 		if len(blockers) == 0 {
 			break
 		}
-		if m.wouldDeadlock(tx, blockers) {
+		if cycle := m.findCycle(tx, blockers); len(cycle) > 0 {
 			m.o.deadlocks.Inc()
+			victim := chooseVictim(cycle)
 			if tr := m.o.tr; tr.Active() {
-				tr.Point(waitSpan, "lock.deadlock", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
-				tr.End(waitSpan, "lock.wait", obs.F("outcome", "deadlock"))
+				tr.Point(waitSpan, "lock.deadlock", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode), obs.F("victim", victim))
 			}
-			return fmt.Errorf("tx %d requesting %s on %s: %w", tx, mode, g, ErrDeadlock)
+			if victim == tx {
+				leaveWait()
+				return m.abortVictim(tx, key, mode, g, waitSpan)
+			}
+			// Doom the victim and keep waiting: it is parked in its own
+			// Lock call (every cycle member is a waiter), so the
+			// broadcast wakes it, it observes its doom, and its abort
+			// releases the locks this request is queued behind.
+			m.doomed[victim] = true
+			m.cond.Broadcast()
 		}
 		if !waited {
 			// First block on this request: count the wait once and start
 			// the clock. Blocking is already slow, so timing it is free
 			// relative to the sleep.
 			waited = true
+			st.waiters++
 			m.o.waits.Inc()
 			waitStart = time.Now()
 			if tr := m.o.tr; tr.Active() {
@@ -219,6 +288,7 @@ func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 		m.cond.Wait()
 		delete(m.waitsFor, tx)
 	}
+	leaveWait()
 	if waited {
 		d := time.Since(waitStart)
 		m.o.waitNs.Observe(int64(d))
@@ -251,6 +321,14 @@ func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 		m.held[tx] = hs
 	}
 	hs[key] = true
+	if st.waiters > 0 {
+		// This grant may conflict with a parked waiter's pending request
+		// (grants do not queue behind waits). Wake the waiters so they
+		// recompute their blockers and wait-for edges against the new
+		// holder — otherwise their edges go stale and a deadlock cycle
+		// running through this grant is invisible to findCycle.
+		m.cond.Broadcast()
+	}
 	return nil
 }
 
@@ -276,6 +354,9 @@ func (m *Manager) TryLock(tx TxID, g Granule, mode Mode) bool {
 		m.held[tx] = hs
 	}
 	hs[key] = true
+	if st.waiters > 0 {
+		m.cond.Broadcast() // same stale-edge hazard as the Lock grant path
+	}
 	return true
 }
 
@@ -316,7 +397,7 @@ func (m *Manager) Unlock(tx TxID, g Granule) error {
 		return fmt.Errorf("tx %d on %s: %w", tx, g, ErrNotHeld)
 	}
 	delete(st.holders, tx)
-	if len(st.holders) == 0 {
+	if len(st.holders) == 0 && st.waiters == 0 {
 		delete(m.granules, key)
 	}
 	if hs := m.held[tx]; hs != nil {
@@ -337,13 +418,14 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	for key := range m.held[tx] {
 		if st := m.granules[key]; st != nil {
 			delete(st.holders, tx)
-			if len(st.holders) == 0 {
+			if len(st.holders) == 0 && st.waiters == 0 {
 				delete(m.granules, key)
 			}
 		}
 	}
 	delete(m.held, tx)
 	delete(m.waitsFor, tx)
+	delete(m.doomed, tx)
 	m.cond.Broadcast()
 }
 

@@ -1,7 +1,10 @@
 package lock
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/uid"
@@ -25,19 +28,50 @@ const (
 type Protocol struct {
 	M *Manager
 	E *core.Engine
+
+	infoMu sync.RWMutex
+	info   map[string]*classInfoEntry
+}
+
+// classInfoEntry caches one ComponentClassInfo result against the catalog
+// version it was computed from.
+type classInfoEntry struct {
+	version uint64
+	natures map[string]RefNature
 }
 
 // NewProtocol returns a protocol bound to a manager and engine.
 func NewProtocol(m *Manager, e *core.Engine) *Protocol {
-	return &Protocol{M: m, E: e}
+	return &Protocol{M: m, E: e, info: make(map[string]*classInfoEntry)}
 }
 
 // ComponentClassInfo walks the composite class hierarchy of rootClass and
 // classifies every component class by the nature of the references
 // reaching it. The lock protocol needs exactly this information ("the
 // component classes of a composite class hierarchy, and the nature of the
-// references to the component classes", §7).
+// references to the component classes", §7). Results are cached against
+// the catalog version so the admission path does not re-walk the schema
+// on every mutation; callers must treat the returned map as read-only.
 func (p *Protocol) ComponentClassInfo(rootClass string) (map[string]RefNature, error) {
+	cat := p.E.Catalog()
+	ver := cat.Version()
+	p.infoMu.RLock()
+	ent := p.info[rootClass]
+	p.infoMu.RUnlock()
+	if ent != nil && ent.version == ver {
+		return ent.natures, nil
+	}
+	natures, err := p.componentClassInfoSlow(rootClass)
+	if err != nil {
+		return nil, err
+	}
+	p.infoMu.Lock()
+	p.info[rootClass] = &classInfoEntry{version: ver, natures: natures}
+	p.infoMu.Unlock()
+	return natures, nil
+}
+
+func (p *Protocol) componentClassInfoSlow(rootClass string) (map[string]RefNature, error) {
 	cat := p.E.Catalog()
 	if _, err := cat.Class(rootClass); err != nil {
 		return nil, err
@@ -163,6 +197,183 @@ func (p *Protocol) LockInstance(tx TxID, obj uid.UID, write bool) error {
 		return err
 	}
 	return p.M.Lock(tx, InstanceGranule(obj), instMode)
+}
+
+// LockUnitsWrite admits a writer to the composite units containing each
+// of ids: it resolves every id to the roots of the composite objects
+// containing it and runs the §7 update protocol (IX class, X root,
+// IXO/IXOS component classes) on each root. Because a concurrent attach
+// can merge two hierarchies while this transaction waits (the
+// Make-Component Rule lets a parentless root become a component), the
+// roots are re-resolved after every acquisition round and any roots that
+// appeared are locked too, until a round resolves to nothing new
+// (lock-coupling). Under 2PL the accumulated locks are all kept.
+//
+// Two fallbacks keep the lock set well-defined off the happy path:
+//   - an id with no object (deleted, or never created) is locked
+//     directly (IX class + X instance) so callers racing on a vanished
+//     object still serialize;
+//   - an id inside a cyclic hierarchy has no parentless ancestor, so the
+//     whole cycle stands in for the root: the id and all its ancestors
+//     are locked as units.
+func (p *Protocol) LockUnitsWrite(tx TxID, ids ...uid.UID) error {
+	return p.lockUnits(tx, true, ids)
+}
+
+// LockUnitsRead is LockUnitsWrite with the §7 read protocol (IS, S,
+// ISO/ISOS) — composite-unit admission for readers.
+func (p *Protocol) LockUnitsRead(tx TxID, ids ...uid.UID) error {
+	return p.lockUnits(tx, false, ids)
+}
+
+func (p *Protocol) lockUnits(tx TxID, write bool, ids []uid.UID) error {
+	locked := map[uid.UID]bool{}
+	for {
+		targets := uid.NewSet()
+		for _, id := range ids {
+			if err := p.unitRoots(id, targets); err != nil {
+				return err
+			}
+		}
+		var fresh []uid.UID
+		for _, r := range targets.Slice() {
+			if !locked[r] {
+				fresh = append(fresh, r)
+			}
+		}
+		if len(fresh) == 0 {
+			return nil
+		}
+		// Deterministic order to reduce deadlocks between protocol users.
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].Less(fresh[j]) })
+		for _, r := range fresh {
+			if err := p.lockUnitRoot(tx, r, write); err != nil {
+				return err
+			}
+			locked[r] = true
+		}
+	}
+}
+
+// unitRoots adds the unit-root lock targets for id to targets.
+func (p *Protocol) unitRoots(id uid.UID, targets *uid.Set) error {
+	roots, err := p.E.RootsOf(id)
+	switch {
+	case errors.Is(err, core.ErrNoObject):
+		targets.Add(id)
+		return nil
+	case err != nil:
+		return err
+	}
+	if len(roots) == 0 {
+		// Cyclic hierarchy: no parentless ancestor exists.
+		targets.Add(id)
+		ancs, err := p.E.AncestorsOf(id, core.QueryOpts{})
+		if err != nil && !errors.Is(err, core.ErrNoObject) {
+			return err
+		}
+		for _, a := range ancs {
+			targets.Add(a)
+		}
+		return nil
+	}
+	for _, r := range roots {
+		targets.Add(r)
+	}
+	return nil
+}
+
+// lockUnitRoot locks one resolved unit root: the admission variant of the
+// composite protocol when its class resolves, a bare instance lock
+// otherwise (the class was dropped while the id was in flight — nothing
+// left to intention-lock).
+func (p *Protocol) lockUnitRoot(tx TxID, root uid.UID, write bool) error {
+	if _, err := p.E.ClassOf(root); err != nil {
+		mode := S
+		if write {
+			mode = X
+		}
+		return p.M.Lock(tx, InstanceGranule(root), mode)
+	}
+	return p.lockUnit(tx, root, write)
+}
+
+// lockUnit is the admission variant of lockComposite: IS/IX on the root's
+// class, S/X on the root instance, and ISOS/IXOS on the component classes
+// reached via shared references — but NO ISO/IXO on classes reached only
+// via exclusive references. The exclusive-side O-locks exist to warn
+// direct instance lockers (plain IS/IX + instance lock) that some
+// instances of the class are implicitly locked through a root. Unit
+// admission never locks components directly: every access — read or
+// write, named or implied — resolves to unit roots first, and Topology
+// Rules 1–3 make exclusively-referenced components single-parented, so
+// two units can only overlap through shared references. Root S/X locks
+// therefore arbitrate all exclusive-side conflicts, while the
+// ISOS/IXOS↔IXOS class conflicts still serialize writers whose
+// hierarchies may overlap invisibly through shared components. Dropping
+// ISO/IXO is what lets writers on disjoint hierarchies of the same
+// classes — and writers touching parentless instances of a component
+// class — run in parallel instead of colliding at the class granule.
+func (p *Protocol) lockUnit(tx TxID, root uid.UID, write bool) error {
+	cl, err := p.E.ClassOf(root)
+	if err != nil {
+		return err
+	}
+	classMode, instMode, sharedMode := IS, S, ISOS
+	if write {
+		classMode, instMode, sharedMode = IX, X, IXOS
+	}
+	if err := p.M.Lock(tx, ClassGranule(cl.Name), classMode); err != nil {
+		return err
+	}
+	if err := p.M.Lock(tx, InstanceGranule(root), instMode); err != nil {
+		return err
+	}
+	info, err := p.ComponentClassInfo(cl.Name)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(info))
+	for n := range info {
+		if info[n]&ViaShared != 0 {
+			names = append(names, n)
+		}
+	}
+	sortStrings(names)
+	for _, n := range names {
+		if err := p.M.Lock(tx, ClassGranule(n), sharedMode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LockForDelete admits the deletion of id: first the units containing id
+// itself, then — with those X locks held, so the cascade's reach is
+// frozen — the units containing every component of id and every
+// surviving composite parent of those components, since the Deletion
+// Rule edits parents in other hierarchies when a shared component or a
+// last dependent-shared child is reaped.
+func (p *Protocol) LockForDelete(tx TxID, id uid.UID) error {
+	if err := p.LockUnitsWrite(tx, id); err != nil {
+		return err
+	}
+	comps, err := p.E.ComponentsOf(id, core.QueryOpts{})
+	if err != nil {
+		if errors.Is(err, core.ErrNoObject) {
+			return nil // vanished while waiting; instance lock held above
+		}
+		return err
+	}
+	affected := append([]uid.UID{id}, comps...)
+	for _, c := range comps {
+		parents, err := p.E.ParentsOf(c, core.QueryOpts{})
+		if err != nil {
+			continue
+		}
+		affected = append(affected, parents...)
+	}
+	return p.LockUnitsWrite(tx, affected...)
 }
 
 // LockViaRoots implements the [GARZ88] root-locking algorithm: to access a

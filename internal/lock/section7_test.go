@@ -1,0 +1,257 @@
+package lock
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// fiveRefEngine builds one parent class per reference type of §2.3 —
+// dependent-exclusive, independent-exclusive, dependent-shared,
+// independent-shared, and weak — each referencing Leaf through a
+// set-valued attribute Parts.
+func fiveRefEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Leaf"}); err != nil {
+		t.Fatal(err)
+	}
+	defs := []struct {
+		name string
+		attr schema.AttrSpec
+	}{
+		{"PDX", schema.NewCompositeSetAttr("Parts", "Leaf")},
+		{"PIX", schema.NewCompositeSetAttr("Parts", "Leaf").WithDependent(false)},
+		{"PDS", schema.NewCompositeSetAttr("Parts", "Leaf").WithExclusive(false)},
+		{"PIS", schema.NewCompositeSetAttr("Parts", "Leaf").WithExclusive(false).WithDependent(false)},
+		{"PW", schema.NewSetAttr("Parts", schema.ClassDomain("Leaf"))},
+	}
+	for _, d := range defs {
+		if _, err := cat.DefineClass(schema.ClassDef{Name: d.name, Attributes: []schema.AttrSpec{d.attr}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return core.NewEngine(cat)
+}
+
+func mkWithLeaf(t *testing.T, e *core.Engine, class string) (uid.UID, uid.UID) {
+	t.Helper()
+	l, err := e.New("Leaf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.New(class, map[string]value.Value{"Parts": value.RefSet(l.UID())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.UID(), l.UID()
+}
+
+// TestSection7RootVsComponent checks the §7 compatibility rules between a
+// composite lock on the root and direct instance locks on the component
+// class, for every reference type. For all four composite kinds a
+// composite writer excludes direct readers and writers of the component
+// class (IXO/IXOS conflict with IS and IX) and a composite reader
+// excludes direct writers but admits direct readers; a weak reference
+// creates no composite hierarchy, so the component class stays untouched.
+func TestSection7RootVsComponent(t *testing.T) {
+	cases := []struct {
+		class     string
+		composite bool
+	}{
+		{"PDX", true}, {"PIX", true}, {"PDS", true}, {"PIS", true}, {"PW", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class, func(t *testing.T) {
+			e := fiveRefEngine(t)
+			p := NewProtocol(NewManager(), e)
+			root, _ := mkWithLeaf(t, e, tc.class)
+
+			// Composite writer on the root.
+			if err := p.LockCompositeWrite(1, root); err != nil {
+				t.Fatal(err)
+			}
+			if got := p.M.TryLock(2, ClassGranule("Leaf"), IS); got != !tc.composite {
+				t.Fatalf("writer held: direct IS on Leaf granted=%v, want %v", got, !tc.composite)
+			}
+			if got := p.M.TryLock(2, ClassGranule("Leaf"), IX); got != !tc.composite {
+				t.Fatalf("writer held: direct IX on Leaf granted=%v, want %v", got, !tc.composite)
+			}
+			// The root itself is arbitrated by plain granularity locks.
+			if p.M.TryLock(2, InstanceGranule(root), S) {
+				t.Fatal("S on root granted against a composite writer")
+			}
+			if !p.M.TryLock(2, ClassGranule(tc.class), IX) {
+				t.Fatal("IX on the root class must be compatible with another IX")
+			}
+			p.M.ReleaseAll(1)
+			p.M.ReleaseAll(2)
+
+			// Composite reader on the root.
+			if err := p.LockCompositeRead(1, root); err != nil {
+				t.Fatal(err)
+			}
+			if !p.M.TryLock(2, ClassGranule("Leaf"), IS) {
+				t.Fatal("reader held: direct IS on Leaf must be granted")
+			}
+			if got := p.M.TryLock(2, ClassGranule("Leaf"), IX); got != !tc.composite {
+				t.Fatalf("reader held: direct IX on Leaf granted=%v, want %v", got, !tc.composite)
+			}
+			if !p.M.TryLock(2, InstanceGranule(root), S) {
+				t.Fatal("S on root must be compatible with a composite reader")
+			}
+			if p.M.TryLock(2, InstanceGranule(root), X) {
+				t.Fatal("X on root granted against a composite reader")
+			}
+		})
+	}
+}
+
+// TestSection7ExclusiveVsSharedWriters: two composite writers on
+// hierarchies of the SAME component class are compatible when the class
+// is reached via exclusive references (IXO ∥ IXO — the root X locks
+// arbitrate, since an exclusively referenced component has exactly one
+// parent) but conflict when reached via shared references (IXOS ∦ IXOS —
+// the hierarchies may overlap without sharing a root).
+func TestSection7ExclusiveVsSharedWriters(t *testing.T) {
+	e := fiveRefEngine(t)
+	p := NewProtocol(NewManager(), e)
+	x1, _ := mkWithLeaf(t, e, "PIX")
+	s1, _ := mkWithLeaf(t, e, "PDS")
+
+	if err := p.LockCompositeWrite(1, x1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.M.TryLock(2, ClassGranule("Leaf"), IXO) {
+		t.Fatal("IXO ∥ IXO must be compatible across disjoint exclusive hierarchies")
+	}
+	p.M.ReleaseAll(1)
+	p.M.ReleaseAll(2)
+
+	if err := p.LockCompositeWrite(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if p.M.TryLock(2, ClassGranule("Leaf"), IXOS) {
+		t.Fatal("IXOS granted alongside IXOS: shared-hierarchy writers must serialize")
+	}
+	if p.M.TryLock(2, ClassGranule("Leaf"), IXO) {
+		t.Fatal("IXO granted alongside IXOS: regime-crossing writers must serialize")
+	}
+}
+
+// TestUnitAdmissionDisjointParallel is the regression for the class-granule
+// serialization bug: admission of two writers into disjoint hierarchies of
+// the same class — each also touching a parentless instance of the
+// component class — must not block. (Full lockComposite admission took IXO
+// on Leaf for the hierarchy and IX on Leaf for the bare instance, which
+// conflict across transactions, hanging every pair of such writers.)
+func TestUnitAdmissionDisjointParallel(t *testing.T) {
+	e := fiveRefEngine(t)
+	p := NewProtocol(NewManager(), e)
+	p1, _ := mkWithLeaf(t, e, "PIX")
+	p2, _ := mkWithLeaf(t, e, "PIX")
+	mkBare := func() uid.UID {
+		o, err := e.New("Leaf", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	b1, b2 := mkBare(), mkBare()
+
+	if err := p.LockUnitsWrite(1, p1, b1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.LockUnitsWrite(2, p2, b2) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("disjoint unit writers blocked each other")
+	}
+
+	// The second writer's bare instance is still off limits to a third.
+	if p.M.TryLock(3, InstanceGranule(b2), X) {
+		t.Fatal("X granted on an instance another admission holds")
+	}
+}
+
+// TestUnitAdmissionSharedSerializes: unit admission keeps the shared-side
+// class O-locks, so writers into two hierarchies whose component classes
+// are reached via shared references serialize even when the hierarchies
+// are currently disjoint — they could overlap through a shared component
+// the lock manager cannot see.
+func TestUnitAdmissionSharedSerializes(t *testing.T) {
+	e := fiveRefEngine(t)
+	p := NewProtocol(NewManager(), e)
+	p1, _ := mkWithLeaf(t, e, "PDS")
+	if err := p.LockUnitsWrite(1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.M.Holds(1, ClassGranule("Leaf"), IXOS) {
+		t.Fatal("unit admission into a shared hierarchy must hold IXOS on the component class")
+	}
+	if p.M.TryLock(2, ClassGranule("Leaf"), IXOS) {
+		t.Fatal("second shared-hierarchy writer admitted concurrently")
+	}
+}
+
+// TestDependentSharedLastParentDelete: c is a dependent-shared component
+// of p1 and p2. While a reader is admitted to p2's unit, deleting p1 must
+// block (the Deletion Rule may edit shared components, and the reader's
+// ISOS conflicts with the deleter's IXOS); once the reader releases, the
+// delete proceeds and c survives with its remaining parent.
+func TestDependentSharedLastParentDelete(t *testing.T) {
+	e := fiveRefEngine(t)
+	p := NewProtocol(NewManager(), e)
+	p1, c := mkWithLeaf(t, e, "PDS")
+	p2o, err := e.New("PDS", map[string]value.Value{"Parts": value.RefSet(c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p2o.UID()
+
+	if err := p.LockUnitsRead(1, p2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.LockForDelete(2, p1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("delete admission completed against a unit reader (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	p.M.ReleaseAll(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delete admission still blocked after reader released")
+	}
+
+	casualties, err := e.Delete(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range casualties {
+		if id == c {
+			t.Fatal("dependent-shared component deleted despite a surviving parent")
+		}
+	}
+	o, err := e.Get(c)
+	if err != nil {
+		t.Fatalf("component vanished: %v", err)
+	}
+	if n := len(o.Reverse()); n != 1 {
+		t.Fatalf("component has %d parents after delete, want 1", n)
+	}
+}

@@ -1,0 +1,80 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDeadlockThroughBargedGrant: a grant does not queue behind waits, so
+// a transaction can become the blocker of an already-parked waiter. The
+// waiter's wait-for edges were recorded against the holders it saw when it
+// parked; without the grant-path broadcast those edges go stale and a
+// deadlock cycle running through the barged grant is invisible to the
+// detector — both transactions park forever with no further release to
+// wake them.
+//
+//	T1 holds X(g3); T2 holds S(g1)
+//	T1 requests X(g1)        -> parks behind T2 (edge T1->T2)
+//	T3 acquires S(g1)        -> granted past T1's pending X (barge)
+//	T3 requests S(g3)        -> blocked by T1: true cycle T1->T3->T1
+//
+// T3's request must detect the cycle (T1's edges must include T3 by then)
+// and, as the youngest member, abort with ErrDeadlock.
+func TestDeadlockThroughBargedGrant(t *testing.T) {
+	m := NewManager()
+	r := obs.NewRegistry()
+	m.SetObservability(r)
+	waits := r.Counter("lock_wait_total")
+
+	g1, g3 := ClassGranule("G1"), ClassGranule("G3")
+	if err := m.Lock(1, g3, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, g1, S); err != nil {
+		t.Fatal(err)
+	}
+
+	t1done := make(chan error, 1)
+	go func() { t1done <- m.Lock(1, g1, X) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for waits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("T1 never started waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := m.Lock(3, g1, S); err != nil {
+		t.Fatalf("T3 S(g1) should barge past the parked X request: %v", err)
+	}
+
+	t3done := make(chan error, 1)
+	go func() { t3done <- m.Lock(3, g3, S) }()
+	select {
+	case err := <-t3done:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("T3 S(g3) = %v, want ErrDeadlock", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("undetected deadlock: T3 parked on a cycle through its own barged grant")
+	}
+
+	// The victim's abort unblocks the survivor.
+	m.ReleaseAll(3)
+	m.ReleaseAll(2)
+	select {
+	case err := <-t1done:
+		if err != nil {
+			t.Fatalf("T1 X(g1) after victim abort: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("T1 still parked after its blockers released")
+	}
+	m.ReleaseAll(1)
+	if n := len(m.granules); n != 0 {
+		t.Fatalf("granule map not drained: %d entries", n)
+	}
+}

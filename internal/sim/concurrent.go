@@ -1,0 +1,599 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/lock"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// Concurrent mode: N goroutine workers drive seeded op streams against one
+// database through explicit transactions, exercising the composite-unit
+// lock admission under real parallelism. Checking splits in two:
+//
+//   - At each commit, the committed transaction's recorded operations are
+//     re-executed against the shared model under the commit mutex, in
+//     commit order, and per-op verdicts (and delete casualty lists) must
+//     match what the engine said during live execution. Strict 2PL makes
+//     this sound: every object an op's verdict depends on stays X-locked
+//     by the transaction from the op until commit, so no other committed
+//     transaction can have changed it in between.
+//
+//   - At quiescent points (a barrier every few transactions per worker,
+//     and at the end), the full engine state is compared against the model
+//     with compareState, plus an Integrity scan.
+//
+// The commit-order sequence of transactions is also recorded as a
+// slot-based trace; replaying it sequentially through RunTrace must be
+// clean, which checks that the serialization the locks produced is a real
+// one-at-a-time history (deterministic replay of the commit order).
+//
+// Workers never issue Evolve, Checkpoint, or Crash ops — those are
+// whole-database operations the harness runs only at quiescent points (the
+// final crash/recovery round on durable runs).
+
+// ConcurrentConfig configures one concurrent simulation run.
+type ConcurrentConfig struct {
+	// Seed drives every worker's generator (worker k derives its own rng
+	// from Seed and k).
+	Seed int64
+	// Workers is the number of concurrent writer goroutines (default 4).
+	Workers int
+	// Ops is the number of generated operations per worker (default 200).
+	Ops int
+	// Durable runs against an on-disk database with WAL sync and ends with
+	// a crash/recovery round asserting the committed model survived.
+	Durable bool
+	// Dir is the parent directory for durable runs' temp dirs.
+	Dir string
+	// TxnsPerRound is the quiescent-check cadence: every worker runs this
+	// many transactions, then all workers barrier and the full state is
+	// checked (default 8).
+	TxnsPerRound int
+	// SharedRoots is the number of pre-created composite roots all workers
+	// mutate (default 6). They are what makes workers actually contend —
+	// without them each worker would live in its own disjoint hierarchy.
+	SharedRoots int
+}
+
+// ConcurrentResult reports one concurrent run.
+type ConcurrentResult struct {
+	Committed       int // transactions committed
+	Aborted         int // deliberate aborts (undo under concurrency)
+	DeadlockRetries int // transactions retried after a deadlock abort
+	Failure         *Failure
+	Trace           []Op // commit-order trace, sequentially replayable
+}
+
+// execRec is one live-executed operation with everything needed to
+// re-execute it against the model at commit time: resolved UIDs (slot
+// indirection is gone by then) and the engine's verdict.
+type execRec struct {
+	op      Op
+	engErr  error
+	id      uid.UID  // OpNew: created UID (Nil on failure); others: target
+	parents []Parent // OpNew
+	childID uid.UID  // OpAttach/OpDetach
+	refs    []Ref    // OpSetRefs
+	deleted []uid.UID
+	slot    slotRec // OpNew: assignment to apply on commit
+}
+
+type charness struct {
+	cfg ConcurrentConfig
+	dir string
+	d   *db.DB
+
+	// commitMu serializes commit + model re-execution + trace append, so
+	// the model is applied in true commit order (conflicting transactions
+	// cannot both be inside Commit: locks release only after it returns).
+	commitMu sync.Mutex
+	model    *Model
+	trace    []Op
+
+	// slots: [0,SharedRoots) are the shared roots, written once during
+	// setup and read-only afterwards; worker k owns the half-open range
+	// [SharedRoots+k*stride, SharedRoots+(k+1)*stride) and is its only
+	// reader and writer.
+	slots []slotRec
+
+	committed atomic.Int64
+	aborted   atomic.Int64
+	retries   atomic.Int64
+
+	failMu sync.Mutex
+	fail   *Failure
+}
+
+func (h *charness) setFailure(f *Failure) {
+	h.failMu.Lock()
+	if h.fail == nil {
+		h.fail = f
+	}
+	h.failMu.Unlock()
+}
+
+func (h *charness) failure() *Failure {
+	h.failMu.Lock()
+	defer h.failMu.Unlock()
+	return h.fail
+}
+
+type cworker struct {
+	h    *charness
+	id   int
+	rng  *rand.Rand
+	txns [][]Op
+	next int
+}
+
+// RunConcurrent executes one concurrent simulation and returns its report.
+func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 200
+	}
+	if cfg.TxnsPerRound <= 0 {
+		cfg.TxnsPerRound = 8
+	}
+	if cfg.SharedRoots <= 0 {
+		cfg.SharedRoots = 6
+	}
+	h := &charness{cfg: cfg, model: newModel(simClassDefs())}
+	res := &ConcurrentResult{}
+	fail := func(msg string) *ConcurrentResult {
+		res.Failure = &Failure{Seed: cfg.Seed, Step: -1, Msg: msg, Trace: h.trace}
+		return res
+	}
+	if cfg.Durable {
+		dir, err := os.MkdirTemp(cfg.Dir, "simconc-")
+		if err != nil {
+			return fail("mkdir: " + err.Error())
+		}
+		h.dir = dir
+		defer os.RemoveAll(dir)
+	}
+	if err := h.open(); err != nil {
+		return fail("open: " + err.Error())
+	}
+	defer func() {
+		if h.d != nil {
+			h.d.Abandon()
+		}
+	}()
+
+	workers, err := h.buildWorkers()
+	if err != nil {
+		return fail("setup: " + err.Error())
+	}
+
+	for h.failure() == nil {
+		var wg sync.WaitGroup
+		active := false
+		for _, w := range workers {
+			if w.next >= len(w.txns) {
+				continue
+			}
+			active = true
+			wg.Add(1)
+			go func(w *cworker) {
+				defer wg.Done()
+				w.runRound()
+			}(w)
+		}
+		if !active {
+			break
+		}
+		wg.Wait()
+		if f := h.quiescentCheck(); f != nil {
+			h.setFailure(f)
+		}
+	}
+
+	res.Committed = int(h.committed.Load())
+	res.Aborted = int(h.aborted.Load())
+	res.DeadlockRetries = int(h.retries.Load())
+	res.Trace = h.trace
+	if f := h.failure(); f != nil {
+		f.Trace = h.trace
+		res.Failure = f
+		return res
+	}
+
+	// Durable runs: crash without flushing, reopen through recovery, and
+	// require the recovered state to equal the committed model.
+	if cfg.Durable {
+		if err := h.d.Abandon(); err != nil {
+			return fail("abandon: " + err.Error())
+		}
+		h.d = nil
+		if err := h.open(); err != nil {
+			return fail("recovery failed: " + err.Error())
+		}
+		if msg := compareState(h.d.Engine(), h.model); msg != "" {
+			return fail("post-recovery divergence: " + msg)
+		}
+	}
+	if err := h.d.Close(); err != nil {
+		return fail("close: " + err.Error())
+	}
+	h.d = nil
+
+	// Deterministic replay: the commit-order trace must replay cleanly as
+	// a sequential history (in memory — durability was checked above).
+	if f := RunTrace(Config{Seed: cfg.Seed}, h.trace); f != nil {
+		f.Msg = "serialized replay diverged: " + f.Msg
+		res.Failure = f
+	}
+	return res
+}
+
+func (h *charness) open() error {
+	opts := db.Options{}
+	if h.cfg.Durable {
+		opts.Dir = h.dir
+		opts.SyncWAL = true
+	}
+	d, err := db.Open(opts)
+	if err != nil {
+		return err
+	}
+	if err := defineSchema(d); err != nil {
+		d.Abandon()
+		return err
+	}
+	h.d = d
+	return nil
+}
+
+// buildWorkers creates the shared roots, generates and remaps each
+// worker's op stream, and chunks it into 1–3-op transactions.
+func (h *charness) buildWorkers() ([]*cworker, error) {
+	cfg := h.cfg
+	// Per-worker op streams: mutations only; evolution, checkpoints and
+	// crashes are quiescent-point operations.
+	streams := make([][]Op, cfg.Workers)
+	stride := 0
+	for k := 0; k < cfg.Workers; k++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919 + 1))
+		var ops []Op
+		for _, op := range Generate(rng, GenConfig{Ops: cfg.Ops, MaxObjects: 40}) {
+			switch op.Kind {
+			case OpNew, OpAttach, OpDetach, OpSetTag, OpSetRefs, OpDelete:
+				ops = append(ops, op)
+			}
+		}
+		streams[k] = ops
+		for _, op := range ops {
+			for _, s := range append([]int{op.Slot, op.Child}, op.Refs...) {
+				if s+1 > stride {
+					stride = s + 1
+				}
+			}
+			for _, p := range op.Parents {
+				if p.Slot+1 > stride {
+					stride = p.Slot + 1
+				}
+			}
+		}
+	}
+	h.slots = make([]slotRec, cfg.SharedRoots+cfg.Workers*stride)
+
+	// Shared roots, cycling through the four reference-kind classes; the
+	// OpNew prefix in the trace recreates them on sequential replay.
+	for i := 0; i < cfg.SharedRoots; i++ {
+		class := parentClasses[i%len(parentClasses)]
+		tag := int64(i)
+		o, err := h.d.Make(class, map[string]value.Value{"Tag": value.Int(tag)})
+		if err != nil {
+			return nil, err
+		}
+		if err := h.model.New(o.UID(), class, tag, nil); err != nil {
+			return nil, err
+		}
+		h.slots[i] = slotRec{id: o.UID(), class: class, set: true}
+		h.trace = append(h.trace, Op{Kind: OpNew, Slot: i, Class: class, Tag: tag})
+	}
+
+	workers := make([]*cworker, cfg.Workers)
+	for k := 0; k < cfg.Workers; k++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919 + 2))
+		base := cfg.SharedRoots + k*stride
+		remap := func(s int) int { return base + s }
+		// Redirect a fraction of mutation targets at the shared roots so
+		// workers contend on real composite hierarchies (and deadlock).
+		redirect := func(s int) int {
+			if rng.Float64() < 0.2 {
+				return rng.Intn(cfg.SharedRoots)
+			}
+			return remap(s)
+		}
+		var ops []Op
+		for _, op := range streams[k] {
+			op.Refs = append([]int(nil), op.Refs...)
+			op.Parents = append([]OpParent(nil), op.Parents...)
+			for i := range op.Refs {
+				op.Refs[i] = remap(op.Refs[i])
+			}
+			switch op.Kind {
+			case OpNew:
+				op.Slot = remap(op.Slot)
+				for i := range op.Parents {
+					op.Parents[i].Slot = redirect(op.Parents[i].Slot)
+				}
+			case OpAttach, OpDetach:
+				op.Slot = redirect(op.Slot)
+				op.Child = remap(op.Child)
+			case OpSetTag:
+				op.Slot = redirect(op.Slot)
+			default: // OpSetRefs, OpDelete stay in the worker's range
+				op.Slot = remap(op.Slot)
+			}
+			ops = append(ops, op)
+		}
+		// Chunk into explicit transactions of 1–3 ops.
+		var txns [][]Op
+		for len(ops) > 0 {
+			n := 1 + rng.Intn(3)
+			if n > len(ops) {
+				n = len(ops)
+			}
+			txns = append(txns, ops[:n])
+			ops = ops[n:]
+		}
+		workers[k] = &cworker{h: h, id: k, rng: rng, txns: txns}
+	}
+	return workers, nil
+}
+
+// quiescentCheck runs with no worker active: full state compare plus the
+// engine-wide integrity scan.
+func (h *charness) quiescentCheck() *Failure {
+	if msg := compareState(h.d.Engine(), h.model); msg != "" {
+		return &Failure{Seed: h.cfg.Seed, Step: -1, Msg: "quiescent divergence: " + msg}
+	}
+	if v := h.d.Engine().Integrity(); len(v) != 0 {
+		return &Failure{Seed: h.cfg.Seed, Step: -1, Msg: fmt.Sprintf("integrity violations: %v", v)}
+	}
+	return nil
+}
+
+func (w *cworker) runRound() {
+	for n := 0; n < w.h.cfg.TxnsPerRound && w.next < len(w.txns); n++ {
+		if w.h.failure() != nil {
+			return
+		}
+		if f := w.runTxn(w.txns[w.next]); f != nil {
+			w.h.setFailure(f)
+			return
+		}
+		w.next++
+	}
+}
+
+func (w *cworker) fail(op Op, msg string) *Failure {
+	return &Failure{Seed: w.h.cfg.Seed, Step: -1, Op: op,
+		Msg: fmt.Sprintf("worker %d: %s", w.id, msg)}
+}
+
+// runTxn executes one transaction, retrying from scratch when the lock
+// manager picks it as a deadlock victim (its undo has already rolled the
+// partial effects back, so a fresh attempt starts clean). Retries keep
+// the first attempt's transaction identity so the youngest-victim policy
+// cannot starve a retrier that keeps losing to newer transactions.
+func (w *cworker) runTxn(ops []Op) *Failure {
+	const maxAttempts = 8
+	id := w.h.d.Txns().Reserve()
+	for attempt := 0; ; attempt++ {
+		retry, f := w.attemptTxn(id, ops)
+		if f != nil {
+			return f
+		}
+		if !retry {
+			return nil
+		}
+		w.h.retries.Add(1)
+		if attempt+1 >= maxAttempts {
+			return w.fail(Op{}, fmt.Sprintf("transaction still deadlocking after %d attempts", maxAttempts))
+		}
+		// Exponential backoff: an immediate retry can win the scheduler
+		// race against the parked survivor and re-form the identical
+		// cycle — with itself as the victim again — until the attempt
+		// budget is gone.
+		time.Sleep(time.Duration(1<<attempt) * time.Millisecond)
+	}
+}
+
+// resolve looks a slot up through the transaction-local overlay first:
+// OpNew assignments become visible to later ops of the same transaction
+// but reach the shared table only on commit.
+func (w *cworker) resolve(overlay map[int]slotRec, s int) (slotRec, bool) {
+	if rec, ok := overlay[s]; ok {
+		return rec, true
+	}
+	if s < 0 || s >= len(w.h.slots) || !w.h.slots[s].set {
+		return slotRec{}, false
+	}
+	return w.h.slots[s], true
+}
+
+func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
+	h := w.h
+	t := h.d.Txns().BeginAt(id)
+	overlay := map[int]slotRec{}
+	var recs []execRec
+
+	abortForRetry := func() (bool, *Failure) {
+		if err := t.Abort(); err != nil {
+			return false, w.fail(Op{}, "abort after deadlock: "+err.Error())
+		}
+		return true, nil
+	}
+
+	for _, op := range ops {
+		rec := execRec{op: op}
+		skip := false
+		switch op.Kind {
+		case OpNew:
+			var parents []core.ParentSpec
+			for _, p := range op.Parents {
+				pr, ok := w.resolve(overlay, p.Slot)
+				if !ok {
+					skip = true
+					break
+				}
+				parents = append(parents, core.ParentSpec{Parent: pr.id, Attr: p.Attr})
+				rec.parents = append(rec.parents, Parent{ID: pr.id, Class: pr.class, Attr: p.Attr})
+			}
+			if skip {
+				break
+			}
+			o, err := t.New(op.Class, map[string]value.Value{"Tag": value.Int(op.Tag)}, parents...)
+			rec.engErr = err
+			if err == nil {
+				rec.id = o.UID()
+				rec.slot = slotRec{id: o.UID(), class: op.Class, set: true}
+				overlay[op.Slot] = rec.slot
+			}
+		case OpAttach, OpDetach:
+			p, okp := w.resolve(overlay, op.Slot)
+			c, okc := w.resolve(overlay, op.Child)
+			if !okp || !okc {
+				skip = true
+				break
+			}
+			rec.id, rec.childID = p.id, c.id
+			if op.Kind == OpAttach {
+				rec.engErr = t.Attach(p.id, op.Attr, c.id)
+			} else {
+				rec.engErr = t.Detach(p.id, op.Attr, c.id)
+			}
+		case OpSetTag:
+			r, ok := w.resolve(overlay, op.Slot)
+			if !ok {
+				skip = true
+				break
+			}
+			rec.id = r.id
+			rec.engErr = t.WriteAttr(r.id, "Tag", value.Int(op.Tag))
+		case OpSetRefs:
+			r, ok := w.resolve(overlay, op.Slot)
+			if !ok {
+				skip = true
+				break
+			}
+			var ids []uid.UID
+			for _, rs := range op.Refs {
+				rr, okr := w.resolve(overlay, rs)
+				if !okr {
+					skip = true
+					break
+				}
+				rec.refs = append(rec.refs, Ref{ID: rr.id, Class: rr.class})
+				ids = append(ids, rr.id)
+			}
+			if skip {
+				break
+			}
+			rec.id = r.id
+			var v value.Value
+			switch {
+			case op.Attr != "Main":
+				v = value.RefSet(ids...)
+			case len(ids) == 1:
+				v = value.Ref(ids[0])
+			case len(ids) > 1:
+				v = value.RefSet(ids...) // collection on single-valued: both sides reject
+			}
+			rec.engErr = t.WriteAttr(r.id, op.Attr, v)
+		case OpDelete:
+			r, ok := w.resolve(overlay, op.Slot)
+			if !ok {
+				skip = true
+				break
+			}
+			rec.id = r.id
+			rec.deleted, rec.engErr = t.Delete(r.id)
+		}
+		if skip {
+			continue
+		}
+		if rec.engErr != nil && errors.Is(rec.engErr, lock.ErrDeadlock) {
+			return abortForRetry()
+		}
+		recs = append(recs, rec)
+	}
+
+	// Deliberate aborts exercise undo interleaved with other writers.
+	if w.rng.Float64() < 0.15 {
+		if err := t.Abort(); err != nil {
+			return false, w.fail(Op{}, "abort: "+err.Error())
+		}
+		h.aborted.Add(1)
+		return false, nil
+	}
+
+	h.commitMu.Lock()
+	defer h.commitMu.Unlock()
+	if err := t.Commit(); err != nil {
+		return false, w.fail(Op{}, "commit: "+err.Error())
+	}
+	// Re-execute against the model in commit order and compare verdicts.
+	// Like the sequential harness, each op gets a fresh clone that is kept
+	// only on success — a failing model op may leave partial effects.
+	clone := h.model
+	for _, rec := range recs {
+		next := clone.Clone()
+		var modErr error
+		var mismatch string
+		switch rec.op.Kind {
+		case OpNew:
+			modErr = next.New(rec.id, rec.op.Class, rec.op.Tag, rec.parents)
+		case OpAttach:
+			modErr = next.attach(rec.id, rec.op.Attr, rec.childID)
+		case OpDetach:
+			modErr = next.detach(rec.id, rec.op.Attr, rec.childID)
+		case OpSetTag:
+			modErr = next.setTag(rec.id, rec.op.Tag)
+		case OpSetRefs:
+			modErr = next.setRefs(rec.id, rec.op.Attr, rec.refs)
+		case OpDelete:
+			var modDel []uid.UID
+			modDel, modErr = next.Delete(rec.id)
+			if rec.engErr == nil && modErr == nil && !sameUIDSet(rec.deleted, modDel) {
+				mismatch = fmt.Sprintf("casualty list: engine %v, model %v",
+					sortedUIDs(rec.deleted), sortedUIDs(modDel))
+			}
+		}
+		if (rec.engErr == nil) != (modErr == nil) {
+			return false, w.fail(rec.op, fmt.Sprintf("commit-order verdict mismatch: engine err=%v, model err=%v",
+				rec.engErr, modErr))
+		}
+		if mismatch != "" {
+			return false, w.fail(rec.op, mismatch)
+		}
+		if modErr == nil {
+			clone = next
+		}
+	}
+	h.model = clone
+	h.trace = append(h.trace, Op{Kind: OpBegin})
+	h.trace = append(h.trace, ops...)
+	h.trace = append(h.trace, Op{Kind: OpCommit})
+	for s, rec := range overlay {
+		h.slots[s] = rec
+	}
+	h.committed.Add(1)
+	return false, nil
+}

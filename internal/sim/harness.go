@@ -528,10 +528,19 @@ func (h *harness) crash(i int) *Failure {
 // Reading every object also forces the engine's deferred-evolution replay,
 // keeping its lazily-repaired state aligned with the eager model.
 func (h *harness) check(i int, op Op) *Failure {
-	view := h.view()
-	eng := h.d.Engine()
+	if msg := compareState(h.d.Engine(), h.view()); msg != "" {
+		return h.failOp(i, op, msg)
+	}
+	return nil
+}
+
+// compareState fully compares engine and model state, returning "" when
+// they agree and a description of the first divergence otherwise. It is
+// shared by the sequential per-step check and the concurrent harness's
+// quiescent-point check; the caller must guarantee no writer is active.
+func compareState(eng *core.Engine, view *Model) string {
 	if eng.Len() != len(view.objs) {
-		return h.failOp(i, op, fmt.Sprintf("object count: engine=%d model=%d", eng.Len(), len(view.objs)))
+		return fmt.Sprintf("object count: engine=%d model=%d", eng.Len(), len(view.objs))
 	}
 	classNames := make([]string, 0, len(view.classes))
 	for name := range view.classes {
@@ -541,10 +550,10 @@ func (h *harness) check(i int, op Op) *Failure {
 	for _, name := range classNames {
 		ext, err := eng.Extent(name, false)
 		if err != nil {
-			return h.failOp(i, op, fmt.Sprintf("extent %s: %v", name, err))
+			return fmt.Sprintf("extent %s: %v", name, err)
 		}
 		if want := view.extent(name); !equalUIDs(ext, want) {
-			return h.failOp(i, op, fmt.Sprintf("extent %s: engine %v, model %v", name, ext, want))
+			return fmt.Sprintf("extent %s: engine %v, model %v", name, ext, want)
 		}
 	}
 	ids := make([]uid.UID, 0, len(view.objs))
@@ -556,16 +565,16 @@ func (h *harness) check(i int, op Op) *Failure {
 		mo := view.objs[id]
 		o, err := eng.Get(id)
 		if err != nil {
-			return h.failOp(i, op, fmt.Sprintf("get %v: %v", id, err))
+			return fmt.Sprintf("get %v: %v", id, err)
 		}
 		tv := o.Get("Tag")
 		if mo.HasTag {
 			got, ok := tv.AsInt()
 			if !ok || got != mo.Tag {
-				return h.failOp(i, op, fmt.Sprintf("%v Tag: engine %v, model %d", id, tv, mo.Tag))
+				return fmt.Sprintf("%v Tag: engine %v, model %d", id, tv, mo.Tag)
 			}
 		} else if !tv.IsNil() {
-			return h.failOp(i, op, fmt.Sprintf("%v Tag: engine %v, model unset", id, tv))
+			return fmt.Sprintf("%v Tag: engine %v, model unset", id, tv)
 		}
 		cl := view.classes[mo.Class]
 		for _, sp := range cl.Attrs {
@@ -574,7 +583,7 @@ func (h *harness) check(i int, op Op) *Failure {
 			}
 			got := o.Get(sp.Name).Refs(nil)
 			if want := mo.Refs[sp.Name]; !equalUIDs(got, want) {
-				return h.failOp(i, op, fmt.Sprintf("%v.%s forward refs: engine %v, model %v", id, sp.Name, got, want))
+				return fmt.Sprintf("%v.%s forward refs: engine %v, model %v", id, sp.Name, got, want)
 			}
 		}
 		gotRev := make([]revRef, 0, len(o.Reverse()))
@@ -585,16 +594,16 @@ func (h *harness) check(i int, op Op) *Failure {
 		sortRevs(gotRev)
 		sortRevs(wantRev)
 		if len(gotRev) != len(wantRev) {
-			return h.failOp(i, op, fmt.Sprintf("%v reverse refs: engine %v, model %v", id, gotRev, wantRev))
+			return fmt.Sprintf("%v reverse refs: engine %v, model %v", id, gotRev, wantRev)
 		}
 		for k := range gotRev {
 			if gotRev[k] != wantRev[k] {
-				return h.failOp(i, op, fmt.Sprintf("%v reverse refs: engine %v, model %v", id, gotRev, wantRev))
+				return fmt.Sprintf("%v reverse refs: engine %v, model %v", id, gotRev, wantRev)
 			}
 		}
 		parts, err := eng.Partitions(id)
 		if err != nil {
-			return h.failOp(i, op, fmt.Sprintf("partitions %v: %v", id, err))
+			return fmt.Sprintf("partitions %v: %v", id, err)
 		}
 		for _, p := range []struct {
 			name      string
@@ -607,14 +616,14 @@ func (h *harness) check(i int, op Op) *Failure {
 			{"DS", parts.DS, true, false},
 		} {
 			if want := mo.partition(p.dep, p.excl); !sameUIDSet(p.got, want) {
-				return h.failOp(i, op, fmt.Sprintf("%v %s partition: engine %v, model %v", id, p.name, p.got, want))
+				return fmt.Sprintf("%v %s partition: engine %v, model %v", id, p.name, p.got, want)
 			}
 		}
 		if v := eng.CheckTopology(id); len(v) != 0 {
-			return h.failOp(i, op, fmt.Sprintf("%v topology: %v", id, v))
+			return fmt.Sprintf("%v topology: %v", id, v)
 		}
 	}
-	return nil
+	return ""
 }
 
 func (h *harness) integrity(i int, op Op) *Failure {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,13 +15,14 @@ const (
 )
 
 // GroupCommitter amortizes WAL fsyncs across concurrent committers.
-// Every caller of Sync joins the current batch; the first batch member
-// to reach the sync latch becomes the leader, optionally waits up to
-// maxWait for the batch to fill (bounded by maxBatch), issues one
-// WAL.Sync covering every member's appended records, and wakes the
-// followers. Committers arriving while a sync is in flight form the
-// next batch, so under load the fsync count grows with the number of
-// batches, not the number of commits.
+// Every caller of Sync joins the current batch; the member that opened
+// the batch leads it: it queues on the sync latch (the batch fills while
+// the previous batch's fsync runs), optionally waits up to maxWait for
+// stragglers (bounded by maxBatch), issues one WAL.Sync covering every
+// member's appended records, and wakes the followers — who park on the
+// batch's done channel only, never on the latch. Committers arriving
+// while a sync is in flight form the next batch, so under load the fsync
+// count grows with the number of batches, not the number of commits.
 //
 // The leader only waits when more committers are demonstrably en route
 // (they have entered Sync but not yet joined a batch), so a lone
@@ -80,46 +82,70 @@ func (g *GroupCommitter) Sync() error {
 	}
 	start := time.Now()
 	g.active.Add(1)
-	defer g.active.Add(-1)
 
 	g.mu.Lock()
 	b := g.cur
-	if b == nil {
+	leader := false
+	if b == nil || b.n >= g.maxBatch {
+		// First member of a fresh batch leads it. A full batch also
+		// forces a fresh one — its own leader is already queued on the
+		// latch and will seal it.
 		b = &gcBatch{done: make(chan struct{})}
 		g.cur = b
+		leader = true
 	}
 	b.n++
+	// Joined a batch: no longer "en route". Decrementing here — not on
+	// return — keeps active meaning exactly "entered Sync but not yet in
+	// any batch"; members already settled in batches must not make a
+	// leader wait a window for stragglers that can never join.
+	g.active.Add(-1)
 	g.cond.Broadcast()
 	g.mu.Unlock()
 
-	g.syncMu.Lock()
-	g.mu.Lock()
-	if g.cur != b {
-		// A leader sealed and synced our batch while we queued for the
-		// latch; done is closed before the latch is released, so the
-		// verdict is already in.
-		g.mu.Unlock()
-		g.syncMu.Unlock()
+	if !leader {
+		// Followers park on the batch verdict alone. Keeping them off
+		// the sync latch matters for pipelining: a drained batch's
+		// members all wake at once from one channel close, loop around,
+		// and land in the batch currently filling — instead of
+		// re-serializing through the latch one scheduler wakeup at a
+		// time, which starves the next batch down to size ~1.
 		<-b.done
 		g.o.waiters.Inc()
 		g.o.waitNs.Observe(int64(time.Since(start)))
 		return b.err
 	}
-	// Leader: give stragglers a bounded window to join, but only while
-	// some are actually en route.
-	if g.maxWait > 0 && b.n < g.maxBatch && int64(b.n) < g.active.Load() {
+
+	// Leader: serialize with the previous batch's fsync. The batch fills
+	// while this blocks — that is where batching comes from under load.
+	g.syncMu.Lock()
+	// Cheap pre-wait: concurrent committers that just finished their
+	// engine work are often one context switch away from entering Sync,
+	// yet invisible to the en-route gauge. Yield the processor a few
+	// times so they can arrive before this batch pays an fsync. With no
+	// runnable peers Gosched returns immediately, so a lone committer
+	// loses nothing.
+	for i := 0; i < 4 && g.active.Load() == 0; i++ {
+		runtime.Gosched()
+	}
+	g.mu.Lock()
+	// Give stragglers a bounded window to join, but only while some are
+	// actually en route (entered Sync, not yet in a batch).
+	if g.maxWait > 0 && b.n < g.maxBatch && g.active.Load() > 0 {
 		timer := time.AfterFunc(g.maxWait, func() {
 			g.mu.Lock()
 			b.expired = true
 			g.cond.Broadcast()
 			g.mu.Unlock()
 		})
-		for !b.expired && b.n < g.maxBatch && int64(b.n) < g.active.Load() {
+		for !b.expired && b.n < g.maxBatch && g.active.Load() > 0 {
 			g.cond.Wait()
 		}
 		timer.Stop()
 	}
-	g.cur = nil
+	if g.cur == b {
+		g.cur = nil
+	}
 	n := b.n
 	g.mu.Unlock()
 	b.err = g.wal.Sync()

@@ -38,12 +38,18 @@ type segment struct {
 
 // Store maps UIDs to records placed in segments, with optional clustered
 // placement next to a designated neighbor object. It is safe for
-// concurrent use; lookups hold the directory latch shared, so concurrent
-// readers serialize only inside the buffer pool's per-shard locks.
+// concurrent use. Synchronization is two-level: s.mu guards the segment
+// tables and the UID directory in short critical sections, while a
+// per-segment reader/writer latch serializes page operations within one
+// segment — every page belongs to exactly one segment, so writers of
+// different segments touch disjoint pages and proceed in parallel
+// (disjoint composite hierarchies live in different class segments, which
+// is where the concurrent write path gets its storage parallelism).
 type Store struct {
 	mu        sync.RWMutex
 	pool      *BufferPool
 	segs      map[SegmentID]*segment
+	latches   map[SegmentID]*sync.RWMutex
 	segByName map[string]SegmentID
 	dir       map[uid.UID]RID
 	segOf     map[uid.UID]SegmentID
@@ -55,6 +61,7 @@ func NewStore(pool *BufferPool) *Store {
 	return &Store{
 		pool:      pool,
 		segs:      make(map[SegmentID]*segment),
+		latches:   make(map[SegmentID]*sync.RWMutex),
 		segByName: make(map[string]SegmentID),
 		dir:       make(map[uid.UID]RID),
 		segOf:     make(map[uid.UID]SegmentID),
@@ -75,6 +82,7 @@ func (s *Store) CreateSegment(name string) (SegmentID, error) {
 	id := s.nextSeg
 	s.nextSeg++
 	s.segs[id] = &segment{ID: id, Name: name}
+	s.latches[id] = &sync.RWMutex{}
 	s.segByName[name] = id
 	return id, nil
 }
@@ -150,22 +158,34 @@ func (s *Store) Put(seg SegmentID, id uid.UID, rec []byte, near uid.UID) error {
 	if id.IsNil() {
 		return fmt.Errorf("storage: put of nil uid")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sg, ok := s.segs[seg]
-	if !ok {
+	s.mu.RLock()
+	sg := s.segs[seg]
+	latch := s.latches[seg]
+	s.mu.RUnlock()
+	if sg == nil {
 		return fmt.Errorf("segment %d: %w", seg, ErrNoSegment)
 	}
-	if rid, exists := s.dir[id]; exists {
-		if cur := s.segOf[id]; cur != seg {
+	latch.Lock()
+	defer latch.Unlock()
+	// Directory entries for this segment's objects only change under its
+	// latch (an object's class→segment assignment is stable), so this
+	// read is current for the duration of the page operations.
+	s.mu.RLock()
+	rid, exists := s.dir[id]
+	cur := s.segOf[id]
+	s.mu.RUnlock()
+	if exists {
+		if cur != seg {
 			return fmt.Errorf("storage: object %v is in segment %d, not %d", id, cur, seg)
 		}
-		return s.updateLocked(sg, id, rid, rec)
+		return s.updateLatched(sg, id, rid, rec)
 	}
-	return s.insertLocked(sg, id, rec, near)
+	return s.insertLatched(sg, id, rec, near)
 }
 
-func (s *Store) updateLocked(sg *segment, id uid.UID, rid RID, rec []byte) error {
+// updateLatched rewrites id's record in place, or relocates it within the
+// segment when the page has no room. Caller holds the segment latch.
+func (s *Store) updateLatched(sg *segment, id uid.UID, rid RID, rec []byte) error {
 	p, err := s.pool.Fetch(rid.Page)
 	if err != nil {
 		return err
@@ -179,18 +199,21 @@ func (s *Store) updateLocked(sg *segment, id uid.UID, rid RID, rec []byte) error
 		s.pool.Unpin(rid.Page, false)
 		return err
 	}
-	// Relocate: delete here, insert elsewhere in the segment.
+	// Relocate: delete here, insert elsewhere in the segment. The
+	// directory entry is overwritten by the insert in one step, so a
+	// concurrent reader never sees the object transiently missing.
 	if derr := p.Delete(rid.Slot); derr != nil {
 		s.pool.Unpin(rid.Page, false)
 		return derr
 	}
 	s.pool.Unpin(rid.Page, true)
-	delete(s.dir, id)
-	delete(s.segOf, id)
-	return s.insertLocked(sg, id, rec, uid.Nil)
+	return s.insertLatched(sg, id, rec, uid.Nil)
 }
 
-func (s *Store) insertLocked(sg *segment, id uid.UID, rec []byte, near uid.UID) error {
+// insertLatched places a record in the segment. Caller holds the segment
+// latch, which also makes it the only mutator of sg.Pages; the append
+// additionally takes s.mu so SaveMeta's shared-latch read stays safe.
+func (s *Store) insertLatched(sg *segment, id uid.UID, rec []byte, near uid.UID) error {
 	if len(rec) > MaxRecord {
 		return fmt.Errorf("storage: object %v: %w", id, ErrRecordTooBig)
 	}
@@ -198,7 +221,11 @@ func (s *Store) insertLocked(sg *segment, id uid.UID, rec []byte, near uid.UID) 
 	// segment's pages from most recently added.
 	var candidates []PageID
 	if !near.IsNil() {
-		if nrid, ok := s.dir[near]; ok && s.segOf[near] == sg.ID {
+		s.mu.RLock()
+		nrid, ok := s.dir[near]
+		nseg := s.segOf[near]
+		s.mu.RUnlock()
+		if ok && nseg == sg.ID {
 			candidates = append(candidates, nrid.Page)
 		}
 	}
@@ -217,8 +244,7 @@ func (s *Store) insertLocked(sg *segment, id uid.UID, rec []byte, near uid.UID) 
 		slot, ierr := p.Insert(rec)
 		if ierr == nil {
 			s.pool.Unpin(pg, true)
-			s.dir[id] = RID{Page: pg, Slot: slot}
-			s.segOf[id] = sg.ID
+			s.setDir(id, RID{Page: pg, Slot: slot}, sg.ID)
 			return nil
 		}
 		s.pool.Unpin(pg, false)
@@ -237,17 +263,36 @@ func (s *Store) insertLocked(sg *segment, id uid.UID, rec []byte, near uid.UID) 
 	if ierr != nil {
 		return ierr
 	}
+	s.mu.Lock()
 	sg.Pages = append(sg.Pages, pg)
-	s.dir[id] = RID{Page: pg, Slot: slot}
-	s.segOf[id] = sg.ID
+	s.mu.Unlock()
+	s.setDir(id, RID{Page: pg, Slot: slot}, sg.ID)
 	return nil
+}
+
+func (s *Store) setDir(id uid.UID, rid RID, seg SegmentID) {
+	s.mu.Lock()
+	s.dir[id] = rid
+	s.segOf[id] = seg
+	s.mu.Unlock()
 }
 
 // Get returns a copy of the record for id.
 func (s *Store) Get(id uid.UID) ([]byte, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sgid, ok := s.segOf[id]
+	latch := s.latches[sgid]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	latch.RLock()
+	defer latch.RUnlock()
+	// Re-read under the latch: the record may have relocated (or been
+	// deleted) between the lookup and the latch acquisition.
+	s.mu.RLock()
 	rid, ok := s.dir[id]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%v: %w", id, ErrNotFound)
 	}
@@ -267,9 +312,18 @@ func (s *Store) Get(id uid.UID) ([]byte, error) {
 
 // Delete removes the record for id.
 func (s *Store) Delete(id uid.UID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	sgid, ok := s.segOf[id]
+	latch := s.latches[sgid]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%v: %w", id, ErrNotFound)
+	}
+	latch.Lock()
+	defer latch.Unlock()
+	s.mu.RLock()
 	rid, ok := s.dir[id]
+	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%v: %w", id, ErrNotFound)
 	}
@@ -282,8 +336,10 @@ func (s *Store) Delete(id uid.UID) error {
 	if derr != nil {
 		return derr
 	}
+	s.mu.Lock()
 	delete(s.dir, id)
 	delete(s.segOf, id)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -377,10 +433,12 @@ func (s *Store) LoadMeta(r io.Reader) error {
 	defer s.mu.Unlock()
 	s.nextSeg = m.NextSeg
 	s.segs = make(map[SegmentID]*segment, len(m.Segments))
+	s.latches = make(map[SegmentID]*sync.RWMutex, len(m.Segments))
 	s.segByName = make(map[string]SegmentID, len(m.Segments))
 	for i := range m.Segments {
 		sg := m.Segments[i]
 		s.segs[sg.ID] = &sg
+		s.latches[sg.ID] = &sync.RWMutex{}
 		s.segByName[sg.Name] = sg.ID
 	}
 	s.dir = make(map[uid.UID]RID, len(m.Objects))

@@ -1,0 +1,115 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/uid"
+)
+
+// TestDeadlockVictimAbort injects the canonical deadlock: two
+// transactions attach into two composite hierarchies in opposite orders.
+// Exactly one — the younger — must be aborted with a typed ErrDeadlock,
+// the survivor must complete, and after both roll back the engine must be
+// byte-identical to the pre-transaction state (reusing the abort property
+// test's dump comparison, caches included).
+func TestDeadlockVictimAbort(t *testing.T) {
+	m := abortPropManager(t)
+	e := m.Engine()
+	mk := func(class string) uid.UID {
+		o, err := e.New(class, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	r1, r2 := mk("IX"), mk("IX")
+	l1, l2, l3, l4 := mk("Leaf"), mk("Leaf"), mk("Leaf"), mk("Leaf")
+	before := dumpEngine(t, e)
+
+	t1 := m.Begin()
+	t2 := m.Begin() // younger: always the chosen victim
+	if err := t1.Attach(r1, "Parts", l1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Attach(r2, "Parts", l2); err != nil {
+		t.Fatal(err)
+	}
+
+	// t1 crosses into t2's hierarchy while t2 crosses into t1's. Whichever
+	// waiter closes the cycle, the victim choice (youngest) is the same.
+	done := make(chan error, 1)
+	go func() { done <- t1.Attach(r2, "Parts", l3) }()
+	err2 := t2.Attach(r1, "Parts", l4)
+	if !errors.Is(err2, lock.ErrDeadlock) {
+		t.Fatalf("expected t2 to fail with ErrDeadlock, got %v", err2)
+	}
+	// The victim holds its locks until Abort (strict 2PL); the survivor is
+	// parked on r2's root until then.
+	if err := t2.Abort(); err != nil {
+		t.Fatalf("victim abort: %v", err)
+	}
+	if err1 := <-done; err1 != nil {
+		t.Fatalf("survivor's attach failed: %v", err1)
+	}
+	if n := m.Locks().LockCount(t2.ID()); n != 0 {
+		t.Fatalf("victim still holds %d locks after abort", n)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	after := dumpEngine(t, e)
+	if d := diffDumps(before, after); d != "" {
+		t.Fatalf("state not byte-identical after deadlock round: %s", d)
+	}
+}
+
+// TestDeadlockRunRetries: the same opposite-order dance driven through
+// Manager.Run must converge — the victim's attempt is retried after its
+// rollback and both transactions end up committed.
+func TestDeadlockRunRetries(t *testing.T) {
+	m := abortPropManager(t)
+	e := m.Engine()
+	mk := func(class string) uid.UID {
+		o, err := e.New(class, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	r1, r2 := mk("IX"), mk("IX")
+	leaves := []uid.UID{mk("Leaf"), mk("Leaf"), mk("Leaf"), mk("Leaf")}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	order := [2][2]uid.UID{{r1, r2}, {r2, r1}}
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = m.Run(func(tx *Txn) error {
+				if err := tx.Attach(order[k][0], "Parts", leaves[2*k]); err != nil {
+					return err
+				}
+				return tx.Attach(order[k][1], "Parts", leaves[2*k+1])
+			})
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("transaction %d did not converge: %v", k, err)
+		}
+	}
+	for _, l := range leaves {
+		o, err := e.Get(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(o.Reverse()) != 1 {
+			t.Fatalf("leaf %v: want exactly one composite parent, got %d", l, len(o.Reverse()))
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lock"
@@ -104,7 +105,18 @@ func (m *Manager) Engine() *core.Engine { return m.engine }
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
-	id := lock.TxID(m.next.Add(1))
+	return m.BeginAt(lock.TxID(m.next.Add(1)))
+}
+
+// BeginAt starts a transaction with a previously allocated identity. A
+// deadlock victim retries with the SAME identity it started with: the
+// wait-for victim choice kills the youngest (largest) TxID, so a retry
+// under a fresh identity is always the youngest again and can be
+// victimized forever under contention. Retaining the original identity
+// makes the retrier older than every transaction begun since, so it
+// eventually wins its locks (wait-die style starvation avoidance). The
+// identity must come from Begin or Reserve and must hold no locks.
+func (m *Manager) BeginAt(id lock.TxID) *Txn {
 	m.o.begins.Inc()
 	if tr := m.o.tr; tr.Active() {
 		tr.Point(0, "txn.begin", obs.F("tx", id))
@@ -113,6 +125,14 @@ func (m *Manager) Begin() *Txn {
 		m:  m,
 		id: id,
 	}
+}
+
+// Reserve allocates a transaction identity from the same ID space Begin
+// uses, without creating a Txn. The db facade's auto-commit operations
+// use it to run composite-unit lock admission against the shared lock
+// manager; the caller must ReleaseAll the identity when done.
+func (m *Manager) Reserve() lock.TxID {
+	return lock.TxID(m.next.Add(1))
 }
 
 // undoRec is one logical undo action.
@@ -163,25 +183,30 @@ func (t *Txn) snapshot(id uid.UID) error {
 	return nil
 }
 
-// ReadObject locks id for reading (IS class, S instance) and returns a
-// private copy.
+// ReadObject locks the composite units containing id for reading (S on
+// each unit root) and returns a private copy. Admitting the read at the
+// unit root — not with a bare IS/S instance lock — is what serializes it
+// against unit writers, which hold X on the root but no instance locks on
+// the components underneath it.
 func (t *Txn) ReadObject(id uid.UID) (*object.Object, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	if err := t.m.proto.LockInstance(t.id, id, false); err != nil {
+	if err := t.m.proto.LockUnitsRead(t.id, id); err != nil {
 		return nil, err
 	}
 	return t.m.engine.Snapshot(id)
 }
 
-// WriteAttr locks id for writing (IX class, X instance) and sets the
-// attribute, recording undo.
+// WriteAttr locks the composite units containing id and every object the
+// new value references (dropped references are components of id's units
+// already) and sets the attribute, recording undo.
 func (t *Txn) WriteAttr(id uid.UID, attr string, v value.Value) error {
 	if err := t.check(); err != nil {
 		return err
 	}
-	if err := t.m.proto.LockInstance(t.id, id, true); err != nil {
+	units := append([]uid.UID{id}, v.Refs(nil)...)
+	if err := t.m.proto.LockUnitsWrite(t.id, units...); err != nil {
 		return err
 	}
 	// Composite attribute writes touch referenced children too; snapshot
@@ -199,9 +224,6 @@ func (t *Txn) WriteAttr(id uid.UID, attr string, v value.Value) error {
 	}
 	for _, r := range touched.Slice() {
 		if t.m.engine.Exists(r) {
-			if err := t.m.proto.LockInstance(t.id, r, true); err != nil {
-				return err
-			}
 			if err := t.snapshot(r); err != nil {
 				return err
 			}
@@ -210,8 +232,9 @@ func (t *Txn) WriteAttr(id uid.UID, attr string, v value.Value) error {
 	return t.m.engine.SetTx(t.txid(), id, attr, v)
 }
 
-// New creates an instance within the transaction, locking the class in IX
-// and every named parent in X.
+// New creates an instance within the transaction: IX on the class, write
+// admission to the composite units of every named parent and every object
+// the initial attribute values reference, then X on the created instance.
 func (t *Txn) New(class string, attrs map[string]value.Value, parents ...core.ParentSpec) (*object.Object, error) {
 	if err := t.check(); err != nil {
 		return nil, err
@@ -219,10 +242,17 @@ func (t *Txn) New(class string, attrs map[string]value.Value, parents ...core.Pa
 	if err := t.m.locks.Lock(t.id, lock.ClassGranule(class), lock.IX); err != nil {
 		return nil, err
 	}
+	var units []uid.UID
 	for _, p := range parents {
-		if err := t.m.proto.LockInstance(t.id, p.Parent, true); err != nil {
-			return nil, err
-		}
+		units = append(units, p.Parent)
+	}
+	for _, v := range attrs {
+		units = append(units, v.Refs(nil)...)
+	}
+	if err := t.m.proto.LockUnitsWrite(t.id, units...); err != nil {
+		return nil, err
+	}
+	for _, p := range parents {
 		if err := t.snapshot(p.Parent); err != nil {
 			return nil, err
 		}
@@ -231,9 +261,6 @@ func (t *Txn) New(class string, attrs map[string]value.Value, parents ...core.Pa
 	for _, v := range attrs {
 		for _, r := range v.Refs(nil) {
 			if t.m.engine.Exists(r) {
-				if err := t.m.proto.LockInstance(t.id, r, true); err != nil {
-					return nil, err
-				}
 				if err := t.snapshot(r); err != nil {
 					return nil, err
 				}
@@ -252,15 +279,17 @@ func (t *Txn) New(class string, attrs map[string]value.Value, parents ...core.Pa
 	return o, nil
 }
 
-// Attach makes child a component of parent within the transaction.
+// Attach makes child a component of parent within the transaction, with
+// write admission to both objects' composite units — the attach may merge
+// two hierarchies, which LockUnitsWrite's re-resolution loop handles.
 func (t *Txn) Attach(parent uid.UID, attr string, child uid.UID) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	if err := t.m.proto.LockUnitsWrite(t.id, parent, child); err != nil {
+		return err
+	}
 	for _, id := range []uid.UID{parent, child} {
-		if err := t.m.proto.LockInstance(t.id, id, true); err != nil {
-			return err
-		}
 		if err := t.snapshot(id); err != nil {
 			return err
 		}
@@ -278,10 +307,10 @@ func (t *Txn) Detach(parent uid.UID, attr string, child uid.UID) error {
 	if err := t.check(); err != nil {
 		return err
 	}
+	if err := t.m.proto.LockUnitsWrite(t.id, parent, child); err != nil {
+		return err
+	}
 	for _, id := range []uid.UID{parent, child} {
-		if err := t.m.proto.LockInstance(t.id, id, true); err != nil {
-			return err
-		}
 		if err := t.snapshot(id); err != nil {
 			if id == child && errors.Is(err, core.ErrNoObject) {
 				continue
@@ -314,14 +343,8 @@ func (t *Txn) Delete(id uid.UID) ([]uid.UID, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	roots, err := t.m.engine.RootsOf(id)
-	if err != nil {
+	if err := t.m.proto.LockForDelete(t.id, id); err != nil {
 		return nil, err
-	}
-	for _, r := range roots {
-		if err := t.m.proto.LockCompositeWrite(t.id, r); err != nil {
-			return nil, err
-		}
 	}
 	// Snapshot everything deletion may touch: the object, its component
 	// closure, and the parents of each (forward references are edited).
@@ -420,11 +443,14 @@ func (t *Txn) Abort() error {
 }
 
 // Run executes fn in a transaction, committing on nil and aborting on
-// error or panic. Deadlock victims are retried up to three times.
+// error or panic. Deadlock victims are retried up to three times,
+// keeping their original identity (see BeginAt) so a retry is not
+// re-victimized as the perpetual youngest.
 func (m *Manager) Run(fn func(*Txn) error) error {
 	var lastErr error
+	id := lock.TxID(m.next.Add(1))
 	for attempt := 0; attempt < 3; attempt++ {
-		t := m.Begin()
+		t := m.BeginAt(id)
 		err := func() (err error) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -443,6 +469,10 @@ func (m *Manager) Run(fn func(*Txn) error) error {
 		}
 		m.o.deadlockRetries.Inc()
 		lastErr = err
+		// Back off before retrying: an immediate retry can re-acquire its
+		// locks and re-form the same cycle before the parked survivor has
+		// even been scheduled, burning every attempt against one victim.
+		time.Sleep(time.Duration(1<<attempt) * time.Millisecond)
 	}
 	return fmt.Errorf("txn: giving up after deadlock retries: %w", lastErr)
 }
