@@ -21,10 +21,11 @@ import (
 )
 
 // Result is one parsed benchmark line. The cache hit rate, buffer-pool
-// eviction count, and fsyncs-per-commit ratio — reported by the benches
-// from the observability registry snapshot — are promoted to typed
-// fields (pointers, so a true zero survives omitempty); any other
-// custom units land in Metrics.
+// eviction count, fsyncs-per-commit ratio, and the MVCC reader/writer
+// isolation metrics (snapshot read latency, writer p99 stall) — reported
+// by the benches from the observability registry snapshot — are promoted
+// to typed fields (pointers, so a true zero survives omitempty); any
+// other custom units land in Metrics.
 type Result struct {
 	Name            string             `json:"name"`
 	Procs           int                `json:"procs"`
@@ -33,6 +34,8 @@ type Result struct {
 	CacheHitRate    *float64           `json:"cache_hit_rate,omitempty"`
 	PoolEvictions   *float64           `json:"pool_evictions,omitempty"`
 	FsyncsPerCommit *float64           `json:"fsyncs_per_commit,omitempty"`
+	SnapshotReadNs  *float64           `json:"snapshot_read_ns,omitempty"`
+	WriterStallNs   *float64           `json:"writer_stall_ns,omitempty"`
 	Metrics         map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -82,6 +85,14 @@ func parseLine(line string) (Result, bool) {
 		case "fsyncs/commit":
 			fc := v
 			r.FsyncsPerCommit = &fc
+			continue
+		case "snapshot-read-ns":
+			sr := v
+			r.SnapshotReadNs = &sr
+			continue
+		case "writer-stall-ns":
+			ws := v
+			r.WriterStallNs = &ws
 			continue
 		}
 		if r.Metrics == nil {

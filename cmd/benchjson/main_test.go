@@ -47,6 +47,18 @@ func TestParseLine(t *testing.T) {
 	if !strings.Contains(string(b), `"pool_evictions":0`) {
 		t.Fatalf("zero pool_evictions dropped from JSON: %s", b)
 	}
+	// MVCC reader/writer isolation metrics are promoted too.
+	r, ok = parseLine("BenchmarkLongScanWriterStall/snapshot-8 30 8559 ns/op 135978 writer-stall-ns")
+	if !ok || r.WriterStallNs == nil || *r.WriterStallNs != 135978 {
+		t.Fatalf("writer stall not promoted: %+v, ok=%v", r, ok)
+	}
+	r, ok = parseLine("BenchmarkSnapshotReadUnderWriters-8 50 1508553 ns/op 1508541 snapshot-read-ns")
+	if !ok || r.SnapshotReadNs == nil || *r.SnapshotReadNs != 1508541 {
+		t.Fatalf("snapshot read ns not promoted: %+v, ok=%v", r, ok)
+	}
+	if _, ok := r.Metrics["snapshot-read-ns"]; ok {
+		t.Fatalf("promoted unit still in Metrics: %+v", r)
+	}
 	for _, bad := range []string{
 		"goos: linux",
 		"PASS",

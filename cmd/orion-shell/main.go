@@ -17,6 +17,11 @@
 // Besides s-expressions the REPL accepts meta-commands: `stats` prints
 // the metrics snapshot, `trace on|off|dump|clear` controls operation
 // tracing, and `slow DUR|dump|off` controls the slow-operation log.
+//
+// (snapshot begin) pins a read-only MVCC snapshot: queries then answer
+// from the pinned commit boundary — immune to concurrent writers and
+// free of lock acquisitions — until (snapshot release); (snapshot
+// status) shows the pinned sequence number.
 package main
 
 import (

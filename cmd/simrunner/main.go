@@ -31,6 +31,7 @@ type options struct {
 	crash      bool
 	replay     string
 	workers    int
+	readers    int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -46,11 +47,15 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.crash, "crash", false, "include crash/recovery ops (implies -durable)")
 	fs.StringVar(&o.replay, "replay", "", "replay a saved trace file instead of generating a workload")
 	fs.IntVar(&o.workers, "workers", 0, "run the concurrent harness with this many writer goroutines (0 = sequential)")
+	fs.IntVar(&o.readers, "readers", 0, "add this many snapshot-reader goroutines to the concurrent harness (requires -workers)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if o.crash {
 		o.durable = true
+	}
+	if o.readers > 0 && o.workers == 0 {
+		return o, fmt.Errorf("-readers requires -workers")
 	}
 	return o, nil
 }
@@ -89,6 +94,7 @@ func run(o options, out io.Writer) (*sim.Failure, error) {
 			res := sim.RunConcurrent(sim.ConcurrentConfig{
 				Seed:    seed,
 				Workers: o.workers,
+				Readers: o.readers,
 				Ops:     o.ops,
 				Durable: o.durable,
 				Dir:     o.dir,
@@ -96,8 +102,8 @@ func run(o options, out io.Writer) (*sim.Failure, error) {
 			if res.Failure != nil {
 				return res.Failure, nil
 			}
-			fmt.Fprintf(out, "seed=%d workers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d ok\n",
-				seed, o.workers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries)
+			fmt.Fprintf(out, "seed=%d workers=%d readers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d snapshot-reads=%d ok\n",
+				seed, o.workers, o.readers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries, res.SnapshotReads)
 			continue
 		}
 		if fail := sim.Run(o.config(seed)); fail != nil {

@@ -51,6 +51,30 @@ func TestRunReplayTraceFile(t *testing.T) {
 	}
 }
 
+func TestRunConcurrentWithReaders(t *testing.T) {
+	o, err := parseFlags([]string{"-workers", "2", "-readers", "2", "-ops", "80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	fail, err := run(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatal(fail.Report())
+	}
+	if got := out.String(); !strings.Contains(got, "readers=2") || !strings.Contains(got, "snapshot-reads=") {
+		t.Fatalf("missing reader summary fields:\n%s", got)
+	}
+}
+
+func TestReadersRequireWorkers(t *testing.T) {
+	if _, err := parseFlags([]string{"-readers", "2"}); err == nil {
+		t.Fatal("-readers without -workers should be rejected")
+	}
+}
+
 func TestCrashImpliesDurable(t *testing.T) {
 	o, err := parseFlags([]string{"-crash"})
 	if err != nil {

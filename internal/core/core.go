@@ -144,6 +144,12 @@ type Engine struct {
 	cache *readCache
 	o     engineObs
 	trav  TraversalOpts
+
+	// mvcc is the copy-on-write version store behind BeginSnapshot: per-
+	// object version chains keyed by a commit-sequence clock, installed
+	// by the mutation funnels and read lock-free by Snapshot queries
+	// (see mvcc.go).
+	mvcc mvccState
 }
 
 // NewEngine returns an empty engine over the catalog, instrumented with
@@ -158,6 +164,8 @@ func NewEngine(cat *schema.Catalog) *Engine {
 		cache:   newReadCache(),
 		trav:    TraversalOpts{}.normalized(),
 	}
+	e.mvcc.pending = make(map[TxnID]*uid.Set)
+	e.mvcc.active = make(map[uint64]int)
 	e.bindObs(obs.NewRegistry())
 	return e
 }
@@ -270,6 +278,7 @@ func (e *Engine) Load(o *object.Object) error {
 	e.extentFor(o.Class()).Add(o.UID())
 	e.gen.Seed(o.UID().Serial)
 	e.bumpLocked(o.UID())
+	e.installLocked([]uid.UID{o.UID()})
 	return nil
 }
 
@@ -360,6 +369,7 @@ func (e *Engine) Mutate(id uid.UID, fn func(o *object.Object)) error {
 	}
 	fn(o)
 	e.bumpLocked(id)
+	e.installLocked([]uid.UID{id})
 	return nil
 }
 
@@ -527,6 +537,7 @@ func (d *dirtySet) add(id uid.UID) { d.ids.Add(id) }
 // regular mutation paths use writeThrough instead.
 func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 	e.bumpDirtyLocked(d)
+	e.recordVersionsLocked(tx, d, nil)
 	if e.hook == nil {
 		return nil
 	}
@@ -547,7 +558,9 @@ func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 }
 
 // writeThrough pushes an operation's effects to the persistence hook
-// under the SHARED latch: first OnWrite for every object in d that is
+// under the SHARED latch, after handing the write set to the MVCC
+// version store (auto-commit operations publish a commit boundary here;
+// transactional ones accumulate until CommitVersions). The hook loop: first OnWrite for every object in d that is
 // still live (created/near carry the clustering hint for a newly created
 // object), then OnDelete for each id in deleted. The caller has already
 // spliced the graph and bumped generations under the exclusive latch, so
@@ -561,6 +574,7 @@ func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 // durability fsync never stalls other writers.
 func (e *Engine) writeThrough(tx TxnID, d *dirtySet, created, near uid.UID, deleted []uid.UID) error {
 	e.mu.RLock()
+	e.recordVersionsLocked(tx, d, deleted)
 	h := e.hook
 	if h == nil {
 		e.mu.RUnlock()

@@ -1,0 +1,275 @@
+// MVCC version store: copy-on-write multi-versioning over the engine's
+// object graph, keyed by a commit-sequence clock.
+//
+// Every mutation path already funnels its write set through writeThrough
+// (or flush, for schema evolution). The version store piggybacks on that
+// funnel: an auto-commit mutation (tx 0) publishes an immutable clone of
+// each object it touched as one commit boundary; a transactional
+// mutation only records the touched UIDs, and the whole accumulated
+// write set is published as a single boundary when the transaction layer
+// calls CommitVersions — still under the transaction's §7 exclusive
+// locks, so the set is quiescent. Aborts discard the accumulated set
+// (the undo writes were recorded under the same tag and vanish with it).
+//
+// Readers never see any of this machinery's locks. A Snapshot resolves
+// an object by walking its version chain — newest first, linked through
+// atomic pointers — for the first node at or below the snapshot's
+// sequence number. Chain heads, next pointers, and the clock are the
+// only shared state a snapshot read touches, all via atomic loads; the
+// engine latch, the install mutex, and the §7 lock manager are never
+// acquired (snapshot_test.go asserts both).
+//
+// Publication order is the correctness hinge: installLocked stores every
+// node of a boundary before it advances the clock. A snapshot begun at
+// sequence S therefore either sees none of boundary S+1's nodes (they
+// all have seq S+1 > S) or — having read clock ≥ S — sees all of
+// boundary S's nodes, because the clock store sequences after the node
+// stores and Go's atomics are sequentially consistent.
+//
+// Garbage collection is low-watermark based: the watermark is the oldest
+// active snapshot sequence (or the clock when none is active), and every
+// chain node strictly older than the newest node at-or-below the
+// watermark is unreachable by any current or future snapshot. Pruning
+// runs opportunistically on every install (so a churned chain stays at
+// O(1) nodes without any background help) plus via VersionGC, which the
+// db facade drives from a background ticker to reclaim chains that are
+// no longer being written.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+)
+
+// versionNode is one committed version of one object: an immutable clone
+// published under the commit sequence seq, or a tombstone (obj nil) when
+// the commit deleted the object. next links to the previous (older)
+// version; it is atomic because the pruner truncates tails while readers
+// walk.
+type versionNode struct {
+	seq  uint64
+	obj  *object.Object // nil = deleted at this boundary
+	next atomic.Pointer[versionNode]
+}
+
+// versionChain is one object's version history, newest first.
+type versionChain struct {
+	head atomic.Pointer[versionNode]
+}
+
+// mvccState is the engine's version store. Installs are serialized by
+// installMu (they also hold the engine latch at least shared, which
+// keeps the live objects quiescent while cloning); reads are lock-free.
+type mvccState struct {
+	chains sync.Map      // uid.UID -> *versionChain
+	clock  atomic.Uint64 // sequence of the newest fully published boundary
+
+	installMu sync.Mutex
+
+	// pending accumulates the per-transaction write sets between the
+	// first tagged writeThrough and CommitVersions/AbortVersions.
+	pendingMu sync.Mutex
+	pending   map[TxnID]*uid.Set
+
+	// active holds a refcount per registered snapshot sequence; its
+	// minimum is the GC low-watermark. snapMu also guards the clock read
+	// in BeginSnapshot so registration cannot race a concurrent watermark
+	// computation into pruning a version the new snapshot needs.
+	snapMu sync.Mutex
+	active map[uint64]int
+}
+
+// CommitSeq returns the version clock: the sequence number of the newest
+// published commit boundary.
+func (e *Engine) CommitSeq() uint64 { return e.mvcc.clock.Load() }
+
+// recordVersionsLocked is called from the mutation funnels with an
+// operation's write set (dirty objects plus deleted UIDs). Auto-commit
+// operations (tx 0) are their own commit boundary and install
+// immediately; transactional writes accumulate under tx and install at
+// CommitVersions. Caller holds e.mu (read or write).
+func (e *Engine) recordVersionsLocked(tx TxnID, d *dirtySet, deleted []uid.UID) {
+	if tx != 0 {
+		e.mvcc.pendingMu.Lock()
+		set := e.mvcc.pending[tx]
+		if set == nil {
+			set = uid.NewSet()
+			e.mvcc.pending[tx] = set
+		}
+		if d != nil {
+			for _, id := range d.ids.Slice() {
+				set.Add(id)
+			}
+		}
+		for _, id := range deleted {
+			set.Add(id)
+		}
+		e.mvcc.pendingMu.Unlock()
+		return
+	}
+	var ids []uid.UID
+	if d != nil {
+		ids = d.ids.Slice()
+	}
+	ids = append(ids, deleted...)
+	e.installLocked(ids)
+}
+
+// installLocked publishes one commit boundary covering ids: a clone of
+// each live object (a tombstone for each missing one) is prepended to
+// its chain under the next sequence number, and the clock is advanced
+// only after every node is in place. Caller holds e.mu (read or write),
+// which keeps the objects quiescent while they are cloned.
+func (e *Engine) installLocked(ids []uid.UID) {
+	if len(ids) == 0 {
+		return
+	}
+	wm := e.versionWatermark()
+	e.mvcc.installMu.Lock()
+	seq := e.mvcc.clock.Load() + 1
+	pruned := 0
+	for _, id := range ids {
+		var obj *object.Object
+		if o, ok := e.objects[id]; ok {
+			obj = o.Clone()
+		}
+		ci, _ := e.mvcc.chains.LoadOrStore(id, &versionChain{})
+		ch := ci.(*versionChain)
+		n := &versionNode{seq: seq, obj: obj}
+		n.next.Store(ch.head.Load())
+		ch.head.Store(n)
+		pruned += e.pruneChain(id, ch, wm)
+	}
+	e.mvcc.clock.Store(seq)
+	e.mvcc.installMu.Unlock()
+	e.o.mvccInstalls.Add(uint64(len(ids)))
+	e.o.mvccVersionsLive.Add(int64(len(ids) - pruned))
+	if pruned > 0 {
+		e.o.mvccGCReclaimed.Add(uint64(pruned))
+	}
+	e.updateSnapshotAge()
+}
+
+// CommitVersions publishes the transaction's accumulated write set as
+// one atomic commit boundary. The transaction layer calls it after the
+// durability boundary and before releasing any lock: strict 2PL still
+// holds the write set exclusively, so no concurrent writer can be
+// mid-splice on any of these objects while they are cloned.
+func (e *Engine) CommitVersions(tx TxnID) {
+	if tx == 0 {
+		return
+	}
+	e.mvcc.pendingMu.Lock()
+	set := e.mvcc.pending[tx]
+	delete(e.mvcc.pending, tx)
+	e.mvcc.pendingMu.Unlock()
+	if set == nil || set.Len() == 0 {
+		return
+	}
+	e.mu.RLock()
+	e.installLocked(set.Slice())
+	e.mu.RUnlock()
+}
+
+// AbortVersions discards the transaction's accumulated write set. The
+// undo writes (RestoreTx/EvictTx) were recorded under the same tag, so
+// dropping the set wholesale leaves the chains exactly at the pre-
+// transaction boundary — which is what the rolled-back live state equals.
+func (e *Engine) AbortVersions(tx TxnID) {
+	if tx == 0 {
+		return
+	}
+	e.mvcc.pendingMu.Lock()
+	delete(e.mvcc.pending, tx)
+	e.mvcc.pendingMu.Unlock()
+}
+
+// versionWatermark returns the GC low-watermark: the oldest sequence any
+// active snapshot reads at, or the clock when no snapshot is active.
+// Every version strictly older than the newest node at-or-below the
+// watermark is unreachable — a snapshot registered after this call gets
+// a sequence at least as new as the clock read here.
+func (e *Engine) versionWatermark() uint64 {
+	e.mvcc.snapMu.Lock()
+	wm := e.mvcc.clock.Load()
+	for s := range e.mvcc.active {
+		if s < wm {
+			wm = s
+		}
+	}
+	e.mvcc.snapMu.Unlock()
+	return wm
+}
+
+// pruneChain cuts the unreachable tail of one chain: everything strictly
+// older than the newest node with seq <= wm. When that node is the head
+// and a tombstone, no snapshot can see the object at all and the whole
+// chain is removed from the map (old nodes stay intact for any reader
+// already walking them — they are merely unreachable from the map).
+// Returns the number of nodes reclaimed. Caller holds installMu.
+func (e *Engine) pruneChain(id uid.UID, ch *versionChain, wm uint64) int {
+	n := ch.head.Load()
+	for n != nil && n.seq > wm {
+		n = n.next.Load()
+	}
+	if n == nil {
+		return 0
+	}
+	cut := 0
+	for t := n.next.Load(); t != nil; t = t.next.Load() {
+		cut++
+	}
+	if cut > 0 {
+		n.next.Store(nil)
+	}
+	if ch.head.Load() == n && n.obj == nil {
+		e.mvcc.chains.Delete(id)
+		cut++
+	}
+	return cut
+}
+
+// VersionGC sweeps every chain against the current low-watermark and
+// returns the number of version nodes reclaimed. Install-time pruning
+// already bounds chains that keep being written; the sweep reclaims the
+// stale tails of chains that stopped changing after the snapshots that
+// pinned them were released.
+func (e *Engine) VersionGC() int {
+	wm := e.versionWatermark()
+	e.mvcc.installMu.Lock()
+	total := 0
+	e.mvcc.chains.Range(func(k, v any) bool {
+		total += e.pruneChain(k.(uid.UID), v.(*versionChain), wm)
+		return true
+	})
+	e.mvcc.installMu.Unlock()
+	if total > 0 {
+		e.o.mvccGCReclaimed.Add(uint64(total))
+		e.o.mvccVersionsLive.Add(-int64(total))
+	}
+	e.updateSnapshotAge()
+	return total
+}
+
+// VersionsLive returns the mvcc_versions_live gauge (0 with a nil
+// registry), for tests and the sim soak's plateau check.
+func (e *Engine) VersionsLive() int64 { return e.o.mvccVersionsLive.Load() }
+
+// updateSnapshotAge refreshes the mvcc_snapshot_age gauge: how many
+// commit boundaries behind the clock the oldest active snapshot reads
+// (0 when no snapshot is active).
+func (e *Engine) updateSnapshotAge() {
+	e.mvcc.snapMu.Lock()
+	clock := e.mvcc.clock.Load()
+	oldest := clock
+	for s := range e.mvcc.active {
+		if s < oldest {
+			oldest = s
+		}
+	}
+	e.mvcc.snapMu.Unlock()
+	e.o.mvccSnapshotAge.Set(int64(clock - oldest))
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// mvccEngine builds a self-referential Part class (shared composite
+// Subparts, so re-parenting and multi-parent shapes are legal) for the
+// snapshot tests.
+func mvccEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat := schema.NewCatalog()
+	if _, err := cat.DefineClass(schema.ClassDef{Name: "Part", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Name", schema.StringDomain),
+		schema.NewCompositeSetAttr("Subparts", "Part").WithExclusive(false).WithDependent(false),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(cat)
+}
+
+// mvccChain builds root -> mid -> leaf and returns the three UIDs.
+func mvccChain(t *testing.T, e *Engine) (root, mid, leaf uid.UID) {
+	t.Helper()
+	mk := func(name string) uid.UID {
+		o, err := e.New("Part", map[string]value.Value{"Name": value.Str(name)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.UID()
+	}
+	root, mid, leaf = mk("root"), mk("mid"), mk("leaf")
+	for _, link := range [][2]uid.UID{{root, mid}, {mid, leaf}} {
+		if err := e.Attach(link[0], "Subparts", link[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root, mid, leaf
+}
+
+func wantUIDs(t *testing.T, label string, got, want []uid.UID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", label, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: got %v, want %v", label, got, want)
+		}
+	}
+}
+
+// TestSnapshotIsolation: a snapshot keeps serving the commit boundary it
+// was begun at while auto-commit writers move the live state — including
+// across deletes — and a snapshot begun later sees the new state.
+func TestSnapshotIsolation(t *testing.T) {
+	e := mvccEngine(t)
+	root, mid, leaf := mvccChain(t, e)
+
+	snap := e.BeginSnapshot()
+	defer snap.Release()
+
+	// Move the live state: rename the leaf, grow a new child under root,
+	// and detach+delete mid's subtree link.
+	if err := e.Set(leaf, "Name", value.Str("renamed")); err != nil {
+		t.Fatal(err)
+	}
+	extra, err := e.New("Part", map[string]value.Value{"Name": value.Str("extra")},
+		ParentSpec{Parent: root, Attr: "Subparts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Delete(leaf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still sees the old world.
+	o, err := snap.Get(leaf)
+	if err != nil {
+		t.Fatalf("snapshot lost deleted leaf: %v", err)
+	}
+	if got, _ := o.Get("Name").AsString(); got != "leaf" {
+		t.Fatalf("snapshot leaf Name = %q, want %q", got, "leaf")
+	}
+	comps, err := snap.ComponentsOf(root, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUIDs(t, "snapshot components", comps, []uid.UID{mid, leaf})
+	anc, err := snap.AncestorsOf(leaf, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUIDs(t, "snapshot ancestors", anc, []uid.UID{mid, root})
+	if snap.Exists(extra.UID()) {
+		t.Fatal("snapshot sees an object created after it began")
+	}
+	if snap.Len() != 3 {
+		t.Fatalf("snapshot Len = %d, want 3", snap.Len())
+	}
+
+	// A fresh snapshot sees the new world.
+	now := e.BeginSnapshot()
+	defer now.Release()
+	if now.Exists(leaf) {
+		t.Fatal("fresh snapshot still sees deleted leaf")
+	}
+	comps, err = now.ComponentsOf(root, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUIDs(t, "fresh components", comps, []uid.UID{mid, extra.UID()})
+}
+
+// TestSnapshotLockFreeUnderExclusiveLatch: snapshot queries complete
+// while the engine latch is held exclusively — the zero-engine-mutex
+// half of the acceptance criterion (the zero-§7-locks half lives in
+// internal/txn, where the lock manager is instrumented).
+func TestSnapshotLockFreeUnderExclusiveLatch(t *testing.T) {
+	e := mvccEngine(t)
+	root, _, leaf := mvccChain(t, e)
+	snap := e.BeginSnapshot()
+	defer snap.Release()
+
+	e.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		if _, err := snap.ComponentsOf(root, QueryOpts{}); err != nil {
+			done <- err
+			return
+		}
+		if _, err := snap.AncestorsOf(leaf, QueryOpts{}); err != nil {
+			done <- err
+			return
+		}
+		if _, err := snap.Partitions(leaf); err != nil {
+			done <- err
+			return
+		}
+		if _, err := snap.RootsOf(leaf); err != nil {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("snapshot query under exclusive latch: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		e.mu.Unlock()
+		t.Fatal("snapshot query blocked while the engine latch was held exclusively")
+	}
+	e.mu.Unlock()
+}
+
+// TestSnapshotCacheIsolation pins the staleness-window fix: the shared
+// generation-counter cache, refilled after a commit, must never be
+// served to a snapshot begun before that commit. The snapshot path keeps
+// private memos and never touches the shared cache.
+func TestSnapshotCacheIsolation(t *testing.T) {
+	e := mvccEngine(t)
+	root, mid, leaf := mvccChain(t, e)
+
+	// Warm the shared ancestor cache with the pre-commit order.
+	if _, err := e.AncestorsOf(leaf, QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.BeginSnapshot()
+	defer snap.Release()
+
+	// Commit a new grandparent and refill the shared cache with the
+	// post-commit order.
+	super, err := e.New("Part", map[string]value.Value{"Name": value.Str("super")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(super.UID(), "Subparts", root); err != nil {
+		t.Fatal(err)
+	}
+	live, err := e.AncestorsOf(leaf, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUIDs(t, "live ancestors", live, []uid.UID{mid, root, super.UID()})
+
+	// The pre-commit snapshot must keep answering with the pre-commit
+	// order, shared-cache contents notwithstanding — twice, so the second
+	// (memoized) answer is checked too.
+	for i := 0; i < 2; i++ {
+		got, err := snap.AncestorsOf(leaf, QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantUIDs(t, fmt.Sprintf("snapshot ancestors (read %d)", i+1), got, []uid.UID{mid, root})
+	}
+}
+
+// TestSnapshotTombstonePruned: once the only versions of a deleted
+// object fall below the watermark its whole chain is reclaimed, and a
+// later snapshot simply never sees the object.
+func TestSnapshotTombstonePruned(t *testing.T) {
+	e := mvccEngine(t)
+	_, _, leaf := mvccChain(t, e)
+	if _, err := e.Delete(leaf); err != nil {
+		t.Fatal(err)
+	}
+	e.VersionGC()
+	snap := e.BeginSnapshot()
+	defer snap.Release()
+	if snap.Exists(leaf) {
+		t.Fatal("snapshot sees object whose tombstone passed the watermark")
+	}
+	if snap.Len() != e.Len() {
+		t.Fatalf("snapshot Len = %d, engine Len = %d", snap.Len(), e.Len())
+	}
+}
+
+// TestVersionGCPlateau: churning one object with only short-lived
+// snapshots holds the live-version gauge at a plateau (install-time
+// pruning), while a pinned snapshot grows the chain and Release +
+// VersionGC collapses it back.
+func TestVersionGCPlateau(t *testing.T) {
+	e := mvccEngine(t)
+	o, err := e.New("Part", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := o.UID()
+	for i := 0; i < 2000; i++ {
+		if err := e.Set(id, "Name", value.Str(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 {
+			s := e.BeginSnapshot()
+			if !s.Exists(id) {
+				t.Fatal("short-lived snapshot lost the object")
+			}
+			s.Release()
+		}
+	}
+	// One live object, no active snapshot: the store should hold ~one
+	// version per object, not thousands.
+	if live := e.VersionsLive(); live > int64(e.Len())+4 {
+		t.Fatalf("mvcc_versions_live = %d after churn with short-lived snapshots (objects: %d)", live, e.Len())
+	}
+
+	// A pinned snapshot grows the chain...
+	pin := e.BeginSnapshot()
+	for i := 0; i < 300; i++ {
+		if err := e.Set(id, "Name", value.Str(fmt.Sprintf("pinned%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := e.VersionsLive(); live < 200 {
+		t.Fatalf("mvcc_versions_live = %d while a snapshot pins the watermark, want >= 200", live)
+	}
+	// ...and releasing it lets the sweep reclaim the tail.
+	pin.Release()
+	reclaimed := e.VersionGC()
+	if reclaimed < 200 {
+		t.Fatalf("VersionGC reclaimed %d nodes after release, want >= 200", reclaimed)
+	}
+	if live := e.VersionsLive(); live > int64(e.Len())+4 {
+		t.Fatalf("mvcc_versions_live = %d after release+GC (objects: %d)", live, e.Len())
+	}
+}

@@ -34,6 +34,14 @@ type engineObs struct {
 
 	deleteNs    *obs.Histogram
 	traversalNs *obs.Histogram
+
+	// MVCC version-store instruments (mvcc.go / snapshot.go).
+	mvccInstalls        *obs.Counter
+	mvccGCReclaimed     *obs.Counter
+	mvccSnapshotBegins  *obs.Counter
+	mvccVersionsLive    *obs.Gauge
+	mvccSnapshotsActive *obs.Gauge
+	mvccSnapshotAge     *obs.Gauge
 }
 
 // timed reports whether the current operation should take timestamps:
@@ -66,6 +74,13 @@ func (e *Engine) bindObs(r *obs.Registry) {
 		staleRetries:     r.Counter("core_stalecc_retries_total"),
 		deleteNs:         r.Histogram("core_delete_ns", nil),
 		traversalNs:      r.Histogram("core_traversal_ns", nil),
+
+		mvccInstalls:        r.Counter("mvcc_installs_total"),
+		mvccGCReclaimed:     r.Counter("mvcc_gc_reclaimed_total"),
+		mvccSnapshotBegins:  r.Counter("mvcc_snapshot_begin_total"),
+		mvccVersionsLive:    r.Gauge("mvcc_versions_live"),
+		mvccSnapshotsActive: r.Gauge("mvcc_snapshots_active"),
+		mvccSnapshotAge:     r.Gauge("mvcc_snapshot_age"),
 	}
 }
 

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/object"
+	"repro/internal/uid"
+)
+
+// Snapshot is a read-only, lock-free view of the engine at one commit
+// boundary. Every query resolves objects through the version chains at
+// the snapshot's sequence number and never acquires the engine latch or
+// any §7 lock, so long analytical scans cannot stall writers and writers
+// cannot move the ground under a scan: the view is the exact committed
+// state at sequence Seq, however long the snapshot lives.
+//
+// Like a Txn, a Snapshot is single-goroutine (one goroutine per
+// snapshot, many snapshots in parallel): its memo caches are private
+// plain maps. That privacy is also the staleness fix for the shared
+// generation-counter caches — a snapshot never consults them, so a
+// post-commit entry can never be served to a pre-commit snapshot
+// (TestSnapshotCacheIsolation pins this).
+//
+// Objects returned by Get are the shared immutable version records:
+// callers must treat them as read-only.
+//
+// The schema catalog is read live (it has its own lock): snapshots
+// isolate against object-graph commits, not schema evolution, which the
+// engine runs under the exclusive latch at quiescent points anyway.
+// Deferred §4.3 changes not yet replayed into an object are therefore
+// visible to a snapshot only once a later commit republishes the object.
+//
+// Release must be called when done: an unreleased snapshot pins the GC
+// low-watermark and version chains grow behind it.
+type Snapshot struct {
+	e        *Engine
+	seq      uint64
+	released bool
+
+	// Per-snapshot memoization, never shared: traversal plans per
+	// (class, edge-filter) and raw ancestor orders per object. Both are
+	// immutable facts for the lifetime of the snapshot.
+	plans map[planKey][]string
+	anc   map[uid.UID][]uid.UID
+}
+
+// BeginSnapshot registers a read-only snapshot at the current commit
+// boundary. Registration pins the snapshot's sequence against the
+// version GC until Release.
+func (e *Engine) BeginSnapshot() *Snapshot {
+	e.mvcc.snapMu.Lock()
+	seq := e.mvcc.clock.Load()
+	e.mvcc.active[seq]++
+	e.mvcc.snapMu.Unlock()
+	e.o.mvccSnapshotBegins.Inc()
+	e.o.mvccSnapshotsActive.Add(1)
+	e.updateSnapshotAge()
+	return &Snapshot{
+		e:     e,
+		seq:   seq,
+		plans: make(map[planKey][]string),
+		anc:   make(map[uid.UID][]uid.UID),
+	}
+}
+
+// Seq returns the commit boundary the snapshot reads at.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Release unregisters the snapshot, unpinning its sequence for the
+// version GC. Idempotent.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	e := s.e
+	e.mvcc.snapMu.Lock()
+	if n := e.mvcc.active[s.seq]; n <= 1 {
+		delete(e.mvcc.active, s.seq)
+	} else {
+		e.mvcc.active[s.seq] = n - 1
+	}
+	e.mvcc.snapMu.Unlock()
+	e.o.mvccSnapshotsActive.Add(-1)
+	e.updateSnapshotAge()
+}
+
+// object resolves id at the snapshot boundary: the newest version at or
+// below seq, nil when the object did not exist there (no chain, no
+// version that old, or a tombstone). Lock-free: two atomic loads per
+// chain node.
+func (s *Snapshot) object(id uid.UID) *object.Object {
+	ci, ok := s.e.mvcc.chains.Load(id)
+	if !ok {
+		return nil
+	}
+	for n := ci.(*versionChain).head.Load(); n != nil; n = n.next.Load() {
+		if n.seq <= s.seq {
+			return n.obj
+		}
+	}
+	return nil
+}
+
+// Get returns the object's committed state at the snapshot boundary.
+// The returned object is the shared version record: read-only.
+func (s *Snapshot) Get(id uid.UID) (*object.Object, error) {
+	if o := s.object(id); o != nil {
+		return o, nil
+	}
+	return nil, fmt.Errorf("%v: %w", id, ErrNoObject)
+}
+
+// Exists reports whether the object existed at the snapshot boundary.
+func (s *Snapshot) Exists(id uid.UID) bool { return s.object(id) != nil }
+
+// UIDs returns every object visible at the snapshot boundary, in UID
+// order.
+func (s *Snapshot) UIDs() []uid.UID {
+	var out []uid.UID
+	s.e.mvcc.chains.Range(func(k, v any) bool {
+		for n := v.(*versionChain).head.Load(); n != nil; n = n.next.Load() {
+			if n.seq <= s.seq {
+				if n.obj != nil {
+					out = append(out, k.(uid.UID))
+				}
+				break
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Len returns the number of objects visible at the snapshot boundary.
+func (s *Snapshot) Len() int {
+	n := 0
+	s.e.mvcc.chains.Range(func(_, v any) bool {
+		for node := v.(*versionChain).head.Load(); node != nil; node = node.next.Load() {
+			if node.seq <= s.seq {
+				if node.obj != nil {
+					n++
+				}
+				break
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// planFor memoizes the composite attributes of class c passing the edge
+// filter, from the live catalog (internally locked — not an engine-latch
+// or §7 acquisition). The shared plan cache is deliberately not
+// consulted: snapshot memos must never mix with generation-keyed shared
+// state.
+func (s *Snapshot) planFor(q QueryOpts, c uid.ClassID) []string {
+	key := planKey{class: c, exclusive: q.Exclusive, shared: q.Shared}
+	if attrs, ok := s.plans[key]; ok {
+		return attrs
+	}
+	var names []string
+	if cl, err := s.e.cat.ClassByID(c); err == nil {
+		if attrs, err := s.e.cat.Attributes(cl.Name); err == nil {
+			for _, spec := range attrs {
+				if spec.Composite && q.wantEdge(spec.Exclusive) {
+					names = append(names, spec.Name)
+				}
+			}
+		}
+	}
+	s.plans[key] = names
+	return names
+}
+
+// ComponentsOf is the snapshot form of (components-of Object ...): the
+// same BFS level-order walk as the engine's, over version-resolved
+// objects. Expansion is sequential — snapshots favor isolation over
+// intra-query parallelism.
+func (s *Snapshot) ComponentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	root, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	seen := uid.NewSet(id)
+	frontier := []*object.Object{root}
+	var out []uid.UID
+	for level := 0; len(frontier) > 0; level++ {
+		if q.Level > 0 && level >= q.Level {
+			break
+		}
+		var next []*object.Object
+		for _, o := range frontier {
+			for _, name := range s.planFor(q, o.Class()) {
+				for _, child := range o.Get(name).Refs(nil) {
+					if !seen.Add(child) {
+						continue
+					}
+					co := s.object(child)
+					if co == nil {
+						if q.Strict {
+							return nil, fmt.Errorf("core: %v references missing component %v: %w",
+								o.UID(), child, ErrDangling)
+						}
+						continue
+					}
+					if s.e.wantClass(q, child) {
+						out = append(out, child)
+					}
+					next = append(next, co)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// ParentsOf is the snapshot form of (parents-of Object ...).
+func (s *Snapshot) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	o, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []uid.UID
+	for _, r := range o.Reverse() {
+		if q.wantEdge(r.Exclusive) && s.e.wantClass(q, r.Parent) {
+			out = append(out, r.Parent)
+		}
+	}
+	return out, nil
+}
+
+// AncestorsOf is the snapshot form of (ancestors-of Object ...). As in
+// the engine, an all-pass edge filter computes the raw ancestor order
+// once (memoized for the snapshot's lifetime) and applies the Classes
+// filter on top.
+func (s *Snapshot) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
+	cacheable := q.cacheable()
+	if cacheable {
+		if order, ok := s.anc[id]; ok {
+			return s.e.filterAncestors(q, order), nil
+		}
+	}
+	root, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	order, err := s.ancestors(root, q, cacheable)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		s.anc[id] = order
+		return s.e.filterAncestors(q, order), nil
+	}
+	return order, nil
+}
+
+// ancestors mirrors the engine's ancestorsLocked over version-resolved
+// objects: reverse BFS, with raw selecting the unfiltered (cacheable)
+// form. A reverse reference to an object missing at the boundary still
+// contributes the parent but is not expanded, exactly as the live path
+// treats dangling reverse references.
+func (s *Snapshot) ancestors(start *object.Object, q QueryOpts, raw bool) ([]uid.UID, error) {
+	if raw {
+		q = QueryOpts{Strict: q.Strict}
+	}
+	seen := uid.NewSet(start.UID())
+	frontier := []*object.Object{start}
+	var out []uid.UID
+	for len(frontier) > 0 {
+		var next []*object.Object
+		for _, o := range frontier {
+			for _, r := range o.Reverse() {
+				if !q.wantEdge(r.Exclusive) {
+					continue
+				}
+				p := r.Parent
+				if !seen.Add(p) {
+					continue
+				}
+				keep := raw || s.e.wantClass(q, p)
+				po := s.object(p)
+				if po == nil {
+					if q.Strict {
+						return nil, fmt.Errorf("core: %v holds a reverse reference to missing parent %v: %w",
+							o.UID(), p, ErrDangling)
+					}
+					if keep {
+						out = append(out, p)
+					}
+					continue
+				}
+				if keep {
+					out = append(out, p)
+				}
+				next = append(next, po)
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// ComponentOf is the snapshot form of (component-of Object1 Object2),
+// answered from the memoized raw ancestor order of a.
+func (s *Snapshot) ComponentOf(a, b uid.UID) (bool, error) {
+	if _, err := s.Get(a); err != nil {
+		return false, err
+	}
+	if _, err := s.Get(b); err != nil {
+		return false, err
+	}
+	if a == b {
+		return false, nil
+	}
+	order, err := s.AncestorsOf(a, QueryOpts{})
+	if err != nil {
+		return false, err
+	}
+	for _, p := range order {
+		if p == b {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Partitions returns the §2.2 partition sets at the snapshot boundary.
+// Slices are owned by the caller.
+func (s *Snapshot) Partitions(id uid.UID) (PartitionSets, error) {
+	o, err := s.Get(id)
+	if err != nil {
+		return PartitionSets{}, err
+	}
+	return PartitionSets{IX: o.IX(), DX: o.DX(), IS: o.IS(), DS: o.DS()}, nil
+}
+
+// RootsOf is the snapshot form of Engine.RootsOf: the ancestors of id
+// (or id itself) without composite parents at the boundary.
+func (s *Snapshot) RootsOf(id uid.UID) ([]uid.UID, error) {
+	o, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !o.HasAnyReverse() {
+		return []uid.UID{id}, nil
+	}
+	seen := uid.NewSet(id)
+	queue := []uid.UID{id}
+	var roots []uid.UID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		co := s.object(cur)
+		if co == nil {
+			continue
+		}
+		if cur != id && !co.HasAnyReverse() {
+			roots = append(roots, cur)
+			continue
+		}
+		for _, r := range co.Reverse() {
+			if seen.Add(r.Parent) {
+				queue = append(queue, r.Parent)
+			}
+		}
+	}
+	return roots, nil
+}

@@ -158,6 +158,13 @@ func (d *DB) SharedComponentOf(a, b uid.UID) (bool, error) {
 // RootsOf returns the roots of the composite objects containing id.
 func (d *DB) RootsOf(id uid.UID) ([]uid.UID, error) { return d.engine.RootsOf(id) }
 
+// BeginSnapshot starts a read-only MVCC snapshot: a lock-free view of
+// the committed state at the current commit boundary. Queries on the
+// handle never take the engine latch or any §7 lock, so they cannot
+// stall writers (and writers cannot change what the snapshot sees).
+// Release the handle when done — it pins version garbage collection.
+func (d *DB) BeginSnapshot() *core.Snapshot { return d.txm.BeginSnapshot() }
+
 // Begin starts a transaction.
 func (d *DB) Begin() *txn.Txn { return d.txm.Begin() }
 

@@ -60,6 +60,12 @@ type Options struct {
 	// from internal/faultfs. When nil, Open uses a MemDevice for
 	// in-memory databases and a FileDevice on Dir/pages.db otherwise.
 	Device storage.Device
+	// MVCCGCInterval is the cadence of the background version garbage
+	// collector, which sweeps stale version-chain tails left behind
+	// released snapshots (install-time pruning already bounds chains that
+	// keep being written). Zero selects the 2s default; negative disables
+	// the background sweep (Engine.VersionGC remains callable).
+	MVCCGCInterval time.Duration
 }
 
 // ErrClosed is returned when a closed DB is used.
@@ -82,6 +88,7 @@ type DB struct {
 	idx    *index.Manager
 	idxDef [][2]string // persisted (class, attr) index definitions
 	reg    *obs.Registry
+	gcStop chan struct{} // closed to stop the background version GC
 	closed bool
 }
 
@@ -155,7 +162,34 @@ func Open(opts Options) (*DB, error) {
 	h := &hook{d: d, logged: make(map[core.TxnID]bool)}
 	d.engine.SetHook(core.MultiHook{h, d.idx, d.vers})
 	d.txm.SetBoundary(h)
+	if opts.MVCCGCInterval >= 0 {
+		interval := opts.MVCCGCInterval
+		if interval == 0 {
+			interval = 2 * time.Second
+		}
+		d.gcStop = make(chan struct{})
+		go d.versionGCLoop(interval, d.gcStop)
+	}
 	return d, nil
+}
+
+// versionGCLoop drives the background version garbage collector until
+// Close or Abandon. Each tick sweeps the version chains against the
+// low-watermark of active snapshot sequences; with no long-lived
+// snapshot the store converges to one version per live object.
+// The stop channel is passed in rather than read from the struct: Close
+// and Abandon nil the field under d.mu, which this goroutine doesn't hold.
+func (d *DB) versionGCLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			d.engine.VersionGC()
+		}
+	}
 }
 
 // recover loads checkpointed metadata and replays the WAL.
@@ -482,6 +516,10 @@ func (d *DB) Close() error {
 		firstErr = d.checkpointLocked()
 	}
 	d.closed = true
+	if d.gcStop != nil {
+		close(d.gcStop)
+		d.gcStop = nil
+	}
 	if d.wal != nil {
 		if err := d.wal.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -504,6 +542,10 @@ func (d *DB) Abandon() error {
 		return nil
 	}
 	d.closed = true
+	if d.gcStop != nil {
+		close(d.gcStop)
+		d.gcStop = nil
+	}
 	var firstErr error
 	if d.wal != nil {
 		if err := d.wal.Close(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/authz"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/object"
 	"repro/internal/schema"
 	"repro/internal/uid"
 	"repro/internal/value"
@@ -19,9 +20,17 @@ var ErrEval = errors.New("sexpr: eval error")
 
 // Interp evaluates expressions against a database. Objects created with
 // (define name expr) are bound in the environment for later reference.
+//
+// A (snapshot begin) session pins snap: while set, the §3 query messages
+// (get, components-of, parents-of, ancestors-of, roots-of, component-of)
+// answer from the MVCC snapshot — the committed state at the begin
+// boundary, read without the engine latch or any §7 lock — until
+// (snapshot release). Mutation messages keep writing to the live
+// database; their effects become visible to queries only after release.
 type Interp struct {
-	DB  *db.DB
-	env map[string]value.Value
+	DB   *db.DB
+	env  map[string]value.Value
+	snap *core.Snapshot
 }
 
 // NewInterp returns an interpreter over the database.
@@ -124,15 +133,22 @@ func init() {
 		"delete":     evalDelete,
 		"describe":   evalDescribe,
 
+		"snapshot": evalSnapshot,
+
 		"components-of": evalComponentsOf,
 		"parents-of":    evalParentsOf,
 		"ancestors-of":  evalAncestorsOf,
 		"roots-of":      evalRootsOf,
 
-		"component-of":           evalRel(func(d *db.DB, a, b uid.UID) (bool, error) { return d.ComponentOf(a, b) }),
-		"child-of":               evalRel(func(d *db.DB, a, b uid.UID) (bool, error) { return d.ChildOf(a, b) }),
-		"exclusive-component-of": evalRel(func(d *db.DB, a, b uid.UID) (bool, error) { return d.ExclusiveComponentOf(a, b) }),
-		"shared-component-of":    evalRel(func(d *db.DB, a, b uid.UID) (bool, error) { return d.SharedComponentOf(a, b) }),
+		"component-of": evalRel(func(in *Interp, a, b uid.UID) (bool, error) {
+			if in.snap != nil {
+				return in.snap.ComponentOf(a, b)
+			}
+			return in.DB.ComponentOf(a, b)
+		}),
+		"child-of":               evalRel(func(in *Interp, a, b uid.UID) (bool, error) { return in.DB.ChildOf(a, b) }),
+		"exclusive-component-of": evalRel(func(in *Interp, a, b uid.UID) (bool, error) { return in.DB.ExclusiveComponentOf(a, b) }),
+		"shared-component-of":    evalRel(func(in *Interp, a, b uid.UID) (bool, error) { return in.DB.SharedComponentOf(a, b) }),
 
 		"compositep":           evalPred(func(c *schema.Catalog, cl string, a []string) (bool, error) { return c.Compositep(cl, a...) }),
 		"exclusive-compositep": evalPred(func(c *schema.Catalog, cl string, a []string) (bool, error) { return c.ExclusiveCompositep(cl, a...) }),
@@ -500,7 +516,12 @@ func evalGet(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	o, err := in.DB.Get(id)
+	var o *object.Object
+	if in.snap != nil {
+		o, err = in.snap.Get(id)
+	} else {
+		o, err = in.DB.Get(id)
+	}
 	if err != nil {
 		return value.Nil, err
 	}
@@ -603,6 +624,43 @@ func evalDescribe(in *Interp, args []Node) (value.Value, error) {
 	return value.Str(s), nil
 }
 
+// evalSnapshot implements (snapshot begin|release|status): an explicit
+// read-only MVCC snapshot session for the shell. begin pins the current
+// commit boundary and returns its sequence number (re-begin releases the
+// previous one); release unpins it and returns to live reads; status
+// returns the pinned sequence, or nil when no snapshot is active.
+func evalSnapshot(in *Interp, args []Node) (value.Value, error) {
+	if len(args) != 1 {
+		return value.Nil, fmt.Errorf("usage: (snapshot begin|release|status): %w", ErrEval)
+	}
+	verb, err := symName(args[0])
+	if err != nil {
+		return value.Nil, err
+	}
+	switch strings.ToLower(verb) {
+	case "begin":
+		if in.snap != nil {
+			in.snap.Release()
+		}
+		in.snap = in.DB.BeginSnapshot()
+		return value.Int(int64(in.snap.Seq())), nil
+	case "release":
+		if in.snap == nil {
+			return value.Bool(false), nil
+		}
+		in.snap.Release()
+		in.snap = nil
+		return value.Bool(true), nil
+	case "status":
+		if in.snap == nil {
+			return value.Nil, nil
+		}
+		return value.Int(int64(in.snap.Seq())), nil
+	default:
+		return value.Nil, fmt.Errorf("unknown snapshot verb %q (want begin/release/status): %w", verb, ErrEval)
+	}
+}
+
 // parseQueryOpts reads the optional arguments of §3.1's messages.
 func (in *Interp) parseQueryOpts(args []Node) (core.QueryOpts, error) {
 	var q core.QueryOpts
@@ -655,7 +713,12 @@ func evalComponentsOf(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	ids, err := in.DB.ComponentsOf(id, q)
+	var ids []uid.UID
+	if in.snap != nil {
+		ids, err = in.snap.ComponentsOf(id, q)
+	} else {
+		ids, err = in.DB.ComponentsOf(id, q)
+	}
 	if err != nil {
 		return value.Nil, err
 	}
@@ -674,7 +737,12 @@ func evalParentsOf(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	ids, err := in.DB.ParentsOf(id, q)
+	var ids []uid.UID
+	if in.snap != nil {
+		ids, err = in.snap.ParentsOf(id, q)
+	} else {
+		ids, err = in.DB.ParentsOf(id, q)
+	}
 	if err != nil {
 		return value.Nil, err
 	}
@@ -693,7 +761,12 @@ func evalAncestorsOf(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	ids, err := in.DB.AncestorsOf(id, q)
+	var ids []uid.UID
+	if in.snap != nil {
+		ids, err = in.snap.AncestorsOf(id, q)
+	} else {
+		ids, err = in.DB.AncestorsOf(id, q)
+	}
 	if err != nil {
 		return value.Nil, err
 	}
@@ -708,14 +781,19 @@ func evalRootsOf(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	ids, err := in.DB.RootsOf(id)
+	var ids []uid.UID
+	if in.snap != nil {
+		ids, err = in.snap.RootsOf(id)
+	} else {
+		ids, err = in.DB.RootsOf(id)
+	}
 	if err != nil {
 		return value.Nil, err
 	}
 	return refsToValue(ids), nil
 }
 
-func evalRel(rel func(*db.DB, uid.UID, uid.UID) (bool, error)) builtin {
+func evalRel(rel func(*Interp, uid.UID, uid.UID) (bool, error)) builtin {
 	return func(in *Interp, args []Node) (value.Value, error) {
 		if len(args) != 2 {
 			return value.Nil, fmt.Errorf("expected two objects: %w", ErrEval)
@@ -728,7 +806,7 @@ func evalRel(rel func(*db.DB, uid.UID, uid.UID) (bool, error)) builtin {
 		if err != nil {
 			return value.Nil, err
 		}
-		ok, err := rel(in.DB, a, b)
+		ok, err := rel(in, a, b)
 		if err != nil {
 			return value.Nil, err
 		}

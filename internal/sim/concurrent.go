@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,13 @@ type ConcurrentConfig struct {
 	// many transactions, then all workers barrier and the full state is
 	// checked (default 8).
 	TxnsPerRound int
+	// Readers is the number of read-only snapshot goroutines running
+	// alongside the writers (default 0). Each reader loops: begin an MVCC
+	// snapshot, look up the model state recorded for the snapshot's commit
+	// boundary, and require the snapshot to match it exactly — the
+	// snapshot-consistency check (every read observes exactly the state at
+	// some commit boundary no newer than its snapshot seq).
+	Readers int
 	// SharedRoots is the number of pre-created composite roots all workers
 	// mutate (default 6). They are what makes workers actually contend —
 	// without them each worker would live in its own disjoint hierarchy.
@@ -70,6 +78,7 @@ type ConcurrentResult struct {
 	Committed       int // transactions committed
 	Aborted         int // deliberate aborts (undo under concurrency)
 	DeadlockRetries int // transactions retried after a deadlock abort
+	SnapshotReads   int // snapshot views verified against the commit history
 	Failure         *Failure
 	Trace           []Op // commit-order trace, sequentially replayable
 }
@@ -106,9 +115,18 @@ type charness struct {
 	// reader and writer.
 	slots []slotRec
 
+	// history records, per MVCC commit seq, the model state at that
+	// boundary. Writers record under commitMu (Commit and the recording
+	// are one critical section), so a reader that begins a snapshot at
+	// seq S and then barriers on commitMu is guaranteed to find
+	// history[S] — or a run failure already reported.
+	histMu  sync.Mutex
+	history map[uint64]*Model
+
 	committed atomic.Int64
 	aborted   atomic.Int64
 	retries   atomic.Int64
+	snapReads atomic.Int64
 
 	failMu sync.Mutex
 	fail   *Failure
@@ -178,6 +196,19 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 		return fail("setup: " + err.Error())
 	}
 
+	// Snapshot readers: record the post-setup state as the baseline
+	// boundary, then run until the writers drain.
+	h.history = map[uint64]*Model{h.d.Engine().CommitSeq(): h.model.Clone()}
+	stopReaders := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for k := 0; k < cfg.Readers; k++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			h.runReader(stopReaders)
+		}()
+	}
+
 	for h.failure() == nil {
 		var wg sync.WaitGroup
 		active := false
@@ -201,9 +232,13 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 		}
 	}
 
+	close(stopReaders)
+	readerWG.Wait()
+
 	res.Committed = int(h.committed.Load())
 	res.Aborted = int(h.aborted.Load())
 	res.DeadlockRetries = int(h.retries.Load())
+	res.SnapshotReads = int(h.snapReads.Load())
 	res.Trace = h.trace
 	if f := h.failure(); f != nil {
 		f.Trace = h.trace
@@ -355,6 +390,133 @@ func (h *charness) buildWorkers() ([]*cworker, error) {
 		workers[k] = &cworker{h: h, id: k, rng: rng, txns: txns}
 	}
 	return workers, nil
+}
+
+func (h *charness) historyAt(seq uint64) *Model {
+	h.histMu.Lock()
+	defer h.histMu.Unlock()
+	return h.history[seq]
+}
+
+// runReader loops begin-snapshot / verify / release until stop closes.
+// Verification is the snapshot-consistency check: the snapshot must equal
+// the model state recorded at its commit boundary, no matter how many
+// writers are mid-transaction (or mid-commit) around it.
+func (h *charness) runReader(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if h.failure() != nil {
+			return
+		}
+		snap := h.d.Txns().BeginSnapshot()
+		seq := snap.Seq()
+		view := h.historyAt(seq)
+		if view == nil {
+			// The committer that installed boundary seq still holds
+			// commitMu (recording happens inside the commit critical
+			// section); barrier on it and look again.
+			h.commitMu.Lock()
+			h.commitMu.Unlock() //nolint:staticcheck // empty section used as a barrier
+			view = h.historyAt(seq)
+		}
+		if view == nil {
+			snap.Release()
+			if h.failure() == nil {
+				h.setFailure(&Failure{Seed: h.cfg.Seed, Step: -1,
+					Msg: fmt.Sprintf("reader: snapshot seq %d matches no recorded commit boundary", seq)})
+			}
+			return
+		}
+		if msg := compareSnapshotState(snap, view); msg != "" {
+			snap.Release()
+			h.setFailure(&Failure{Seed: h.cfg.Seed, Step: -1,
+				Msg: fmt.Sprintf("snapshot divergence at seq %d: %s", seq, msg)})
+			return
+		}
+		snap.Release()
+		h.snapReads.Add(1)
+		time.Sleep(200 * time.Microsecond) // yield so readers don't starve writers
+	}
+}
+
+// compareSnapshotState is compareState through a snapshot handle: object
+// count, Tag values, ordered forward reference lists, reverse references
+// with D/X flags, and partition sets, all resolved at the snapshot's
+// boundary. Extents and topology scans are engine-level (live-state)
+// checks and stay with quiescentCheck.
+func compareSnapshotState(snap *core.Snapshot, view *Model) string {
+	if snap.Len() != len(view.objs) {
+		return fmt.Sprintf("object count: snapshot=%d model=%d", snap.Len(), len(view.objs))
+	}
+	ids := make([]uid.UID, 0, len(view.objs))
+	for id := range view.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a].Less(ids[b]) })
+	for _, id := range ids {
+		mo := view.objs[id]
+		o, err := snap.Get(id)
+		if err != nil {
+			return fmt.Sprintf("get %v: %v", id, err)
+		}
+		tv := o.Get("Tag")
+		if mo.HasTag {
+			got, ok := tv.AsInt()
+			if !ok || got != mo.Tag {
+				return fmt.Sprintf("%v Tag: snapshot %v, model %d", id, tv, mo.Tag)
+			}
+		} else if !tv.IsNil() {
+			return fmt.Sprintf("%v Tag: snapshot %v, model unset", id, tv)
+		}
+		cl := view.classes[mo.Class]
+		for _, sp := range cl.Attrs {
+			if sp.Domain == "" {
+				continue
+			}
+			got := o.Get(sp.Name).Refs(nil)
+			if want := mo.Refs[sp.Name]; !equalUIDs(got, want) {
+				return fmt.Sprintf("%v.%s forward refs: snapshot %v, model %v", id, sp.Name, got, want)
+			}
+		}
+		gotRev := make([]revRef, 0, len(o.Reverse()))
+		for _, r := range o.Reverse() {
+			gotRev = append(gotRev, revRef{Parent: r.Parent, Dependent: r.Dependent, Exclusive: r.Exclusive})
+		}
+		wantRev := append([]revRef(nil), mo.Rev...)
+		sortRevs(gotRev)
+		sortRevs(wantRev)
+		if len(gotRev) != len(wantRev) {
+			return fmt.Sprintf("%v reverse refs: snapshot %v, model %v", id, gotRev, wantRev)
+		}
+		for k := range gotRev {
+			if gotRev[k] != wantRev[k] {
+				return fmt.Sprintf("%v reverse refs: snapshot %v, model %v", id, gotRev, wantRev)
+			}
+		}
+		parts, err := snap.Partitions(id)
+		if err != nil {
+			return fmt.Sprintf("partitions %v: %v", id, err)
+		}
+		for _, p := range []struct {
+			name      string
+			got       []uid.UID
+			dep, excl bool
+		}{
+			{"IX", parts.IX, false, true},
+			{"DX", parts.DX, true, true},
+			{"IS", parts.IS, false, false},
+			{"DS", parts.DS, true, false},
+		} {
+			if want := mo.partition(p.dep, p.excl); !sameUIDSet(p.got, want) {
+				return fmt.Sprintf("%v %s partition: snapshot %v, model %v", id, p.name, p.got, want)
+			}
+		}
+	}
+	return ""
 }
 
 // quiescentCheck runs with no worker active: full state compare plus the
@@ -588,6 +750,14 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 		}
 	}
 	h.model = clone
+	// Record the model at this transaction's commit boundary for the
+	// snapshot readers. Still under commitMu: Commit installed the version
+	// boundary, so CommitSeq is exactly this transaction's seq (or
+	// unchanged if it had no effective writes — the overwrite is then a
+	// no-op state-wise).
+	h.histMu.Lock()
+	h.history[h.d.Engine().CommitSeq()] = clone.Clone()
+	h.histMu.Unlock()
 	h.trace = append(h.trace, Op{Kind: OpBegin})
 	h.trace = append(h.trace, ops...)
 	h.trace = append(h.trace, Op{Kind: OpCommit})

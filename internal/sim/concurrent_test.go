@@ -35,6 +35,27 @@ func TestConcurrentHarnessDurable(t *testing.T) {
 	}
 }
 
+// TestConcurrentHarnessWithReaders adds snapshot reader goroutines to the
+// writer mix: every reader iteration begins an MVCC snapshot, resolves
+// the model recorded at the snapshot's commit boundary, and requires an
+// exact match — the snapshot-consistency check (reads observe exactly the
+// state at some commit boundary no newer than the snapshot seq, never a
+// torn or uncommitted one).
+func TestConcurrentHarnessWithReaders(t *testing.T) {
+	for seed := int64(21); seed <= 22; seed++ {
+		res := RunConcurrent(ConcurrentConfig{Seed: seed, Workers: 4, Readers: 2, Ops: 120})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %s", seed, res.Failure.Report())
+		}
+		if res.Committed == 0 {
+			t.Fatalf("seed %d: no transactions committed", seed)
+		}
+		if res.SnapshotReads == 0 {
+			t.Fatalf("seed %d: readers verified no snapshots", seed)
+		}
+	}
+}
+
 // TestConcurrentSingleWorkerMatchesSequentialSemantics: with one worker
 // the harness still goes through the full admission/commit machinery;
 // any divergence here indicts the checker rather than a race.

@@ -1,0 +1,194 @@
+package txn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// TestSnapshotAtomicCommit: version boundaries are installed at commit,
+// so a snapshot begun mid-transaction sees none of its writes — even
+// while the writer holds §7 X locks on the objects being read — and a
+// snapshot begun after commit sees all of them at once.
+func TestSnapshotAtomicCommit(t *testing.T) {
+	e := docEngine(t)
+	m := NewManager(e)
+
+	setup := m.Begin()
+	doc, err := setup.New("Document", map[string]value.Value{"Title": value.Str("v1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := m.Begin()
+	if err := tx.WriteAttr(doc.UID(), "Title", value.Str("v2")); err != nil {
+		t.Fatal(err)
+	}
+	para, err := tx.New("Paragraph", nil, core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-transaction snapshot: the writer holds X locks on doc, yet the
+	// query below must complete immediately (it takes no §7 locks) and
+	// must see the pre-transaction state.
+	mid := m.BeginSnapshot()
+	done := make(chan error, 1)
+	go func() {
+		o, err := mid.Get(doc.UID())
+		if err != nil {
+			done <- err
+			return
+		}
+		if got, _ := o.Get("Title").AsString(); got != "v1" {
+			t.Errorf("mid-txn snapshot Title = %q, want %q", got, "v1")
+		}
+		if mid.Exists(para.UID()) {
+			t.Error("mid-txn snapshot sees uncommitted creation")
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot read blocked behind a writer's X locks")
+	}
+	mid.Release()
+
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-commit snapshot: both writes appear together.
+	after := m.BeginSnapshot()
+	defer after.Release()
+	o, err := after.Get(doc.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := o.Get("Title").AsString(); got != "v2" {
+		t.Fatalf("post-commit snapshot Title = %q, want %q", got, "v2")
+	}
+	comps, err := after.ComponentsOf(doc.UID(), core.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 || comps[0] != para.UID() {
+		t.Fatalf("post-commit snapshot components = %v, want [%v]", comps, para.UID())
+	}
+}
+
+// TestSnapshotAbortInvisible: an aborted transaction installs no version
+// boundary — snapshots begun after the abort see the pre-transaction
+// state, and the version store is not polluted by the undo writes.
+func TestSnapshotAbortInvisible(t *testing.T) {
+	e := docEngine(t)
+	m := NewManager(e)
+
+	setup := m.Begin()
+	doc, err := setup.New("Document", map[string]value.Value{"Title": value.Str("keep")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := e.VersionsLive()
+
+	tx := m.Begin()
+	if err := tx.WriteAttr(doc.UID(), "Title", value.Str("drop")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.New("Paragraph", nil, core.ParentSpec{Parent: doc.UID(), Attr: "Paras"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := m.BeginSnapshot()
+	defer snap.Release()
+	o, err := snap.Get(doc.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := o.Get("Title").AsString(); got != "keep" {
+		t.Fatalf("snapshot after abort: Title = %q, want %q", got, "keep")
+	}
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot after abort: Len = %d, want 1", snap.Len())
+	}
+	if live := e.VersionsLive(); live != liveBefore {
+		t.Fatalf("abort changed mvcc_versions_live: %d -> %d", liveBefore, live)
+	}
+}
+
+// TestSnapshotZeroLocks asserts the acceptance criterion directly: a
+// full sweep of snapshot queries acquires zero §7 locks, measured by the
+// lock manager's own lock_acquire_total / lock_wait_total instruments.
+func TestSnapshotZeroLocks(t *testing.T) {
+	e := docEngine(t)
+	m := NewManager(e)
+
+	tx := m.Begin()
+	doc, err := tx.New("Document", map[string]value.Value{"Title": value.Str("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paras := make([]uid.UID, 0, 4)
+	for i := 0; i < 4; i++ {
+		p, err := tx.New("Paragraph", nil, core.ParentSpec{Parent: doc.UID(), Attr: "Paras"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paras = append(paras, p.UID())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := m.Observability()
+	acquires := reg.Counter("lock_acquire_total")
+	waits := reg.Counter("lock_wait_total")
+	acqBefore, waitBefore := acquires.Load(), waits.Load()
+
+	snap := m.BeginSnapshot()
+	if _, err := snap.Get(doc.UID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.ComponentsOf(doc.UID(), core.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.AncestorsOf(paras[0], core.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.ParentsOf(paras[1], core.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Partitions(paras[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.RootsOf(paras[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.ComponentOf(paras[0], doc.UID()); err != nil {
+		t.Fatal(err)
+	}
+	snap.Release()
+
+	if d := acquires.Load() - acqBefore; d != 0 {
+		t.Fatalf("snapshot queries acquired %d §7 locks, want 0", d)
+	}
+	if d := waits.Load() - waitBefore; d != 0 {
+		t.Fatalf("snapshot queries waited on %d §7 locks, want 0", d)
+	}
+}

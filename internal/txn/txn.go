@@ -62,6 +62,7 @@ type managerObs struct {
 	commits         *obs.Counter
 	aborts          *obs.Counter
 	deadlockRetries *obs.Counter
+	snapshots       *obs.Counter
 }
 
 // NewManager returns a transaction manager over the engine, sharing the
@@ -86,6 +87,7 @@ func (m *Manager) SetObservability(r *obs.Registry) {
 		commits:         r.Counter("txn_commit_total"),
 		aborts:          r.Counter("txn_abort_total"),
 		deadlockRetries: r.Counter("txn_deadlock_retries_total"),
+		snapshots:       r.Counter("txn_snapshot_begin_total"),
 	}
 	m.locks.SetObservability(r)
 }
@@ -125,6 +127,22 @@ func (m *Manager) BeginAt(id lock.TxID) *Txn {
 		m:  m,
 		id: id,
 	}
+}
+
+// BeginSnapshot starts a read-only snapshot transaction: its snapshot
+// sequence — the MVCC analogue of a TxID — is assigned at begin, and
+// every query on the returned handle reads the committed state at
+// exactly that boundary. Snapshot reads take no §7 locks and never
+// appear in the wait-for graph, so they cannot deadlock, cannot be
+// victimized, and never block a writer; the handle must be Released
+// (not committed or aborted) when done.
+func (m *Manager) BeginSnapshot() *core.Snapshot {
+	m.o.snapshots.Inc()
+	s := m.engine.BeginSnapshot()
+	if tr := m.o.tr; tr.Active() {
+		tr.Point(0, "txn.snapshot", obs.F("seq", s.Seq()))
+	}
+	return s
 }
 
 // Reserve allocates a transaction identity from the same ID space Begin
@@ -394,6 +412,11 @@ func (t *Txn) Commit() error {
 	if tr := t.m.o.tr; tr.Active() {
 		tr.Point(0, "txn.commit", obs.F("tx", t.id))
 	}
+	// Publish the write set as one MVCC commit boundary before any lock
+	// is released: the X locks keep the set quiescent while it is cloned,
+	// and a snapshot begun from here on sees all of it or none. Installed
+	// even on a boundary error — the in-memory effects persist either way.
+	t.m.engine.CommitVersions(t.txid())
 	t.m.locks.ReleaseAll(t.id)
 	if err != nil {
 		return err
@@ -433,6 +456,10 @@ func (t *Txn) Abort() error {
 		}
 	}
 	t.undo = nil
+	// Drop the transaction's accumulated version write set (forward
+	// writes and the compensations above alike): the chains stay at the
+	// pre-transaction boundary, which the rolled-back live state equals.
+	t.m.engine.AbortVersions(t.txid())
 	if t.m.boundary != nil {
 		if err := t.m.boundary.OnAbort(t.txid()); err != nil && firstErr == nil {
 			firstErr = err
