@@ -913,6 +913,53 @@ func BenchmarkObsDisabled(b *testing.B) {
 	})
 }
 
+// BenchmarkProfiledTraversal prices the query-profiling layer on the hot
+// traversal path. Phase one runs with no ProfCtx attached — every
+// emission site is a nil check, the always-on production configuration;
+// phase two attaches a fresh ProfCtx per query. The difference,
+// "profile-overhead-pct", is what a user pays for (profile ...) and the
+// acceptance budget bounds the disabled path's cost. "flight-record-ns"
+// prices one black-box flight-recorder append, the only instrumentation
+// that stays hot with profiling off.
+func BenchmarkProfiledTraversal(b *testing.B) {
+	e := partEngine(b, true, true)
+	root := buildTree(b, e, 8, 2)
+	want := treeNodes(8, 2)
+	run := func(n int, prof bool) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			var q core.QueryOpts
+			if prof {
+				q.Prof = obs.NewProfCtx("bench")
+			}
+			comps, err := e.ComponentsOf(root, q)
+			if err != nil || len(comps) != want {
+				b.Fatalf("components = %d, %v", len(comps), err)
+			}
+			if prof {
+				q.Prof.Finish()
+			}
+		}
+		return time.Since(start)
+	}
+	run(10, false) // warm the plan and ancestor caches
+	run(10, true)
+	b.ResetTimer()
+	off := run(b.N, false)
+	on := run(b.N, true)
+	b.StopTimer()
+	if off > 0 {
+		b.ReportMetric((float64(on-off)/float64(off))*100, "profile-overhead-pct")
+	}
+	f := obs.NewFlightRecorder(1024)
+	const appends = 100000
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		f.Record("bench.op", "root", time.Microsecond, "ok", "visited=1")
+	}
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/appends, "flight-record-ns")
+}
+
 // BenchmarkBufferPoolParallelFetch measures the striped pool under
 // concurrent page faults: 8-way shard striping lets fetches of different
 // pages proceed without contending on one pool mutex.

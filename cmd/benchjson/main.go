@@ -21,22 +21,25 @@ import (
 )
 
 // Result is one parsed benchmark line. The cache hit rate, buffer-pool
-// eviction count, fsyncs-per-commit ratio, and the MVCC reader/writer
-// isolation metrics (snapshot read latency, writer p99 stall) — reported
-// by the benches from the observability registry snapshot — are promoted
-// to typed fields (pointers, so a true zero survives omitempty); any
-// other custom units land in Metrics.
+// eviction count, fsyncs-per-commit ratio, the MVCC reader/writer
+// isolation metrics (snapshot read latency, writer p99 stall), and the
+// profiling costs (profile overhead percentage, flight-recorder append
+// latency) — reported by the benches from the observability registry
+// snapshot — are promoted to typed fields (pointers, so a true zero
+// survives omitempty); any other custom units land in Metrics.
 type Result struct {
-	Name            string             `json:"name"`
-	Procs           int                `json:"procs"`
-	N               int64              `json:"n"`
-	NsPerOp         float64            `json:"ns_per_op"`
-	CacheHitRate    *float64           `json:"cache_hit_rate,omitempty"`
-	PoolEvictions   *float64           `json:"pool_evictions,omitempty"`
-	FsyncsPerCommit *float64           `json:"fsyncs_per_commit,omitempty"`
-	SnapshotReadNs  *float64           `json:"snapshot_read_ns,omitempty"`
-	WriterStallNs   *float64           `json:"writer_stall_ns,omitempty"`
-	Metrics         map[string]float64 `json:"metrics,omitempty"`
+	Name               string             `json:"name"`
+	Procs              int                `json:"procs"`
+	N                  int64              `json:"n"`
+	NsPerOp            float64            `json:"ns_per_op"`
+	CacheHitRate       *float64           `json:"cache_hit_rate,omitempty"`
+	PoolEvictions      *float64           `json:"pool_evictions,omitempty"`
+	FsyncsPerCommit    *float64           `json:"fsyncs_per_commit,omitempty"`
+	SnapshotReadNs     *float64           `json:"snapshot_read_ns,omitempty"`
+	WriterStallNs      *float64           `json:"writer_stall_ns,omitempty"`
+	ProfileOverheadPct *float64           `json:"profile_overhead_pct,omitempty"`
+	FlightRecordNs     *float64           `json:"flight_record_ns,omitempty"`
+	Metrics            map[string]float64 `json:"metrics,omitempty"`
 }
 
 // parseLine parses a single `go test -bench` result line, e.g.
@@ -93,6 +96,14 @@ func parseLine(line string) (Result, bool) {
 		case "writer-stall-ns":
 			ws := v
 			r.WriterStallNs = &ws
+			continue
+		case "profile-overhead-pct":
+			po := v
+			r.ProfileOverheadPct = &po
+			continue
+		case "flight-record-ns":
+			fr := v
+			r.FlightRecordNs = &fr
 			continue
 		}
 		if r.Metrics == nil {

@@ -59,6 +59,14 @@ func TestParseLine(t *testing.T) {
 	if _, ok := r.Metrics["snapshot-read-ns"]; ok {
 		t.Fatalf("promoted unit still in Metrics: %+v", r)
 	}
+	// Profiling cost metrics promote too; overhead may be negative noise.
+	r, ok = parseLine("BenchmarkProfiledTraversal-8 100 380125 ns/op 145.6 flight-record-ns 3.2 profile-overhead-pct")
+	if !ok || r.ProfileOverheadPct == nil || *r.ProfileOverheadPct != 3.2 {
+		t.Fatalf("profile overhead not promoted: %+v, ok=%v", r, ok)
+	}
+	if r.FlightRecordNs == nil || *r.FlightRecordNs != 145.6 {
+		t.Fatalf("flight record ns not promoted: %+v", r)
+	}
 	for _, bad := range []string{
 		"goos: linux",
 		"PASS",

@@ -16,7 +16,11 @@
 //
 // Besides s-expressions the REPL accepts meta-commands: `stats` prints
 // the metrics snapshot, `trace on|off|dump|clear` controls operation
-// tracing, and `slow DUR|dump|off` controls the slow-operation log.
+// tracing, `slow DUR|dump|off` controls the slow-operation log, and
+// `flight dump|clear` reads the always-on black-box flight recorder
+// (also served at /flight under -metrics). The s-expression surface
+// adds (explain expr) for static query plans, (profile expr) for an
+// executed cost breakdown, and (flight dump|clear|status).
 //
 // (snapshot begin) pins a read-only MVCC snapshot: queries then answer
 // from the pinned commit boundary — immune to concurrent writers and
@@ -195,6 +199,28 @@ func metaCommand(d *db.DB, line string) (string, bool) {
 			}
 		}
 		return "usage: slow DURATION|dump|off", true
+	case "flight":
+		if len(fields) == 2 {
+			switch fields[1] {
+			case "dump":
+				recs := reg.Flight().Records()
+				if len(recs) == 0 {
+					return "flight: no records", true
+				}
+				var b strings.Builder
+				for i, r := range recs {
+					if i > 0 {
+						b.WriteByte('\n')
+					}
+					b.WriteString(r.String())
+				}
+				return b.String(), true
+			case "clear":
+				reg.Flight().Clear()
+				return "flight recorder cleared", true
+			}
+		}
+		return "usage: flight dump|clear", true
 	}
 	return "", false
 }

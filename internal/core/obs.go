@@ -11,9 +11,10 @@ import (
 // instrument is nil and each emission site reduces to a nil-check — the
 // no-instrumentation baseline BenchmarkObsDisabled measures against.
 type engineObs struct {
-	reg  *obs.Registry
-	tr   *obs.Tracer
-	slow *obs.SlowLog
+	reg    *obs.Registry
+	tr     *obs.Tracer
+	slow   *obs.SlowLog
+	flight *obs.FlightRecorder
 
 	// Read-path cache counters (the former engineStats).
 	ancestorHits    *obs.Counter
@@ -59,6 +60,7 @@ func (e *Engine) bindObs(r *obs.Registry) {
 		reg:              r,
 		tr:               r.Tracer(),
 		slow:             r.Slow(),
+		flight:           r.Flight(),
 		ancestorHits:     r.Counter("core_cache_ancestor_hits_total"),
 		ancestorMisses:   r.Counter("core_cache_ancestor_misses_total"),
 		partitionHits:    r.Counter("core_cache_partition_hits_total"),

@@ -28,12 +28,17 @@ import (
 // cannot arise through the public mutation API; they appear when lower
 // layers misuse Evict/Restore, and Strict is the diagnostic mode that
 // surfaces that.
+//
+// Prof, when non-nil, receives per-operation cost attribution for this
+// query: objects visited, traversal-cache (ancestor/plan) hits and
+// misses. It does not change what the query computes.
 type QueryOpts struct {
 	Classes   []string
 	Exclusive bool
 	Shared    bool
 	Level     int
 	Strict    bool
+	Prof      *obs.ProfCtx
 }
 
 // wantEdge reports whether an edge with the given exclusivity passes the
@@ -116,11 +121,14 @@ func (e *Engine) withFresh(id uid.UID, fn func(o *object.Object)) error {
 	return nil
 }
 
-// observeQuery wraps a traversal query with tracing and slow-path
-// accounting. It is only entered when the tracer or the slow log is
-// active (e.o.timed()), so the common path pays a couple of atomic loads
-// and no time.Now calls.
-func (e *Engine) observeQuery(op string, id uid.UID, run func() ([]uid.UID, error)) ([]uid.UID, error) {
+// observeQuery wraps a traversal query with tracing, slow-path
+// accounting, and a flight-recorder record. It is entered when the
+// tracer or slow log is active (e.o.timed()), a flight recorder is
+// bound, or the query carries a profile context; the bare path pays a
+// couple of atomic loads and no time.Now calls only with a nil
+// registry (the flight recorder is always-on otherwise, at the cost of
+// one record per query).
+func (e *Engine) observeQuery(op string, id uid.UID, prof *obs.ProfCtx, run func() ([]uid.UID, error)) ([]uid.UID, error) {
 	start := time.Now()
 	var sp uint64
 	if tr := e.o.tr; tr.Active() {
@@ -133,6 +141,13 @@ func (e *Engine) observeQuery(op string, id uid.UID, run func() ([]uid.UID, erro
 		tr.End(sp, op, obs.F("results", len(out)))
 	}
 	e.o.slow.Observe(op, d, id.String())
+	if f := e.o.flight; f != nil {
+		outcome := "ok"
+		if err != nil {
+			outcome = "err"
+		}
+		f.Record(op, id.String(), d, outcome, prof.TopCosts())
+	}
 	return out, err
 }
 
@@ -142,8 +157,8 @@ func (e *Engine) observeQuery(op string, id uid.UID, run func() ([]uid.UID, erro
 // where the level of a component is the length of the shortest composite
 // path from the object, §2.2).
 func (e *Engine) ComponentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
-	if e.o.timed() {
-		return e.observeQuery("core.query.components", id, func() ([]uid.UID, error) {
+	if e.o.timed() || e.o.flight != nil {
+		return e.observeQuery("components-of", id, q.Prof, func() ([]uid.UID, error) {
 			return e.componentsOf(id, q)
 		})
 	}
@@ -177,6 +192,7 @@ func (e *Engine) componentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 func (e *Engine) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	var out []uid.UID
 	err := e.withFresh(id, func(o *object.Object) {
+		q.Prof.ObjectVisited()
 		for _, r := range o.Reverse() {
 			if q.wantEdge(r.Exclusive) && e.wantClass(q, r.Parent) {
 				out = append(out, r.Parent)
@@ -194,8 +210,8 @@ func (e *Engine) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 // ancestor set is served from (and fills) the invalidation-aware cache;
 // the Classes filter applies to the cached order.
 func (e *Engine) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
-	if e.o.timed() {
-		return e.observeQuery("core.query.ancestors", id, func() ([]uid.UID, error) {
+	if e.o.timed() || e.o.flight != nil {
+		return e.observeQuery("ancestors-of", id, q.Prof, func() ([]uid.UID, error) {
 			return e.ancestorsOf(id, q)
 		})
 	}
@@ -209,11 +225,13 @@ func (e *Engine) ancestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	if cacheable {
 		if ent := e.cache.lookupAnc(id); ent != nil && e.ancestorValidLocked(ent, cc) {
 			e.o.ancestorHits.Inc()
+			q.Prof.CacheHit()
 			out := e.filterAncestors(q, ent.order)
 			e.mu.RUnlock()
 			return out, nil
 		}
 		e.o.ancestorMisses.Inc()
+		q.Prof.CacheMiss()
 	}
 	out, err := e.ancestorsRead(id, q, cc, cacheable)
 	e.mu.RUnlock()

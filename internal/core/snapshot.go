@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/uid"
 )
 
@@ -38,6 +39,11 @@ type Snapshot struct {
 	seq      uint64
 	released bool
 
+	// prof, when set via SetProf, receives cost attribution for the
+	// snapshot's reads: objects visited and MVCC version-chain nodes
+	// walked. Single-goroutine like the rest of the snapshot.
+	prof *obs.ProfCtx
+
 	// Per-snapshot memoization, never shared: traversal plans per
 	// (class, edge-filter) and raw ancestor orders per object. Both are
 	// immutable facts for the lifetime of the snapshot.
@@ -67,6 +73,11 @@ func (e *Engine) BeginSnapshot() *Snapshot {
 // Seq returns the commit boundary the snapshot reads at.
 func (s *Snapshot) Seq() uint64 { return s.seq }
 
+// SetProf attaches (or, with nil, detaches) a profile context: until
+// changed, every read through the snapshot attributes its objects
+// visited and version-chain nodes walked to p.
+func (s *Snapshot) SetProf(p *obs.ProfCtx) { s.prof = p }
+
 // Release unregisters the snapshot, unpinning its sequence for the
 // version GC. Idempotent.
 func (s *Snapshot) Release() {
@@ -95,11 +106,18 @@ func (s *Snapshot) object(id uid.UID) *object.Object {
 	if !ok {
 		return nil
 	}
+	walked := 0
 	for n := ci.(*versionChain).head.Load(); n != nil; n = n.next.Load() {
+		walked++
 		if n.seq <= s.seq {
+			s.prof.VersionsWalked(walked)
+			if n.obj != nil {
+				s.prof.ObjectVisited()
+			}
 			return n.obj
 		}
 	}
+	s.prof.VersionsWalked(walked)
 	return nil
 }
 

@@ -100,7 +100,11 @@ func (e *Engine) newWalker(q QueryOpts, cc uint64, mutate bool) *walker {
 // the pending changes.
 func (w *walker) fetch(id uid.UID) (*object.Object, error) {
 	if w.mutate {
-		return w.e.get(id)
+		o, err := w.e.get(id)
+		if err == nil {
+			w.q.Prof.ObjectVisited()
+		}
+		return o, err
 	}
 	o, ok := w.e.objects[id]
 	if !ok {
@@ -110,6 +114,7 @@ func (w *walker) fetch(id uid.UID) (*object.Object, error) {
 		w.e.o.staleRetries.Inc()
 		return nil, errStaleCC
 	}
+	w.q.Prof.ObjectVisited()
 	return o, nil
 }
 
@@ -142,10 +147,12 @@ func (w *walker) planFor(c uid.ClassID) {
 	key := planKey{class: c, exclusive: w.q.Exclusive, shared: w.q.Shared}
 	if ent := w.e.cache.lookupPlan(key); ent != nil && ent.ver == w.catVer {
 		w.e.o.planHits.Inc()
+		w.q.Prof.CacheHit()
 		w.plans[c] = ent.attrs
 		return
 	}
 	w.e.o.planMisses.Inc()
+	w.q.Prof.CacheMiss()
 	var names []string
 	if cl, err := w.e.cat.ClassByID(c); err == nil {
 		if attrs, err := w.e.cat.Attributes(cl.Name); err == nil {
@@ -230,6 +237,7 @@ func (w *walker) expand(frontier []*object.Object, down bool) [][]uid.UID {
 func (e *Engine) componentsLocked(root *object.Object, q QueryOpts, cc uint64, mutate bool) ([]uid.UID, error) {
 	w := e.newWalker(q, cc, mutate)
 	id := root.UID()
+	q.Prof.ObjectVisited() // the root, fetched by the caller
 	w.planFor(id.Class)
 	seen := uid.NewSet(id)
 	frontier := []*object.Object{root}
@@ -280,7 +288,7 @@ func (e *Engine) componentsLocked(root *object.Object, q QueryOpts, cc uint64, m
 // Caller holds e.mu as for componentsLocked.
 func (e *Engine) ancestorsLocked(start *object.Object, q QueryOpts, cc uint64, mutate, raw bool) ([]uid.UID, error) {
 	if raw {
-		q = QueryOpts{Strict: q.Strict}
+		q = QueryOpts{Strict: q.Strict, Prof: q.Prof}
 	}
 	w := e.newWalker(q, cc, mutate)
 	seen := uid.NewSet(start.UID())

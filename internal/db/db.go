@@ -66,6 +66,12 @@ type Options struct {
 	// keep being written). Zero selects the 2s default; negative disables
 	// the background sweep (Engine.VersionGC remains callable).
 	MVCCGCInterval time.Duration
+	// SlowOpThreshold arms the slow-op log from the start: operations at
+	// or above this duration are recorded in the ring and trigger a
+	// throttled flight-recorder dump. Zero leaves the log disabled (it
+	// can still be armed later via Observability().Slow().SetThreshold,
+	// which the shell's `slow DUR` command does).
+	SlowOpThreshold time.Duration
 }
 
 // ErrClosed is returned when a closed DB is used.
@@ -90,6 +96,11 @@ type DB struct {
 	reg    *obs.Registry
 	gcStop chan struct{} // closed to stop the background version GC
 	closed bool
+
+	// Profiling instruments, bound at Open so the query_profile_* family
+	// is present in the exposition before the first (profile ...) runs.
+	profRuns *obs.Counter
+	profWall *obs.Histogram
 }
 
 const (
@@ -108,6 +119,11 @@ func Open(opts Options) (*DB, error) {
 		opts.PoolPages = 256
 	}
 	d := &DB{opts: opts, cat: schema.NewCatalog(), reg: obs.NewRegistry()}
+	d.profRuns = d.reg.Counter("query_profile_runs_total")
+	d.profWall = d.reg.Histogram("query_profile_wall_ns", nil)
+	if opts.SlowOpThreshold > 0 {
+		d.reg.Slow().SetThreshold(opts.SlowOpThreshold)
+	}
 	d.engine = core.NewEngine(d.cat)
 	// One registry for every subsystem, installed before anything runs
 	// concurrently: the /metrics endpoint then exposes core, storage,
@@ -162,6 +178,10 @@ func Open(opts Options) (*DB, error) {
 	h := &hook{d: d, logged: make(map[core.TxnID]bool)}
 	d.engine.SetHook(core.MultiHook{h, d.idx, d.vers})
 	d.txm.SetBoundary(h)
+	// Profiled transactions attach themselves as the ambient cost sink of
+	// the layers that carry no per-operation context (pool, WAL, lock
+	// manager); see Txn.Profile and DB.AttachProf.
+	d.txm.SetProfHooks(d.AttachProf, func(*obs.ProfCtx) { d.AttachProf(nil) })
 	if opts.MVCCGCInterval >= 0 {
 		interval := opts.MVCCGCInterval
 		if interval == 0 {
@@ -458,7 +478,21 @@ func (d *DB) Checkpoint() error {
 	return d.checkpointLocked()
 }
 
+// checkpointLocked runs the checkpoint and, on failure, dumps the
+// flight recorder: a checkpoint that cannot complete is exactly the
+// moment the recent-operation history is about to become unrecoverable.
 func (d *DB) checkpointLocked() error {
+	err := d.checkpointInner()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		if f := d.reg.Flight(); f != nil {
+			f.Record("db.checkpoint", d.opts.Dir, 0, "err", err.Error())
+			f.Dump("checkpoint failure")
+		}
+	}
+	return err
+}
+
+func (d *DB) checkpointInner() error {
 	if d.closed {
 		return ErrClosed
 	}
@@ -588,6 +622,29 @@ func (d *DB) Indexes() *index.Manager { return d.idx }
 // Observability returns the registry shared by every subsystem — the
 // source for the /metrics exposition, trace control, and the slow log.
 func (d *DB) Observability() *obs.Registry { return d.reg }
+
+// AttachProf installs p as the ambient cost sink of the layers that
+// carry no per-operation context — the buffer pool, the WAL, and the
+// lock manager's unregistered waiters — so page fetches, evictions, WAL
+// frames, and lock waits are attributed to it. Attribution is exact
+// when one profiled operation runs at a time (the (profile ...) surface
+// and the sim checks run serially); concurrent profiled operations race
+// for the slot and the last attach wins. Detach by attaching nil.
+// Txn.Profile calls this automatically through the manager's hooks.
+func (d *DB) AttachProf(p *obs.ProfCtx) {
+	d.pool.AttachProf(p)
+	if d.wal != nil {
+		d.wal.AttachProf(p)
+	}
+	d.txm.Locks().AttachProf(p)
+}
+
+// ObserveProfile records one completed (profile ...) run in the
+// query_profile_* metric family.
+func (d *DB) ObserveProfile(wall time.Duration) {
+	d.profRuns.Inc()
+	d.profWall.Observe(int64(wall))
+}
 
 // CreateIndex declares and builds a secondary index on (class, attr); the
 // declaration persists across reopen (the index itself is rebuilt from

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -76,6 +77,8 @@ type Manager struct {
 	held     map[TxID]map[string]bool // reverse index for ReleaseAll
 	waitsFor map[TxID]map[TxID]bool   // wait-for graph edges
 	doomed   map[TxID]bool            // deadlock victims pending abort
+	profs    map[TxID]*obs.ProfCtx    // per-tx cost attribution (RegisterProf)
+	aprof    atomic.Pointer[obs.ProfCtx]
 	o        managerObs
 }
 
@@ -86,6 +89,7 @@ type Manager struct {
 type managerObs struct {
 	tr        *obs.Tracer
 	slow      *obs.SlowLog
+	flight    *obs.FlightRecorder
 	acquires  *obs.Counter
 	waits     *obs.Counter
 	upgrades  *obs.Counter
@@ -103,6 +107,7 @@ func NewManager() *Manager {
 		held:     make(map[TxID]map[string]bool),
 		waitsFor: make(map[TxID]map[TxID]bool),
 		doomed:   make(map[TxID]bool),
+		profs:    make(map[TxID]*obs.ProfCtx),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.SetObservability(obs.NewRegistry())
@@ -115,6 +120,7 @@ func (m *Manager) SetObservability(r *obs.Registry) {
 	m.o = managerObs{
 		tr:        r.Tracer(),
 		slow:      r.Slow(),
+		flight:    r.Flight(),
 		acquires:  r.Counter("lock_acquire_total"),
 		waits:     r.Counter("lock_wait_total"),
 		upgrades:  r.Counter("lock_upgrade_total"),
@@ -123,6 +129,37 @@ func (m *Manager) SetObservability(r *obs.Registry) {
 		releases:  r.Counter("lock_release_all_total"),
 		waitNs:    r.Histogram("lock_wait_ns", nil),
 	}
+}
+
+// RegisterProf attributes tx's lock waits to p until UnregisterProf or
+// ReleaseAll. Exact under concurrency: waits are keyed by the waiting
+// transaction, never guessed from ambient state.
+func (m *Manager) RegisterProf(tx TxID, p *obs.ProfCtx) {
+	m.mu.Lock()
+	if p == nil {
+		delete(m.profs, tx)
+	} else {
+		m.profs[tx] = p
+	}
+	m.mu.Unlock()
+}
+
+// UnregisterProf removes tx's profile registration.
+func (m *Manager) UnregisterProf(tx TxID) { m.RegisterProf(tx, nil) }
+
+// AttachProf installs an ambient profile context: lock waits by
+// transactions with no registration are attributed to it. Ambient
+// attribution is exact only while a single profiled operation runs at a
+// time (the shell's (profile ...) path); DetachProf by passing nil.
+func (m *Manager) AttachProf(p *obs.ProfCtx) { m.aprof.Store(p) }
+
+// profFor returns the context tx's costs attribute to: its registered
+// context, else the ambient one, else nil. Caller holds m.mu.
+func (m *Manager) profFor(tx TxID) *obs.ProfCtx {
+	if p := m.profs[tx]; p != nil {
+		return p
+	}
+	return m.aprof.Load()
 }
 
 func (m *Manager) state(key string) *granuleState {
@@ -215,6 +252,12 @@ func (m *Manager) abortVictim(tx TxID, key string, mode Mode, g Granule, waitSpa
 			tr.Point(0, "lock.deadlock", obs.F("tx", tx), obs.F("granule", key), obs.F("mode", mode))
 		}
 	}
+	// Black-box trigger: a deadlock-victim abort dumps the flight ring so
+	// the operations leading up to the cycle are on record.
+	if f := m.o.flight; f != nil {
+		f.Record("lock.deadlock", fmt.Sprintf("tx=%d %s %s", tx, mode, key), 0, "deadlock", "")
+		f.Dump("deadlock-victim abort")
+	}
 	return fmt.Errorf("tx %d requesting %s on %s: %w", tx, mode, g, ErrDeadlock)
 }
 
@@ -293,6 +336,7 @@ func (m *Manager) Lock(tx TxID, g Granule, mode Mode) error {
 		d := time.Since(waitStart)
 		m.o.waitNs.Observe(int64(d))
 		m.o.slow.Observe("lock.wait", d, key)
+		m.profFor(tx).LockWait(mode.String(), d)
 		if tr := m.o.tr; tr.Active() {
 			tr.End(waitSpan, "lock.wait", obs.F("outcome", "granted"))
 		}
@@ -426,6 +470,7 @@ func (m *Manager) ReleaseAll(tx TxID) {
 	delete(m.held, tx)
 	delete(m.waitsFor, tx)
 	delete(m.doomed, tx)
+	delete(m.profs, tx)
 	m.cond.Broadcast()
 }
 

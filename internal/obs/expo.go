@@ -36,6 +36,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
 		fmt.Fprintf(bw, "%s_sum %d\n", n, h.sum.Load())
 		fmt.Fprintf(bw, "%s_count %d\n", n, h.count.Load())
+		// Interpolated quantile estimates as a summary-style gauge family
+		// (suffix _quantile so the histogram series names stay untouched).
+		if h.count.Load() > 0 {
+			fmt.Fprintf(bw, "# TYPE %s_quantile gauge\n", n)
+			for _, q := range [...]struct {
+				label string
+				q     float64
+			}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}} {
+				fmt.Fprintf(bw, "%s_quantile{quantile=\"%s\"} %d\n", n, q.label, h.Quantile(q.q))
+			}
+		}
 	}
 	return bw.Flush()
 }

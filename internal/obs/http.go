@@ -11,6 +11,7 @@ import (
 //	/metrics.json  JSON snapshot of every instrument
 //	/trace         trace ring buffer as JSON (?clear=1 empties it after)
 //	/slow          slow-operation log as JSON
+//	/flight        flight-recorder ring as JSON (?clear=1 empties it after)
 //
 // It is what cmd/orion-shell serves under -metrics; anything holding a
 // *Registry can mount it.
@@ -34,6 +35,13 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/slow", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, r.Slow().Entries())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, req *http.Request) {
+		f := r.Flight()
+		writeJSON(w, f.Records())
+		if req.URL.Query().Get("clear") == "1" {
+			f.Clear()
+		}
 	})
 	return mux
 }

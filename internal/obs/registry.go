@@ -140,6 +140,49 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Quantile estimates the q-th quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket that crosses
+// the cumulative rank. Values in the overflow (+Inf) bucket clamp to
+// the top bound. Returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Reset zeroes every bucket, the count, and the sum (each store atomic).
 func (h *Histogram) Reset() {
 	if h == nil {
@@ -152,12 +195,17 @@ func (h *Histogram) Reset() {
 	h.sum.Store(0)
 }
 
-// HistogramSnapshot is the JSON form of one histogram.
+// HistogramSnapshot is the JSON form of one histogram. P50/P95/P99 are
+// interpolated quantile estimates (see Histogram.Quantile), zero when
+// the histogram is empty.
 type HistogramSnapshot struct {
 	Bounds []int64  `json:"bounds"`
 	Counts []uint64 `json:"counts"` // per-bucket (not cumulative); last is +Inf
 	Sum    int64    `json:"sum"`
 	Count  uint64   `json:"count"`
+	P50    int64    `json:"p50"`
+	P95    int64    `json:"p95"`
+	P99    int64    `json:"p99"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of a registry.
@@ -179,18 +227,27 @@ type Registry struct {
 
 	tracer *Tracer
 	slow   *SlowLog
+	flight *FlightRecorder
 }
 
 // NewRegistry returns an empty registry with a disabled tracer (4096
-// event ring) and a disabled slow log (256 entry ring).
+// event ring), a disabled slow log (256 entry ring), and an always-on
+// flight recorder (256 record ring) whose record/dump counters are
+// pre-bound so the flight_* family is visible on the first scrape. A
+// slow-op threshold breach triggers a throttled flight dump.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		tracer:   NewTracer(4096),
 		slow:     NewSlowLog(256),
+		flight:   NewFlightRecorder(256),
 	}
+	r.flight.records = r.Counter("flight_records_total")
+	r.flight.dumps = r.Counter("flight_dumps_total")
+	r.slow.onBreach = func() { r.flight.DumpThrottled("slow-op threshold breach") }
+	return r
 }
 
 // Tracer returns the registry's tracer (nil for a nil registry, which
@@ -209,6 +266,15 @@ func (r *Registry) Slow() *SlowLog {
 		return nil
 	}
 	return r.slow
+}
+
+// Flight returns the registry's flight recorder (nil for a nil
+// registry, which every FlightRecorder method accepts).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -353,6 +419,9 @@ func (r *Registry) Snapshot() Snapshot {
 				Counts: make([]uint64, len(h.buckets)),
 				Sum:    h.sum.Load(),
 				Count:  h.count.Load(),
+				P50:    h.Quantile(0.50),
+				P95:    h.Quantile(0.95),
+				P99:    h.Quantile(0.99),
 			}
 			for i := range h.buckets {
 				hs.Counts[i] = h.buckets[i].Load()

@@ -21,6 +21,10 @@ type SlowEntry struct {
 type SlowLog struct {
 	thresh atomic.Int64 // nanoseconds; 0 = disabled
 
+	// onBreach, when set (NewRegistry wires it to a throttled flight
+	// dump), fires after each entry is recorded — outside the ring mutex.
+	onBreach func()
+
 	mu    sync.Mutex
 	buf   []SlowEntry
 	start int
@@ -66,13 +70,16 @@ func (s *SlowLog) Observe(op string, d time.Duration, detail string) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	i := (s.start + s.n) % len(s.buf)
 	s.buf[i] = SlowEntry{Op: op, Dur: d, At: time.Now(), Detail: detail}
 	if s.n < len(s.buf) {
 		s.n++
 	} else {
 		s.start = (s.start + 1) % len(s.buf)
+	}
+	s.mu.Unlock()
+	if s.onBreach != nil {
+		s.onBreach()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/uid"
 	"repro/internal/value"
@@ -31,6 +32,11 @@ type Interp struct {
 	DB   *db.DB
 	env  map[string]value.Value
 	snap *core.Snapshot
+
+	// prof is non-nil while a (profile expr) evaluation is in flight:
+	// parseQueryOpts threads it into every §3 query the expression
+	// issues, so traversal costs land on the profile being built.
+	prof *obs.ProfCtx
 }
 
 // NewInterp returns an interpreter over the database.
@@ -134,6 +140,10 @@ func init() {
 		"describe":   evalDescribe,
 
 		"snapshot": evalSnapshot,
+
+		"explain": evalExplain,
+		"profile": evalProfile,
+		"flight":  evalFlight,
 
 		"components-of": evalComponentsOf,
 		"parents-of":    evalParentsOf,
@@ -661,9 +671,11 @@ func evalSnapshot(in *Interp, args []Node) (value.Value, error) {
 	}
 }
 
-// parseQueryOpts reads the optional arguments of §3.1's messages.
+// parseQueryOpts reads the optional arguments of §3.1's messages. When
+// a (profile ...) evaluation is in flight its collector rides along in
+// q.Prof, so the engine attributes the query's costs to it.
 func (in *Interp) parseQueryOpts(args []Node) (core.QueryOpts, error) {
-	var q core.QueryOpts
+	q := core.QueryOpts{Prof: in.prof}
 	_, kw, _, err := splitKeywords(args)
 	if err != nil {
 		return q, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -65,7 +66,15 @@ type BufferPool struct {
 	shards []*shard
 	mask   uint32
 	o      poolObs
+
+	// prof is the ambient per-operation cost sink (AttachProf): fetches
+	// and evictions are attributed to it while attached. Exact when one
+	// profiled operation runs at a time; see obs.ProfCtx.
+	prof atomic.Pointer[obs.ProfCtx]
 }
+
+// AttachProf attributes pool activity to p until detached (nil).
+func (bp *BufferPool) AttachProf(p *obs.ProfCtx) { bp.prof.Store(p) }
 
 // NewBufferPool returns a pool holding at most capacity pages.
 func NewBufferPool(dev Device, capacity int) *BufferPool {
@@ -141,6 +150,7 @@ func (bp *BufferPool) evictOne(s *shard) error {
 			return err
 		}
 		bp.o.writes.Inc()
+		bp.prof.Load().PageWrite()
 	}
 	s.lru.Remove(back)
 	delete(s.frames, id)
@@ -169,6 +179,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 	defer s.mu.Unlock()
 	if fr, ok := s.frames[id]; ok {
 		bp.o.hits.Inc()
+		bp.prof.Load().PoolHit()
 		if fr.elem != nil {
 			s.lru.Remove(fr.elem)
 			fr.elem = nil
@@ -177,6 +188,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		return &fr.page, nil
 	}
 	bp.o.misses.Inc()
+	bp.prof.Load().PoolMiss()
 	if tr := bp.o.tr; tr.Active() {
 		tr.Point(0, "storage.pool.miss", obs.F("page", id))
 	}
@@ -188,6 +200,7 @@ func (bp *BufferPool) Fetch(id PageID) (*Page, error) {
 		return nil, err
 	}
 	bp.o.reads.Inc()
+	bp.prof.Load().PageRead()
 	s.frames[id] = fr
 	return &fr.page, nil
 }

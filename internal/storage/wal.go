@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -65,7 +66,14 @@ type WAL struct {
 	f    *os.File
 	path string
 	o    walObs
+
+	// prof is the ambient per-operation cost sink (AttachProf): appended
+	// frames are attributed to it while attached.
+	prof atomic.Pointer[obs.ProfCtx]
 }
+
+// AttachProf attributes WAL appends to p until detached (nil).
+func (w *WAL) AttachProf(p *obs.ProfCtx) { w.prof.Store(p) }
 
 // OpenWAL opens (creating if needed) the log at path, positioned for
 // appending.
@@ -166,6 +174,7 @@ func (w *WAL) Append(rec WALRecord) error {
 	}
 	w.o.appends.Inc()
 	w.o.appendBytes.Add(uint64(len(frame)))
+	w.prof.Load().WALAppend(len(frame))
 	if tr := w.o.tr; tr.Active() {
 		tr.Point(0, "wal.append", obs.F("uid", rec.UID), obs.F("op", rec.Op), obs.F("bytes", len(frame)))
 	}

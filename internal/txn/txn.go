@@ -47,6 +47,20 @@ type Manager struct {
 	next     atomic.Uint64
 	boundary Boundary
 	o        managerObs
+
+	// profAttach/profDetach are ambient cost-sink hooks: when a
+	// transaction turns on profiling (Txn.Profile) the manager calls
+	// profAttach so layers the Txn never sees directly — buffer pool,
+	// WAL — attribute their activity to the same ProfCtx, and
+	// profDetach at commit/abort. The db facade wires them.
+	profAttach func(*obs.ProfCtx)
+	profDetach func(*obs.ProfCtx)
+}
+
+// SetProfHooks installs the ambient profile attach/detach callbacks
+// (see Txn.Profile). Call before any transaction begins.
+func (m *Manager) SetProfHooks(attach, detach func(*obs.ProfCtx)) {
+	m.profAttach, m.profDetach = attach, detach
 }
 
 // SetBoundary installs the commit/abort observer. Call before any
@@ -58,6 +72,7 @@ func (m *Manager) SetBoundary(b Boundary) { m.boundary = b }
 // begin/commit/abort points.
 type managerObs struct {
 	tr              *obs.Tracer
+	flight          *obs.FlightRecorder
 	begins          *obs.Counter
 	commits         *obs.Counter
 	aborts          *obs.Counter
@@ -83,6 +98,7 @@ func NewManager(e *core.Engine) *Manager {
 func (m *Manager) SetObservability(r *obs.Registry) {
 	m.o = managerObs{
 		tr:              r.Tracer(),
+		flight:          r.Flight(),
 		begins:          r.Counter("txn_begin_total"),
 		commits:         r.Counter("txn_commit_total"),
 		aborts:          r.Counter("txn_abort_total"),
@@ -167,7 +183,43 @@ type Txn struct {
 	id      lock.TxID
 	undo    []undoRec
 	snapped map[uid.UID]bool
+	prof    *obs.ProfCtx
 	done    bool
+}
+
+// Profile turns on cost attribution for the rest of the transaction
+// and returns the collector. From this point every traversal the
+// transaction runs, every lock it waits for, and — via the manager's
+// ambient hooks — every page and WAL frame its writes touch is charged
+// to the returned ProfCtx; read it after Commit/Abort (obs.ProfCtx
+// methods are safe on a finished context). Idempotent: repeated calls
+// return the same collector.
+func (t *Txn) Profile() *obs.ProfCtx {
+	if t.prof == nil && !t.done {
+		t.prof = obs.NewProfCtx(fmt.Sprintf("txn %d", t.id))
+		t.m.locks.RegisterProf(t.id, t.prof)
+		if t.m.profAttach != nil {
+			t.m.profAttach(t.prof)
+		}
+	}
+	return t.prof
+}
+
+// finishProf seals the transaction's profile at commit/abort: stops
+// the wall clock, detaches the ambient sinks, and drops the flight
+// record for the transaction as a whole. The lock-manager registration
+// is cleaned up by ReleaseAll.
+func (t *Txn) finishProf(op, outcome string) {
+	if t.prof == nil {
+		return
+	}
+	t.prof.Finish()
+	if t.m.profDetach != nil {
+		t.m.profDetach(t.prof)
+	}
+	if f := t.m.o.flight; f != nil {
+		f.Record(op, fmt.Sprintf("tx=%d", t.id), t.prof.Wall(), outcome, t.prof.TopCosts())
+	}
 }
 
 // ID returns the transaction's lock-manager identity.
@@ -348,7 +400,7 @@ func (t *Txn) ReadComposite(root uid.UID) ([]uid.UID, error) {
 	if err := t.m.proto.LockCompositeRead(t.id, root); err != nil {
 		return nil, err
 	}
-	comps, err := t.m.engine.ComponentsOf(root, core.QueryOpts{})
+	comps, err := t.m.engine.ComponentsOf(root, core.QueryOpts{Prof: t.prof})
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +419,7 @@ func (t *Txn) Delete(id uid.UID) ([]uid.UID, error) {
 	// Snapshot everything deletion may touch: the object, its component
 	// closure, and the parents of each (forward references are edited).
 	affected := uid.NewSet(id)
-	comps, err := t.m.engine.ComponentsOf(id, core.QueryOpts{})
+	comps, err := t.m.engine.ComponentsOf(id, core.QueryOpts{Prof: t.prof})
 	if err != nil {
 		return nil, err
 	}
@@ -417,6 +469,11 @@ func (t *Txn) Commit() error {
 	// and a snapshot begun from here on sees all of it or none. Installed
 	// even on a boundary error — the in-memory effects persist either way.
 	t.m.engine.CommitVersions(t.txid())
+	outcome := "ok"
+	if err != nil {
+		outcome = "err"
+	}
+	t.finishProf("txn.commit", outcome)
 	t.m.locks.ReleaseAll(t.id)
 	if err != nil {
 		return err
@@ -465,6 +522,7 @@ func (t *Txn) Abort() error {
 			firstErr = err
 		}
 	}
+	t.finishProf("txn.abort", "abort")
 	t.m.locks.ReleaseAll(t.id)
 	return firstErr
 }
