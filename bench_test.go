@@ -24,6 +24,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/storage"
 	"repro/internal/uid"
 	"repro/internal/value"
@@ -1043,6 +1045,67 @@ func BenchmarkCommitThroughput(b *testing.B) {
 						}
 					}
 				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			commits := reg.Counter("txn_commit_total").Load() - commit0
+			fsyncs := reg.Counter("wal_fsync_total").Load() - fsync0
+			if commits > 0 {
+				b.ReportMetric(float64(fsyncs)/float64(commits), "fsyncs/commit")
+			}
+		})
+	}
+}
+
+// BenchmarkNetCommitThroughput is BenchmarkCommitThroughput through the
+// TCP front end: each client owns a connection and drives one durable
+// commit per request frame — (begin)(make ...)(commit) as a single
+// program, so a transaction costs exactly one round trip. Comparing
+// fsyncs/commit against the embedded bench shows whether group-commit
+// amortization survives the wire; comparing ns/op prices the protocol
+// overhead (framing, parse, render) per transaction.
+func BenchmarkNetCommitThroughput(b *testing.B) {
+	for _, clients := range []int{1, 2, 8, 32} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			d, err := db.Open(db.Options{Dir: b.TempDir(), SyncWAL: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			if _, err := d.DefineClass(schema.ClassDef{Name: "Note", Attributes: []schema.AttrSpec{
+				schema.NewAttr("Body", schema.StringDomain),
+			}}); err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(d, server.Config{Addr: "127.0.0.1:0", MaxConns: clients + 1})
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			conns := make([]*client.Client, clients)
+			for i := range conns {
+				if conns[i], err = client.Dial(srv.Addr()); err != nil {
+					b.Fatal(err)
+				}
+				defer conns[i].Close()
+			}
+			reg := d.Observability()
+			fsync0 := reg.Counter("wal_fsync_total").Load()
+			commit0 := reg.Counter("txn_commit_total").Load()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for _, c := range conns {
+				wg.Add(1)
+				go func(c *client.Client) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := c.Do(`(begin) (make Note :Body "x") (commit)`); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
 			}
 			wg.Wait()
 			b.StopTimer()

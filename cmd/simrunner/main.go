@@ -5,6 +5,7 @@
 //	go run ./cmd/simrunner -seed 1 -ops 5000
 //	go run ./cmd/simrunner -seeds 100 -ops 2000 -evolution -durable -crash
 //	go run ./cmd/simrunner -replay failure.trace -seed 1
+//	go run ./cmd/simrunner -net -workers 8 -ops 500 -durable
 //
 // On failure it prints the seed, the failing step and op, and the
 // minimized trace (replayable with -replay), then exits 1. On success
@@ -32,6 +33,7 @@ type options struct {
 	replay     string
 	workers    int
 	readers    int
+	net        bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -48,6 +50,7 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.replay, "replay", "", "replay a saved trace file instead of generating a workload")
 	fs.IntVar(&o.workers, "workers", 0, "run the concurrent harness with this many writer goroutines (0 = sequential)")
 	fs.IntVar(&o.readers, "readers", 0, "add this many snapshot-reader goroutines to the concurrent harness (requires -workers)")
+	fs.BoolVar(&o.net, "net", false, "drive the concurrent harness through TCP clients against an in-process server (requires -workers)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -56,6 +59,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.readers > 0 && o.workers == 0 {
 		return o, fmt.Errorf("-readers requires -workers")
+	}
+	if o.net && o.workers == 0 {
+		return o, fmt.Errorf("-net requires -workers")
 	}
 	return o, nil
 }
@@ -98,12 +104,17 @@ func run(o options, out io.Writer) (*sim.Failure, error) {
 				Ops:     o.ops,
 				Durable: o.durable,
 				Dir:     o.dir,
+				Net:     o.net,
 			})
 			if res.Failure != nil {
 				return res.Failure, nil
 			}
-			fmt.Fprintf(out, "seed=%d workers=%d readers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d snapshot-reads=%d ok\n",
-				seed, o.workers, o.readers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries, res.SnapshotReads)
+			mode := "embedded"
+			if o.net {
+				mode = "net"
+			}
+			fmt.Fprintf(out, "seed=%d mode=%s workers=%d readers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d snapshot-reads=%d ok\n",
+				seed, mode, o.workers, o.readers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries, res.SnapshotReads)
 			continue
 		}
 		if fail := sim.Run(o.config(seed)); fail != nil {

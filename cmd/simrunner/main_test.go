@@ -75,6 +75,30 @@ func TestReadersRequireWorkers(t *testing.T) {
 	}
 }
 
+func TestRunNetMode(t *testing.T) {
+	o, err := parseFlags([]string{"-net", "-workers", "2", "-ops", "60"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	fail, err := run(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatal(fail.Report())
+	}
+	if got := out.String(); !strings.Contains(got, "mode=net") || !strings.Contains(got, "committed=") {
+		t.Fatalf("missing net summary fields:\n%s", got)
+	}
+}
+
+func TestNetRequiresWorkers(t *testing.T) {
+	if _, err := parseFlags([]string{"-net"}); err == nil {
+		t.Fatal("-net without -workers should be rejected")
+	}
+}
+
 func TestCrashImpliesDurable(t *testing.T) {
 	o, err := parseFlags([]string{"-crash"})
 	if err != nil {

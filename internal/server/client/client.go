@@ -1,0 +1,79 @@
+// Package client is the Go client for the orion-server wire protocol:
+// framed s-expression requests over TCP, one reply per request, with
+// explicit Send/Recv so callers can pipeline. Used by the server tests,
+// the network benchmarks, and simrunner -net.
+package client
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// MaxReply bounds reply payloads the client will accept. Replies can be
+// much larger than requests (a scan renders every ref), so this is wider
+// than the server's request bound.
+const MaxReply = 64 << 20
+
+// Client is one connection — one server session. Do is safe for
+// sequential use; Send and Recv each take their own lock so one
+// goroutine may pipeline sends while another drains replies, but replies
+// are matched to requests purely by order.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	rmu  sync.Mutex
+	br   *bufio.Reader
+}
+
+// Dial connects to an orion-server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		br:   bufio.NewReader(conn),
+	}, nil
+}
+
+// Do sends one program and waits for its reply: the rendered value of
+// the last expression, or a *server.RemoteError carrying the remote
+// failure code.
+func (c *Client) Do(program string) (string, error) {
+	if err := c.Send(program); err != nil {
+		return "", err
+	}
+	return c.Recv()
+}
+
+// Send writes one request frame without waiting for the reply.
+func (c *Client) Send(program string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := server.WriteFrame(c.bw, []byte(program)); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next reply frame. Replies arrive in request order.
+func (c *Client) Recv() (string, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	payload, err := server.ReadFrame(c.br, MaxReply)
+	if err != nil {
+		return "", err
+	}
+	return server.DecodeReply(payload)
+}
+
+// Close tears the connection down. The server aborts any transaction
+// the session still holds.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,140 @@
+// Package server is the TCP front-end over the composite-object store:
+// one listener, one session per connection, each session an independent
+// sexpr.Interp whose (begin)/(commit) transactions and (snapshot begin)
+// reads map straight onto txn.Manager. See DESIGN.md §14.
+//
+// Wire protocol: both directions carry length-prefixed frames — a 4-byte
+// big-endian payload length followed by that many bytes of UTF-8. A
+// request payload is an s-expression program; the whole program is one
+// unit of evaluation and gets exactly one reply frame. A reply payload's
+// first byte is a status tag:
+//
+//	'+' — success; the rest is the rendered value of the last expression
+//	'-' — failure; the rest is "<code> <message>" where <code> is a
+//	      machine-readable word (sexpr.CodeDeadlock, CodeBusy, …)
+//
+// The frame layer enforces a maximum payload length on receive and
+// never trusts the prefix for allocation: a lying length allocates only
+// what actually arrives, so a hostile peer cannot balloon memory with a
+// 4-byte header.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DefaultMaxFrame bounds request payloads unless Config overrides it.
+const DefaultMaxFrame = 4 << 20
+
+// frameHeader is the length prefix size.
+const frameHeader = 4
+
+// ErrFrameTooLarge reports a length prefix above the receive limit. The
+// stream cannot be resynchronized after it; the connection must close.
+var ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+
+// Reply status tags.
+const (
+	statusOK  = '+'
+	statusErr = '-'
+)
+
+// Error codes minted by the server itself (evaluation errors carry
+// sexpr.ErrorCode codes instead).
+const (
+	// CodeBusy rejects a connection over the admission limit.
+	CodeBusy = "busy"
+	// CodeShutdown rejects a connection while the server drains.
+	CodeShutdown = "shutdown"
+	// CodeProto reports a malformed frame (e.g. oversized length prefix).
+	CodeProto = "proto"
+)
+
+// RemoteError is a '-' reply decoded on the receiving side: the failure
+// of the remote evaluation (or admission), carried as a code + message.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return "remote: " + e.Code + ": " + e.Msg }
+
+// IsRemote reports whether err is a RemoteError with the given code.
+func IsRemote(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads longer than max before
+// anything is allocated for them. The body is read through io.CopyN into
+// a growing buffer rather than a make([]byte, n) up front, so a length
+// prefix the stream cannot back (truncated or hostile) costs only the
+// bytes that actually arrived. A short body returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max uint32) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeResult builds a '+' reply payload.
+func encodeResult(s string) []byte {
+	b := make([]byte, 0, 1+len(s))
+	return append(append(b, statusOK), s...)
+}
+
+// encodeError builds a '-' reply payload.
+func encodeError(code, msg string) []byte {
+	b := make([]byte, 0, 1+len(code)+1+len(msg))
+	b = append(b, statusErr)
+	b = append(b, code...)
+	b = append(b, ' ')
+	return append(b, msg...)
+}
+
+// DecodeReply splits a reply payload into its result text or RemoteError.
+func DecodeReply(payload []byte) (string, error) {
+	if len(payload) == 0 {
+		return "", errors.New("server: empty reply frame")
+	}
+	switch payload[0] {
+	case statusOK:
+		return string(payload[1:]), nil
+	case statusErr:
+		code, msg, _ := strings.Cut(string(payload[1:]), " ")
+		return "", &RemoteError{Code: code, Msg: msg}
+	default:
+		return "", fmt.Errorf("server: bad reply status %q", payload[0])
+	}
+}

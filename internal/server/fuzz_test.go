@@ -1,0 +1,52 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame checks the wire decoder against arbitrary byte
+// streams: it must never panic, never allocate more than the declared
+// limit (a hostile length prefix may not balloon memory), and every
+// accepted frame must survive a re-encode/decode round trip. Mirrors
+// FuzzDecodeWALPayload for the storage layer.
+func FuzzDecodeFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		WriteFrame(&buf, payload)
+		return buf.Bytes()
+	}
+	f.Add(frame(nil))
+	f.Add(frame([]byte("(classes)")))
+	f.Add(frame([]byte("(make Widget :Tag 1)")))
+	f.Add([]byte{})                       // empty stream
+	f.Add([]byte{0, 0})                   // truncated header
+	f.Add([]byte{0, 0, 0, 100, 'a'})      // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // 4GiB length prefix, no body
+	big := frame([]byte("abc"))
+	binary.BigEndian.PutUint32(big[:4], 1<<31) // lying prefix over real bytes
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		const max = 1 << 16
+		payload, err := ReadFrame(bytes.NewReader(b), max)
+		if err != nil {
+			return
+		}
+		if len(payload) > max {
+			t.Fatalf("decoder returned %d bytes above the %d limit", len(payload), max)
+		}
+		// Accepted frames round-trip.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFrame(&buf, max)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("round trip changed payload: %x vs %x", payload, again)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/obs"
 	"repro/internal/schema"
+	"repro/internal/txn"
 	"repro/internal/uid"
 	"repro/internal/value"
 )
@@ -32,6 +33,10 @@ type Interp struct {
 	DB   *db.DB
 	env  map[string]value.Value
 	snap *core.Snapshot
+
+	// tx is the session's open explicit transaction ((begin) … (commit)),
+	// nil when mutations auto-commit through the db facade. See session.go.
+	tx *txn.Txn
 
 	// prof is non-nil while a (profile expr) evaluation is in flight:
 	// parseQueryOpts threads it into every §3 query the expression
@@ -140,6 +145,12 @@ func init() {
 		"describe":   evalDescribe,
 
 		"snapshot": evalSnapshot,
+
+		"begin":      evalBegin,
+		"commit":     evalCommit,
+		"abort":      evalAbort,
+		"txn-status": evalTxnStatus,
+		"refs":       evalRefs,
 
 		"explain": evalExplain,
 		"profile": evalProfile,
@@ -507,7 +518,12 @@ func evalMake(in *Interp, args []Node) (value.Value, error) {
 		}
 		attrs[key] = v
 	}
-	o, err := in.DB.Make(class, attrs, parents...)
+	var o *object.Object
+	if in.tx != nil {
+		o, err = in.tx.New(class, attrs, parents...)
+	} else {
+		o, err = in.DB.Make(class, attrs, parents...)
+	}
 	if err != nil {
 		return value.Nil, err
 	}
@@ -527,9 +543,12 @@ func evalGet(in *Interp, args []Node) (value.Value, error) {
 		return value.Nil, err
 	}
 	var o *object.Object
-	if in.snap != nil {
+	switch {
+	case in.snap != nil:
 		o, err = in.snap.Get(id)
-	} else {
+	case in.tx != nil:
+		o, err = in.tx.ReadObject(id)
+	default:
 		o, err = in.DB.Get(id)
 	}
 	if err != nil {
@@ -554,7 +573,12 @@ func evalSet(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	if err := in.DB.Set(id, attr, v); err != nil {
+	if in.tx != nil {
+		err = in.tx.WriteAttr(id, attr, v)
+	} else {
+		err = in.DB.Set(id, attr, v)
+	}
+	if err != nil {
 		return value.Nil, err
 	}
 	return v, nil
@@ -576,7 +600,12 @@ func evalAttach(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	if err := in.DB.Attach(p, attr, c); err != nil {
+	if in.tx != nil {
+		err = in.tx.Attach(p, attr, c)
+	} else {
+		err = in.DB.Attach(p, attr, c)
+	}
+	if err != nil {
 		return value.Nil, err
 	}
 	return value.Bool(true), nil
@@ -598,7 +627,12 @@ func evalDetach(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	if err := in.DB.Detach(p, attr, c); err != nil {
+	if in.tx != nil {
+		err = in.tx.Detach(p, attr, c)
+	} else {
+		err = in.DB.Detach(p, attr, c)
+	}
+	if err != nil {
 		return value.Nil, err
 	}
 	return value.Bool(true), nil
@@ -612,7 +646,12 @@ func evalDelete(in *Interp, args []Node) (value.Value, error) {
 	if err != nil {
 		return value.Nil, err
 	}
-	deleted, err := in.DB.Delete(id)
+	var deleted []uid.UID
+	if in.tx != nil {
+		deleted, err = in.tx.Delete(id)
+	} else {
+		deleted, err = in.DB.Delete(id)
+	}
 	if err != nil {
 		return value.Nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/lock"
+	"repro/internal/server"
 	"repro/internal/uid"
 	"repro/internal/value"
 )
@@ -71,6 +72,13 @@ type ConcurrentConfig struct {
 	// mutate (default 6). They are what makes workers actually contend —
 	// without them each worker would live in its own disjoint hierarchy.
 	SharedRoots int
+	// Net drives every worker through a real TCP client against an
+	// in-process orion-server instead of calling txn.Manager directly:
+	// the same op streams, model checks, and (on durable runs) crash
+	// finale, but with the wire protocol and per-connection sessions in
+	// the loop. The server is killed before the crash so recovery also
+	// covers sessions dying mid-flight.
+	Net bool
 }
 
 // ConcurrentResult reports one concurrent run.
@@ -101,6 +109,11 @@ type charness struct {
 	cfg ConcurrentConfig
 	dir string
 	d   *db.DB
+
+	// srv is the in-process TCP server net-mode workers dial (nil when
+	// embedded). It shares h.d, so readers and quiescent checks still
+	// look at the same engine the wire mutates.
+	srv *server.Server
 
 	// commitMu serializes commit + model re-execution + trace append, so
 	// the model is applied in true commit order (conflicting transactions
@@ -150,6 +163,7 @@ type cworker struct {
 	h    *charness
 	id   int
 	rng  *rand.Rand
+	drv  txnDriver
 	txns [][]Op
 	next int
 }
@@ -194,6 +208,42 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 	workers, err := h.buildWorkers()
 	if err != nil {
 		return fail("setup: " + err.Error())
+	}
+
+	// Attach each worker's engine transport: direct txn.Manager calls, or
+	// a dialed client session against an in-process server (-net).
+	// shutdownNet is idempotent and runs both deferred (failure paths)
+	// and explicitly before the crash finale — the server must be gone
+	// (its sessions torn down) before Abandon rips the store out from
+	// under it.
+	if cfg.Net {
+		if err := h.startServer(); err != nil {
+			return fail("server: " + err.Error())
+		}
+	}
+	shutdownNet := func() {
+		for _, w := range workers {
+			if w.drv != nil {
+				w.drv.Close()
+				w.drv = nil
+			}
+		}
+		if h.srv != nil {
+			h.srv.Close()
+			h.srv = nil
+		}
+	}
+	defer shutdownNet()
+	for _, w := range workers {
+		if cfg.Net {
+			drv, err := dialDriver(h.srv.Addr())
+			if err != nil {
+				return fail("dial: " + err.Error())
+			}
+			w.drv = drv
+		} else {
+			w.drv = &localDriver{m: h.d.Txns()}
+		}
 	}
 
 	// Snapshot readers: record the post-setup state as the baseline
@@ -247,7 +297,9 @@ func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
 	}
 
 	// Durable runs: crash without flushing, reopen through recovery, and
-	// require the recovered state to equal the committed model.
+	// require the recovered state to equal the committed model. In net
+	// mode the server is killed first — the crash covers the whole stack.
+	shutdownNet()
 	if cfg.Durable {
 		if err := h.d.Abandon(); err != nil {
 			return fail("abandon: " + err.Error())
@@ -289,6 +341,20 @@ func (h *charness) open() error {
 		return err
 	}
 	h.d = d
+	return nil
+}
+
+// startServer boots the in-process TCP front-end for net mode on an
+// ephemeral port.
+func (h *charness) startServer() error {
+	srv := server.New(h.d, server.Config{
+		Addr:     "127.0.0.1:0",
+		MaxConns: h.cfg.Workers + 8,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	h.srv = srv
 	return nil
 }
 
@@ -592,12 +658,14 @@ func (w *cworker) resolve(overlay map[int]slotRec, s int) (slotRec, bool) {
 
 func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 	h := w.h
-	t := h.d.Txns().BeginAt(id)
+	if err := w.drv.Begin(id); err != nil {
+		return false, w.fail(Op{}, "begin: "+err.Error())
+	}
 	overlay := map[int]slotRec{}
 	var recs []execRec
 
 	abortForRetry := func() (bool, *Failure) {
-		if err := t.Abort(); err != nil {
+		if err := w.drv.Abort(); err != nil {
 			return false, w.fail(Op{}, "abort after deadlock: "+err.Error())
 		}
 		return true, nil
@@ -621,11 +689,11 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 			if skip {
 				break
 			}
-			o, err := t.New(op.Class, map[string]value.Value{"Tag": value.Int(op.Tag)}, parents...)
+			nid, err := w.drv.New(op.Class, op.Tag, parents)
 			rec.engErr = err
 			if err == nil {
-				rec.id = o.UID()
-				rec.slot = slotRec{id: o.UID(), class: op.Class, set: true}
+				rec.id = nid
+				rec.slot = slotRec{id: nid, class: op.Class, set: true}
 				overlay[op.Slot] = rec.slot
 			}
 		case OpAttach, OpDetach:
@@ -637,9 +705,9 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 			}
 			rec.id, rec.childID = p.id, c.id
 			if op.Kind == OpAttach {
-				rec.engErr = t.Attach(p.id, op.Attr, c.id)
+				rec.engErr = w.drv.Attach(p.id, op.Attr, c.id)
 			} else {
-				rec.engErr = t.Detach(p.id, op.Attr, c.id)
+				rec.engErr = w.drv.Detach(p.id, op.Attr, c.id)
 			}
 		case OpSetTag:
 			r, ok := w.resolve(overlay, op.Slot)
@@ -648,7 +716,7 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 				break
 			}
 			rec.id = r.id
-			rec.engErr = t.WriteAttr(r.id, "Tag", value.Int(op.Tag))
+			rec.engErr = w.drv.SetTag(r.id, op.Tag)
 		case OpSetRefs:
 			r, ok := w.resolve(overlay, op.Slot)
 			if !ok {
@@ -669,16 +737,9 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 				break
 			}
 			rec.id = r.id
-			var v value.Value
-			switch {
-			case op.Attr != "Main":
-				v = value.RefSet(ids...)
-			case len(ids) == 1:
-				v = value.Ref(ids[0])
-			case len(ids) > 1:
-				v = value.RefSet(ids...) // collection on single-valued: both sides reject
-			}
-			rec.engErr = t.WriteAttr(r.id, op.Attr, v)
+			// refsValue semantics: a collection on the single-valued
+			// Main is sent anyway — both engine and model must reject it.
+			rec.engErr = w.drv.SetRefs(r.id, op.Attr, ids)
 		case OpDelete:
 			r, ok := w.resolve(overlay, op.Slot)
 			if !ok {
@@ -686,10 +747,13 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 				break
 			}
 			rec.id = r.id
-			rec.deleted, rec.engErr = t.Delete(r.id)
+			rec.deleted, rec.engErr = w.drv.Delete(r.id)
 		}
 		if skip {
 			continue
+		}
+		if rec.engErr != nil && errors.Is(rec.engErr, errNetFatal) {
+			return false, w.fail(op, "transport: "+rec.engErr.Error())
 		}
 		if rec.engErr != nil && errors.Is(rec.engErr, lock.ErrDeadlock) {
 			return abortForRetry()
@@ -699,7 +763,7 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 
 	// Deliberate aborts exercise undo interleaved with other writers.
 	if w.rng.Float64() < 0.15 {
-		if err := t.Abort(); err != nil {
+		if err := w.drv.Abort(); err != nil {
 			return false, w.fail(Op{}, "abort: "+err.Error())
 		}
 		h.aborted.Add(1)
@@ -708,7 +772,7 @@ func (w *cworker) attemptTxn(id lock.TxID, ops []Op) (retry bool, f *Failure) {
 
 	h.commitMu.Lock()
 	defer h.commitMu.Unlock()
-	if err := t.Commit(); err != nil {
+	if err := w.drv.Commit(); err != nil {
 		return false, w.fail(Op{}, "commit: "+err.Error())
 	}
 	// Re-execute against the model in commit order and compare verdicts.

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/sexpr"
+	"repro/internal/txn"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// txnDriver is how a concurrent worker talks to the engine: directly
+// through txn.Manager (embedded, the PR 5 harness), or through a real
+// TCP client against an in-process orion-server (-net). The harness's
+// checking — commit-order model re-execution, quiescent compares,
+// snapshot history — is identical either way; only the op transport
+// changes, so a divergence under -net and not embedded isolates a wire
+// or session bug.
+type txnDriver interface {
+	// Begin opens a transaction under the given reserved identity
+	// (retries reuse it so youngest-victim cannot starve them).
+	Begin(id lock.TxID) error
+	New(class string, tag int64, parents []core.ParentSpec) (uid.UID, error)
+	Attach(parent uid.UID, attr string, child uid.UID) error
+	Detach(parent uid.UID, attr string, child uid.UID) error
+	SetTag(id uid.UID, tag int64) error
+	SetRefs(id uid.UID, attr string, refs []uid.UID) error
+	Delete(id uid.UID) ([]uid.UID, error)
+	Commit() error
+	Abort() error
+	Close() error
+}
+
+// errNetFatal marks transport failures (broken connection, bad reply
+// framing) — infrastructure problems that must fail the run outright
+// rather than be scored as engine verdicts against the model.
+var errNetFatal = errors.New("sim: network transport failure")
+
+// refsValue builds the attribute value for an OpSetRefs the same way on
+// both drivers: set-valued attributes always get a set (possibly empty);
+// the single-valued Main gets a lone ref, nil to clear, or — with
+// several refs — a set anyway, which both engine and model must reject.
+func refsValue(attr string, ids []uid.UID) value.Value {
+	switch {
+	case attr != "Main":
+		return value.RefSet(ids...)
+	case len(ids) == 1:
+		return value.Ref(ids[0])
+	case len(ids) > 1:
+		return value.RefSet(ids...)
+	default:
+		return value.Nil
+	}
+}
+
+// ---- embedded driver ----
+
+type localDriver struct {
+	m *txn.Manager
+	t *txn.Txn
+}
+
+func (d *localDriver) Begin(id lock.TxID) error {
+	d.t = d.m.BeginAt(id)
+	return nil
+}
+
+func (d *localDriver) New(class string, tag int64, parents []core.ParentSpec) (uid.UID, error) {
+	o, err := d.t.New(class, map[string]value.Value{"Tag": value.Int(tag)}, parents...)
+	if err != nil {
+		return uid.Nil, err
+	}
+	return o.UID(), nil
+}
+
+func (d *localDriver) Attach(parent uid.UID, attr string, child uid.UID) error {
+	return d.t.Attach(parent, attr, child)
+}
+
+func (d *localDriver) Detach(parent uid.UID, attr string, child uid.UID) error {
+	return d.t.Detach(parent, attr, child)
+}
+
+func (d *localDriver) SetTag(id uid.UID, tag int64) error {
+	return d.t.WriteAttr(id, "Tag", value.Int(tag))
+}
+
+func (d *localDriver) SetRefs(id uid.UID, attr string, refs []uid.UID) error {
+	return d.t.WriteAttr(id, attr, refsValue(attr, refs))
+}
+
+func (d *localDriver) Delete(id uid.UID) ([]uid.UID, error) { return d.t.Delete(id) }
+func (d *localDriver) Commit() error                        { return d.t.Commit() }
+func (d *localDriver) Abort() error                         { return d.t.Abort() }
+func (d *localDriver) Close() error                         { return nil }
+
+// ---- wire driver ----
+
+// netDriver renders each op as an s-expression program, sends it over a
+// real TCP connection, and parses the rendered reply back into UIDs.
+// Remote evaluation failures come back as verdict errors (deadlocks
+// re-wrapped so errors.Is(err, lock.ErrDeadlock) survives the wire);
+// transport failures come back wrapping errNetFatal.
+type netDriver struct {
+	c *client.Client
+}
+
+func dialDriver(addr string) (*netDriver, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &netDriver{c: c}, nil
+}
+
+func (d *netDriver) do(program string) (string, error) {
+	out, err := d.c.Do(program)
+	if err == nil {
+		return out, nil
+	}
+	var re *server.RemoteError
+	if errors.As(err, &re) {
+		if re.Code == sexpr.CodeDeadlock {
+			return "", fmt.Errorf("%s: %w", re.Msg, lock.ErrDeadlock)
+		}
+		return "", err // an engine verdict, scored against the model
+	}
+	return "", fmt.Errorf("%w: %v", errNetFatal, err)
+}
+
+func refTok(id uid.UID) string { return "#" + id.String() }
+
+// parseRefTok parses one rendered reference ("#class:serial").
+func parseRefTok(s string) (uid.UID, error) {
+	if !strings.HasPrefix(s, "#") {
+		return uid.Nil, fmt.Errorf("%w: expected a reference, got %q", errNetFatal, s)
+	}
+	var id uid.UID
+	if err := id.UnmarshalText([]byte(s[1:])); err != nil {
+		return uid.Nil, fmt.Errorf("%w: %v", errNetFatal, err)
+	}
+	return id, nil
+}
+
+// parseRefList scans every "#class:serial" token out of a rendered list
+// like "[#3:1 #3:2]" (the reader has no list literal, so replies are
+// scanned, not re-parsed).
+func parseRefList(s string) ([]uid.UID, error) {
+	var ids []uid.UID
+	for _, tok := range strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '[' || r == ']' || r == '{' || r == '}'
+	}) {
+		if !strings.HasPrefix(tok, "#") {
+			continue
+		}
+		id, err := parseRefTok(tok)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func (d *netDriver) Begin(id lock.TxID) error {
+	_, err := d.do(fmt.Sprintf("(begin %d)", id))
+	return err
+}
+
+func (d *netDriver) New(class string, tag int64, parents []core.ParentSpec) (uid.UID, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(make %s :Tag %d", class, tag)
+	if len(parents) > 0 {
+		sb.WriteString(" :parent (")
+		for i, p := range parents {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "(%s %s)", refTok(p.Parent), p.Attr)
+		}
+		sb.WriteByte(')')
+	}
+	sb.WriteByte(')')
+	out, err := d.do(sb.String())
+	if err != nil {
+		return uid.Nil, err
+	}
+	return parseRefTok(out)
+}
+
+func (d *netDriver) Attach(parent uid.UID, attr string, child uid.UID) error {
+	_, err := d.do(fmt.Sprintf("(attach %s %s %s)", refTok(parent), attr, refTok(child)))
+	return err
+}
+
+func (d *netDriver) Detach(parent uid.UID, attr string, child uid.UID) error {
+	_, err := d.do(fmt.Sprintf("(detach %s %s %s)", refTok(parent), attr, refTok(child)))
+	return err
+}
+
+func (d *netDriver) SetTag(id uid.UID, tag int64) error {
+	_, err := d.do(fmt.Sprintf("(set %s Tag %d)", refTok(id), tag))
+	return err
+}
+
+func (d *netDriver) SetRefs(id uid.UID, attr string, refs []uid.UID) error {
+	var v string
+	switch {
+	case attr == "Main" && len(refs) == 1:
+		v = refTok(refs[0])
+	case attr == "Main" && len(refs) == 0:
+		v = "nil"
+	default:
+		toks := make([]string, len(refs))
+		for i, r := range refs {
+			toks[i] = refTok(r)
+		}
+		v = "(refs " + strings.Join(toks, " ") + ")"
+	}
+	_, err := d.do(fmt.Sprintf("(set %s %s %s)", refTok(id), attr, v))
+	return err
+}
+
+func (d *netDriver) Delete(id uid.UID) ([]uid.UID, error) {
+	out, err := d.do(fmt.Sprintf("(delete %s)", refTok(id)))
+	if err != nil {
+		return nil, err
+	}
+	return parseRefList(out)
+}
+
+func (d *netDriver) Commit() error {
+	_, err := d.do("(commit)")
+	return err
+}
+
+func (d *netDriver) Abort() error {
+	_, err := d.do("(abort)")
+	return err
+}
+
+func (d *netDriver) Close() error { return d.c.Close() }

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// TestConcurrentHarnessNet runs the concurrent simulation through the
+// wire: each worker dials the in-process TCP server and drives its
+// transactions as framed s-expression programs, with the same
+// commit-order model checks as the embedded mode. Any divergence
+// between the two modes indicts the protocol layer (rendering, parsing,
+// error-code mapping), since the engine underneath is identical.
+func TestConcurrentHarnessNet(t *testing.T) {
+	for seed := int64(31); seed <= 32; seed++ {
+		res := RunConcurrent(ConcurrentConfig{Seed: seed, Workers: 4, Ops: 120, Net: true})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %s", seed, res.Failure.Report())
+		}
+		if res.Committed == 0 {
+			t.Fatalf("seed %d: no transactions committed", seed)
+		}
+	}
+}
+
+// TestConcurrentHarnessNetDurable adds durability and the crash-recovery
+// finale: the server is shut down, the store abandoned mid-flight, and
+// the WAL replay compared against the model — proving the network front
+// end leaves the recovery path intact.
+func TestConcurrentHarnessNetDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durable net soak skipped in -short")
+	}
+	res := RunConcurrent(ConcurrentConfig{Seed: 33, Workers: 4, Readers: 1, Ops: 100, Net: true, Durable: true, Dir: t.TempDir()})
+	if res.Failure != nil {
+		t.Fatal(res.Failure.Report())
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+}
