@@ -6,6 +6,7 @@
 //	go run ./cmd/simrunner -seeds 100 -ops 2000 -evolution -durable -crash
 //	go run ./cmd/simrunner -replay failure.trace -seed 1
 //	go run ./cmd/simrunner -net -workers 8 -ops 500 -durable
+//	go run ./cmd/simrunner -workers 4 -recluster -ops 1000 -durable
 //
 // On failure it prints the seed, the failing step and op, and the
 // minimized trace (replayable with -replay), then exits 1. On success
@@ -34,6 +35,7 @@ type options struct {
 	workers    int
 	readers    int
 	net        bool
+	recluster  bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -51,6 +53,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.workers, "workers", 0, "run the concurrent harness with this many writer goroutines (0 = sequential)")
 	fs.IntVar(&o.readers, "readers", 0, "add this many snapshot-reader goroutines to the concurrent harness (requires -workers)")
 	fs.BoolVar(&o.net, "net", false, "drive the concurrent harness through TCP clients against an in-process server (requires -workers)")
+	fs.BoolVar(&o.recluster, "recluster", false, "run the background reclusterer under the concurrent harness (requires -workers)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -62,6 +65,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.net && o.workers == 0 {
 		return o, fmt.Errorf("-net requires -workers")
+	}
+	if o.recluster && o.workers == 0 {
+		return o, fmt.Errorf("-recluster requires -workers")
 	}
 	return o, nil
 }
@@ -98,13 +104,14 @@ func run(o options, out io.Writer) (*sim.Failure, error) {
 		seed := o.seed + int64(i)
 		if o.workers > 0 {
 			res := sim.RunConcurrent(sim.ConcurrentConfig{
-				Seed:    seed,
-				Workers: o.workers,
-				Readers: o.readers,
-				Ops:     o.ops,
-				Durable: o.durable,
-				Dir:     o.dir,
-				Net:     o.net,
+				Seed:      seed,
+				Workers:   o.workers,
+				Readers:   o.readers,
+				Ops:       o.ops,
+				Durable:   o.durable,
+				Dir:       o.dir,
+				Net:       o.net,
+				Recluster: o.recluster,
 			})
 			if res.Failure != nil {
 				return res.Failure, nil
@@ -113,8 +120,8 @@ func run(o options, out io.Writer) (*sim.Failure, error) {
 			if o.net {
 				mode = "net"
 			}
-			fmt.Fprintf(out, "seed=%d mode=%s workers=%d readers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d snapshot-reads=%d ok\n",
-				seed, mode, o.workers, o.readers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries, res.SnapshotReads)
+			fmt.Fprintf(out, "seed=%d mode=%s workers=%d readers=%d ops=%d committed=%d aborted=%d deadlock-retries=%d snapshot-reads=%d recluster-migrations=%d ok\n",
+				seed, mode, o.workers, o.readers, o.ops, res.Committed, res.Aborted, res.DeadlockRetries, res.SnapshotReads, res.ReclusterMigrations)
 			continue
 		}
 		if fail := sim.Run(o.config(seed)); fail != nil {

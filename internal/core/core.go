@@ -64,6 +64,18 @@ type Hook interface {
 	OnDelete(tx TxnID, id uid.UID) error
 }
 
+// PlacementHook is an optional Hook extension for persistence layers
+// running a clustering policy. When the hook implements it, the engine
+// calls OnWritePlaced instead of OnWrite, additionally passing the
+// object's placement root (the top of its first-parent chain, computed
+// while the engine latch is held — hooks must NOT call latched engine
+// methods like RootsOf from inside the notification). near keeps OnWrite's
+// meaning: the §2.3 first parent, valid only for the creating write.
+type PlacementHook interface {
+	Hook
+	OnWritePlaced(tx TxnID, o *object.Object, near, root uid.UID) error
+}
+
 // AutoCommitSyncer is an optional Hook extension. After an auto-commit
 // mutation (tx 0) finishes its write-through, the engine calls
 // SyncAutoCommit exactly once, outside the engine latch, so a durability
@@ -83,6 +95,24 @@ type MultiHook []Hook
 func (m MultiHook) OnWrite(tx TxnID, o *object.Object, near uid.UID) error {
 	for _, h := range m {
 		if err := h.OnWrite(tx, o, near); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnWritePlaced implements PlacementHook by forwarding the placement root
+// to every member that understands it and falling back to OnWrite for the
+// rest.
+func (m MultiHook) OnWritePlaced(tx TxnID, o *object.Object, near, root uid.UID) error {
+	for _, h := range m {
+		var err error
+		if ph, ok := h.(PlacementHook); ok {
+			err = ph.OnWritePlaced(tx, o, near, root)
+		} else {
+			err = h.OnWrite(tx, o, near)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -150,6 +180,11 @@ type Engine struct {
 	// by the mutation funnels and read lock-free by Snapshot queries
 	// (see mvcc.go).
 	mvcc mvccState
+
+	// catView caches the immutable catalog clone snapshots pin (one per
+	// catalog version; see catalogView).
+	catViewMu sync.Mutex
+	catView   *schema.Catalog
 }
 
 // NewEngine returns an empty engine over the catalog, instrumented with
@@ -541,6 +576,7 @@ func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 	if e.hook == nil {
 		return nil
 	}
+	ph, placed := e.hook.(PlacementHook)
 	for _, id := range d.ids.Slice() {
 		o, ok := e.objects[id]
 		if !ok {
@@ -550,7 +586,13 @@ func (e *Engine) flush(tx TxnID, d *dirtySet, created, near uid.UID) error {
 		if id == created {
 			hint = near
 		}
-		if err := e.hook.OnWrite(tx, o, hint); err != nil {
+		var err error
+		if placed {
+			err = ph.OnWritePlaced(tx, o, hint, e.placementRootLocked(id))
+		} else {
+			err = e.hook.OnWrite(tx, o, hint)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -582,6 +624,7 @@ func (e *Engine) writeThrough(tx TxnID, d *dirtySet, created, near uid.UID, dele
 	}
 	var err error
 	if d != nil {
+		ph, placed := h.(PlacementHook)
 		for _, id := range d.ids.Slice() {
 			o, ok := e.objects[id]
 			if !ok {
@@ -591,7 +634,12 @@ func (e *Engine) writeThrough(tx TxnID, d *dirtySet, created, near uid.UID, dele
 			if id == created {
 				hint = near
 			}
-			if err = h.OnWrite(tx, o, hint); err != nil {
+			if placed {
+				err = ph.OnWritePlaced(tx, o, hint, e.placementRootLocked(id))
+			} else {
+				err = h.OnWrite(tx, o, hint)
+			}
+			if err != nil {
 				break
 			}
 		}

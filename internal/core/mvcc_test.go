@@ -203,6 +203,84 @@ func TestSnapshotCacheIsolation(t *testing.T) {
 	}
 }
 
+// TestSnapshotCatalogIsolation pins the PR 6 follow-up fix: a snapshot
+// answers with the schema catalog that was live at its commit boundary,
+// not the evolving one. Dropping the composite attribute after
+// BeginSnapshot must not change what the snapshot's traversals see —
+// the pinned catalog still plans over Subparts — while live queries and
+// snapshots begun after the evolution see the post-drop schema.
+func TestSnapshotCatalogIsolation(t *testing.T) {
+	e := mvccEngine(t)
+	root, mid, leaf := mvccChain(t, e)
+
+	snap := e.BeginSnapshot()
+	defer snap.Release()
+
+	if _, err := e.DropAttribute("Part", "Subparts"); err != nil {
+		t.Fatal(err)
+	}
+	// Live traversal: no composite attribute left to follow.
+	live, err := e.ComponentsOf(root, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 0 {
+		t.Fatalf("live components after drop = %v, want none", live)
+	}
+
+	// The pre-evolution snapshot still plans over Subparts and still sees
+	// the full hierarchy — twice, so the memoized plan is checked too.
+	for i := 0; i < 2; i++ {
+		got, err := snap.ComponentsOf(root, QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantUIDs(t, fmt.Sprintf("snapshot components (read %d)", i+1), got, []uid.UID{mid, leaf})
+	}
+	// Class filters resolve against the pinned catalog too.
+	anc, err := snap.AncestorsOf(leaf, QueryOpts{Classes: []string{"Part"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUIDs(t, "snapshot ancestors", anc, []uid.UID{mid, root})
+
+	// A snapshot begun after the evolution pins the post-drop catalog.
+	after := e.BeginSnapshot()
+	defer after.Release()
+	got, err := after.ComponentsOf(root, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("post-evolution snapshot components = %v, want none", got)
+	}
+}
+
+// TestSnapshotCatalogViewShared: consecutive snapshots under an unchanged
+// schema share one pinned clone; a catalog mutation makes the next
+// snapshot pin a fresh one.
+func TestSnapshotCatalogViewShared(t *testing.T) {
+	e := mvccEngine(t)
+	s1 := e.BeginSnapshot()
+	s2 := e.BeginSnapshot()
+	if s1.cat != s2.cat {
+		t.Fatal("snapshots under an unchanged catalog pinned different clones")
+	}
+	s1.Release()
+	s2.Release()
+	if _, err := e.cat.DefineClass(schema.ClassDef{Name: "Other"}); err != nil {
+		t.Fatal(err)
+	}
+	s3 := e.BeginSnapshot()
+	defer s3.Release()
+	if s3.cat == s1.cat {
+		t.Fatal("snapshot after a catalog mutation reused the stale clone")
+	}
+	if !s3.cat.Has("Other") {
+		t.Fatal("fresh clone missing the new class")
+	}
+}
+
 // TestSnapshotTombstonePruned: once the only versions of a deleted
 // object fall below the watermark its whole chain is reclaimed, and a
 // later snapshot simply never sees the object.

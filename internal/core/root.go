@@ -1,0 +1,55 @@
+package core
+
+import (
+	"repro/internal/uid"
+)
+
+// Placement-root resolution. Clustering policies key on one deterministic
+// composite unit per object, but RootsOf computes the full root SET (an
+// object linked into several hierarchies has several roots). For placement
+// the §2.3 convention picks a single chain: follow each object's FIRST
+// composite parent — the same parent creation clusters against — up to an
+// object with no composite parents. The result is the "placement root":
+// stable under the first-parent chain, cheap to compute (one chain, not a
+// BFS), and the key used for per-unit heat attribution and reclustering.
+
+// placementRootLocked walks the first-parent chain of id to its top. The
+// caller holds the engine latch (either side). Unknown IDs and cycles
+// (possible mid-splice in legacy mode) terminate the walk at the last
+// resolved object, so the result is always a live UID — id itself when
+// parentless.
+func (e *Engine) placementRootLocked(id uid.UID) uid.UID {
+	cur := id
+	var seen *uid.Set
+	for hops := 0; ; hops++ {
+		o, ok := e.objects[cur]
+		if !ok {
+			return cur
+		}
+		ps := o.Parents()
+		if len(ps) == 0 {
+			return cur
+		}
+		next := ps[0]
+		// Cycle guard: allocate the set lazily — chains are almost always
+		// short and acyclic.
+		if hops >= 8 {
+			if seen == nil {
+				seen = uid.NewSet(cur)
+			}
+			if !seen.Add(next) {
+				return cur
+			}
+		}
+		cur = next
+	}
+}
+
+// PlacementRootOf resolves id's placement root under the shared latch.
+// The storage layer's miss attribution and the background reclusterer use
+// it (never while the engine latch is held — see Store.SetHeat).
+func (e *Engine) PlacementRootOf(id uid.UID) uid.UID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.placementRootLocked(id)
+}

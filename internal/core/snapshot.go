@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/schema"
 	"repro/internal/uid"
 )
 
@@ -26,17 +27,21 @@ import (
 // Objects returned by Get are the shared immutable version records:
 // callers must treat them as read-only.
 //
-// The schema catalog is read live (it has its own lock): snapshots
-// isolate against object-graph commits, not schema evolution, which the
-// engine runs under the exclusive latch at quiescent points anyway.
-// Deferred §4.3 changes not yet replayed into an object are therefore
-// visible to a snapshot only once a later commit republishes the object.
+// The schema catalog is pinned too: BeginSnapshot captures an immutable
+// clone of the catalog at the snapshot's commit boundary (clones are
+// cached per catalog version, so consecutive snapshots under a stable
+// schema share one), and every class-dependent answer — traversal plans,
+// class filters, IsA tests — resolves against that clone. A schema
+// evolution committed after BeginSnapshot is therefore invisible to the
+// snapshot's queries, matching the object-graph isolation: the snapshot
+// answers with the schema AND the data that were live at Seq.
 //
 // Release must be called when done: an unreleased snapshot pins the GC
 // low-watermark and version chains grow behind it.
 type Snapshot struct {
 	e        *Engine
 	seq      uint64
+	cat      *schema.Catalog
 	released bool
 
 	// prof, when set via SetProf, receives cost attribution for the
@@ -65,9 +70,27 @@ func (e *Engine) BeginSnapshot() *Snapshot {
 	return &Snapshot{
 		e:     e,
 		seq:   seq,
+		cat:   e.catalogView(),
 		plans: make(map[planKey][]string),
 		anc:   make(map[uid.UID][]uid.UID),
 	}
+}
+
+// catalogView returns an immutable clone of the catalog at its current
+// version, cached so that consecutive snapshots under an unchanged schema
+// share one clone instead of copying the catalog per BeginSnapshot. The
+// version re-check after cloning guards the race where the catalog
+// mutates between the Version read and the Clone: the clone carries its
+// own consistent version, which is what keys the cache.
+func (e *Engine) catalogView() *schema.Catalog {
+	ver := e.cat.Version()
+	e.catViewMu.Lock()
+	defer e.catViewMu.Unlock()
+	if e.catView != nil && e.catView.Version() == ver {
+		return e.catView
+	}
+	e.catView = e.cat.Clone()
+	return e.catView
 }
 
 // Seq returns the commit boundary the snapshot reads at.
@@ -170,18 +193,18 @@ func (s *Snapshot) Len() int {
 }
 
 // planFor memoizes the composite attributes of class c passing the edge
-// filter, from the live catalog (internally locked — not an engine-latch
-// or §7 acquisition). The shared plan cache is deliberately not
-// consulted: snapshot memos must never mix with generation-keyed shared
-// state.
+// filter, from the snapshot's pinned catalog clone — a schema evolution
+// committed after BeginSnapshot cannot change the answer. The shared plan
+// cache is deliberately not consulted: snapshot memos must never mix with
+// generation-keyed shared state.
 func (s *Snapshot) planFor(q QueryOpts, c uid.ClassID) []string {
 	key := planKey{class: c, exclusive: q.Exclusive, shared: q.Shared}
 	if attrs, ok := s.plans[key]; ok {
 		return attrs
 	}
 	var names []string
-	if cl, err := s.e.cat.ClassByID(c); err == nil {
-		if attrs, err := s.e.cat.Attributes(cl.Name); err == nil {
+	if cl, err := s.cat.ClassByID(c); err == nil {
+		if attrs, err := s.cat.Attributes(cl.Name); err == nil {
 			for _, spec := range attrs {
 				if spec.Composite && q.wantEdge(spec.Exclusive) {
 					names = append(names, spec.Name)
@@ -191,6 +214,39 @@ func (s *Snapshot) planFor(q QueryOpts, c uid.ClassID) []string {
 	}
 	s.plans[key] = names
 	return names
+}
+
+// wantClass is the engine's Classes-filter test against the snapshot's
+// pinned catalog.
+func (s *Snapshot) wantClass(q QueryOpts, id uid.UID) bool {
+	if len(q.Classes) == 0 {
+		return true
+	}
+	cl, err := s.cat.ClassByID(id.Class)
+	if err != nil {
+		return false
+	}
+	for _, want := range q.Classes {
+		if s.cat.IsA(cl.Name, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// filterAncestors applies the Classes filter to a cached raw ancestor
+// order, against the pinned catalog. Always returns a fresh slice.
+func (s *Snapshot) filterAncestors(q QueryOpts, order []uid.UID) []uid.UID {
+	if len(q.Classes) == 0 {
+		return append([]uid.UID(nil), order...)
+	}
+	var out []uid.UID
+	for _, id := range order {
+		if s.wantClass(q, id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // ComponentsOf is the snapshot form of (components-of Object ...): the
@@ -224,7 +280,7 @@ func (s *Snapshot) ComponentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 						}
 						continue
 					}
-					if s.e.wantClass(q, child) {
+					if s.wantClass(q, child) {
 						out = append(out, child)
 					}
 					next = append(next, co)
@@ -244,7 +300,7 @@ func (s *Snapshot) ParentsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	}
 	var out []uid.UID
 	for _, r := range o.Reverse() {
-		if q.wantEdge(r.Exclusive) && s.e.wantClass(q, r.Parent) {
+		if q.wantEdge(r.Exclusive) && s.wantClass(q, r.Parent) {
 			out = append(out, r.Parent)
 		}
 	}
@@ -259,7 +315,7 @@ func (s *Snapshot) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	cacheable := q.cacheable()
 	if cacheable {
 		if order, ok := s.anc[id]; ok {
-			return s.e.filterAncestors(q, order), nil
+			return s.filterAncestors(q, order), nil
 		}
 	}
 	root, err := s.Get(id)
@@ -272,7 +328,7 @@ func (s *Snapshot) AncestorsOf(id uid.UID, q QueryOpts) ([]uid.UID, error) {
 	}
 	if cacheable {
 		s.anc[id] = order
-		return s.e.filterAncestors(q, order), nil
+		return s.filterAncestors(q, order), nil
 	}
 	return order, nil
 }
@@ -300,7 +356,7 @@ func (s *Snapshot) ancestors(start *object.Object, q QueryOpts, raw bool) ([]uid
 				if !seen.Add(p) {
 					continue
 				}
-				keep := raw || s.e.wantClass(q, p)
+				keep := raw || s.wantClass(q, p)
 				po := s.object(p)
 				if po == nil {
 					if q.Strict {

@@ -72,6 +72,26 @@ type Options struct {
 	// can still be armed later via Observability().Slow().SetThreshold,
 	// which the shell's `slow DUR` command does).
 	SlowOpThreshold time.Duration
+	// Placement selects the clustering policy applied to every creating
+	// write: "first-parent" (the paper's §2.3 choice, the default),
+	// "class" (plain class-segment append, the clustering-study baseline),
+	// or "usage" (DSTC/OPCF spirit: cluster members of units the buffer
+	// pool demonstrably misses on). See storage.NewPlacement.
+	Placement string
+	// ReclusterInterval is the cadence of the background reclusterer,
+	// which migrates hot composite units onto contiguous pages under the
+	// §7 unit-root lock. Zero or negative disables the background loop
+	// (DB.ReclusterNow remains callable).
+	ReclusterInterval time.Duration
+	// ReclusterHotMisses is the per-unit heat (pool misses + write
+	// activity attributed to the unit root) at which a unit qualifies for
+	// migration — and, under the usage policy, for eager clustering of
+	// new members. Zero selects storage.DefaultHotMisses.
+	ReclusterHotMisses int
+	// ReclusterBatch caps how many units one reclustering pass migrates
+	// (default 8): the pass holds no global locks, but bounding it keeps
+	// any single pass's WAL volume and lock footprint small.
+	ReclusterBatch int
 }
 
 // ErrClosed is returned when a closed DB is used.
@@ -96,6 +116,12 @@ type DB struct {
 	reg    *obs.Registry
 	gcStop chan struct{} // closed to stop the background version GC
 	closed bool
+
+	// Clustering policy state (see recluster.go for the background loop).
+	place   storage.Placement
+	heat    *obs.UnitHeat
+	rec     reclusterObs
+	recStop chan struct{} // closed to stop the background reclusterer
 
 	// Profiling instruments, bound at Open so the query_profile_* family
 	// is present in the exposition before the first (profile ...) runs.
@@ -129,6 +155,12 @@ func Open(opts Options) (*DB, error) {
 	// concurrently: the /metrics endpoint then exposes core, storage,
 	// lock, and txn families side by side.
 	d.engine.SetObservability(d.reg)
+	d.bindReclusterObs()
+	d.heat = obs.NewUnitHeat(d.rec.heatTouches, d.rec.unitsTracked)
+	var perr error
+	if d.place, perr = storage.NewPlacement(opts.Placement, d.heat, uint64(opts.ReclusterHotMisses)); perr != nil {
+		return nil, perr
+	}
 	switch {
 	case opts.Device != nil:
 		if opts.Dir != "" {
@@ -152,6 +184,7 @@ func Open(opts Options) (*DB, error) {
 	d.pool = storage.NewBufferPool(d.dev, opts.PoolPages)
 	d.pool.SetObservability(d.reg)
 	d.store = storage.NewStore(d.pool)
+	d.store.SetHeat(d.heat, d.engine.PlacementRootOf)
 	d.vers = version.NewManager(d.engine)
 	d.auth = authz.NewStore(d.engine)
 	d.txm = txn.NewManager(d.engine) // picks up d.reg via the engine
@@ -189,6 +222,10 @@ func Open(opts Options) (*DB, error) {
 		}
 		d.gcStop = make(chan struct{})
 		go d.versionGCLoop(interval, d.gcStop)
+	}
+	if opts.ReclusterInterval > 0 {
+		d.recStop = make(chan struct{})
+		go d.reclusterLoop(opts.ReclusterInterval, d.recStop)
 	}
 	return d, nil
 }
@@ -271,6 +308,28 @@ func (d *DB) recover() error {
 				return err
 			}
 			return nil
+		case storage.OpMove:
+			// A reclusterer migration. The target segment travels by NAME
+			// (rec.Data): move targets are usually created after the last
+			// checkpoint, so their numeric IDs are not replay-stable.
+			// Recreate the segment if this replay hasn't yet, and skip
+			// moves of objects that don't exist at this log position (their
+			// creating transaction was discarded as an uncommitted tail).
+			if !d.store.Has(rec.UID) {
+				return nil
+			}
+			name := string(rec.Data)
+			if name == "" {
+				return fmt.Errorf("db: OpMove for %v without a segment name", rec.UID)
+			}
+			seg, ok := d.store.SegmentByName(name)
+			if !ok {
+				var err error
+				if seg, err = d.store.CreateSegment(name); err != nil {
+					return err
+				}
+			}
+			return d.store.Move(seg, rec.UID, rec.Near)
 		default:
 			return fmt.Errorf("db: unknown WAL op %d", rec.Op)
 		}
@@ -372,21 +431,38 @@ func (h *hook) logRecord(tx core.TxnID, rec storage.WALRecord) error {
 	return h.d.wal.Append(rec)
 }
 
+// OnWrite implements core.Hook for callers that carry no placement root
+// (none in practice — the engine sees the hook as a PlacementHook through
+// the MultiHook and always calls OnWritePlaced).
 func (h *hook) OnWrite(tx core.TxnID, o *object.Object, near uid.UID) error {
+	return h.OnWritePlaced(tx, o, near, uid.Nil)
+}
+
+// OnWritePlaced implements core.PlacementHook. The clustering policy maps
+// the write's context (§2.3 first parent, placement root) to the neighbor
+// hint actually applied — and the WAL records the TRANSFORMED hint, so
+// replay reproduces every placement decision without consulting the
+// policy. Write activity also feeds per-unit heat: a unit under active
+// construction is a unit a cold traversal will soon read.
+func (h *hook) OnWritePlaced(tx core.TxnID, o *object.Object, near, root uid.UID) error {
 	d := h.d
 	seg, err := d.segmentForClass(o.Class())
 	if err != nil {
 		return err
 	}
+	hint := d.place.Hint(o.UID(), near, root)
+	if !root.IsNil() && root != o.UID() {
+		d.heat.Touch(storage.UnitHeatKey(root))
+	}
 	rec := encoding.EncodeObject(o)
 	if d.wal != nil {
 		if err := h.logRecord(tx, storage.WALRecord{
-			Op: storage.OpPut, Txn: uint64(tx), UID: o.UID(), Seg: seg, Near: near, Data: rec,
+			Op: storage.OpPut, Txn: uint64(tx), UID: o.UID(), Seg: seg, Near: hint, Data: rec,
 		}); err != nil {
 			return err
 		}
 	}
-	return d.store.Put(seg, o.UID(), rec, near)
+	return d.store.Put(seg, o.UID(), rec, hint)
 }
 
 // SyncAutoCommit implements core.AutoCommitSyncer: an auto-commit
@@ -554,6 +630,10 @@ func (d *DB) Close() error {
 		close(d.gcStop)
 		d.gcStop = nil
 	}
+	if d.recStop != nil {
+		close(d.recStop)
+		d.recStop = nil
+	}
 	if d.wal != nil {
 		if err := d.wal.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -579,6 +659,10 @@ func (d *DB) Abandon() error {
 	if d.gcStop != nil {
 		close(d.gcStop)
 		d.gcStop = nil
+	}
+	if d.recStop != nil {
+		close(d.recStop)
+		d.recStop = nil
 	}
 	var firstErr error
 	if d.wal != nil {
@@ -612,6 +696,21 @@ func (d *DB) Txns() *txn.Manager { return d.txm }
 
 // Store returns the object store (for clustering/IO inspection).
 func (d *DB) Store() *storage.Store { return d.store }
+
+// CheckPlacement verifies the store's exactly-one-location invariant
+// (every object readable, no stale duplicate slot) under d.mu, which
+// excludes an in-flight reclusterer move phase and checkpoints — the
+// store's own scan latches segments one at a time, so calling it raw
+// while a migration is mid-unit can double-count a record that has
+// landed in its target segment but not yet left its source.
+func (d *DB) CheckPlacement() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.store.CheckPlacement()
+}
 
 // Pool returns the buffer pool (for I/O statistics).
 func (d *DB) Pool() *storage.BufferPool { return d.pool }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// UnitKey identifies a composite unit for per-unit cost attribution: the
+// class/serial pair of the unit's root object. obs stays dependency-free,
+// so the key mirrors uid.UID structurally rather than importing it.
+type UnitKey struct {
+	Class  uint32
+	Serial uint64
+}
+
+// UnitHeat accumulates per-composite-unit access heat — buffer-pool
+// misses and write activity attributed to the unit root — for the
+// usage-driven placement policy and the background reclusterer (DSTC/OPCF
+// spirit: placement follows observed access patterns, not static
+// structure). Heat decays between reclustering passes so a unit that
+// cooled off stops attracting migrations.
+//
+// All methods are nil-safe: a nil *UnitHeat ignores touches and reports
+// nothing, so disabled-policy paths carry no branches at call sites.
+type UnitHeat struct {
+	mu sync.Mutex
+	m  map[UnitKey]uint64
+
+	// Optional instruments, bound by the owner (nil-safe like all of obs).
+	touches *Counter // total Touch calls
+	units   *Gauge   // distinct units currently tracked
+}
+
+// NewUnitHeat returns an empty tracker. touches and units are optional
+// instruments (nil disables them).
+func NewUnitHeat(touches *Counter, units *Gauge) *UnitHeat {
+	return &UnitHeat{m: make(map[UnitKey]uint64), touches: touches, units: units}
+}
+
+// Touch records one access attributed to the unit rooted at k.
+func (h *UnitHeat) Touch(k UnitKey) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if _, ok := h.m[k]; !ok {
+		h.units.Add(1)
+	}
+	h.m[k]++
+	h.mu.Unlock()
+	h.touches.Inc()
+}
+
+// Load returns the current heat of unit k.
+func (h *UnitHeat) Load(k UnitKey) uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.m[k]
+}
+
+// Len returns the number of units currently tracked.
+func (h *UnitHeat) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.m)
+}
+
+// Hot returns up to limit unit keys with heat >= min, hottest first (ties
+// broken by key for determinism). limit <= 0 means no limit.
+func (h *UnitHeat) Hot(min uint64, limit int) []UnitKey {
+	if h == nil || min == 0 {
+		return nil
+	}
+	h.mu.Lock()
+	type kv struct {
+		k UnitKey
+		v uint64
+	}
+	hot := make([]kv, 0, len(h.m))
+	for k, v := range h.m {
+		if v >= min {
+			hot = append(hot, kv{k, v})
+		}
+	}
+	h.mu.Unlock()
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].v != hot[j].v {
+			return hot[i].v > hot[j].v
+		}
+		if hot[i].k.Class != hot[j].k.Class {
+			return hot[i].k.Class < hot[j].k.Class
+		}
+		return hot[i].k.Serial < hot[j].k.Serial
+	})
+	if limit > 0 && len(hot) > limit {
+		hot = hot[:limit]
+	}
+	out := make([]UnitKey, len(hot))
+	for i, e := range hot {
+		out[i] = e.k
+	}
+	return out
+}
+
+// Forget drops unit k (after a migration consumed its heat).
+func (h *UnitHeat) Forget(k UnitKey) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if _, ok := h.m[k]; ok {
+		delete(h.m, k)
+		h.units.Add(-1)
+	}
+	h.mu.Unlock()
+}
+
+// Decay halves every unit's heat, dropping units that reach zero. Called
+// once per reclustering pass so stale heat ages out.
+func (h *UnitHeat) Decay() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for k, v := range h.m {
+		v /= 2
+		if v == 0 {
+			delete(h.m, k)
+			h.units.Add(-1)
+		} else {
+			h.m[k] = v
+		}
+	}
+	h.mu.Unlock()
+}

@@ -82,6 +82,35 @@ func NewCatalog() *Catalog {
 	}
 }
 
+// Clone returns a deep, independent copy of the catalog frozen at the
+// current version: later mutations of the original are invisible to the
+// clone and vice versa. Snapshots pin a clone at BeginSnapshot so their
+// query plans keep answering with the schema that was live at the
+// snapshot's commit boundary (§4 semantics extended to the catalog).
+func (c *Catalog) Clone() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := &Catalog{
+		classes: make(map[string]*Class, len(c.classes)),
+		byID:    make(map[uid.ClassID]*Class, len(c.byID)),
+		nextID:  c.nextID,
+		logs:    make(map[string]*OpLog, len(c.logs)),
+	}
+	for name, cl := range c.classes {
+		cc := *cl
+		cc.Superclasses = append([]string(nil), cl.Superclasses...)
+		cc.Own = append([]AttrSpec(nil), cl.Own...)
+		out.classes[name] = &cc
+		out.byID[cc.ID] = &cc
+	}
+	for name, l := range c.logs {
+		out.logs[name] = &OpLog{Entries: append([]LogEntry(nil), l.Entries...)}
+	}
+	out.globalCC = c.globalCC
+	out.version.Store(c.version.Load())
+	return out
+}
+
 // DefineClass adds a class per the make-class message. Superclasses must
 // already exist; attribute names may not collide with one another (they
 // may shadow inherited attributes, which ORION treats as overriding).

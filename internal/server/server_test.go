@@ -17,6 +17,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/sexpr"
 )
 
 const testSchema = `
@@ -276,6 +277,67 @@ func TestDrainFinishesInFlightAbortsIdle(t *testing.T) {
 	}
 	if n := d.Observability().Counter("server_drains_total").Load(); n != 1 {
 		t.Fatalf("server_drains_total = %d, want 1", n)
+	}
+}
+
+// TestDeadlockVictimCanBeginImmediately pins the eager-abort contract of
+// the session layer: when the lock manager dooms a session's transaction
+// as a deadlock victim, the session must detach the dead transaction the
+// moment the verdict surfaces — not leave it dangling until the client
+// sends an explicit (abort). Before the fix, the victim session's
+// (txn-status) kept reporting the dead transaction and the (begin N)
+// retry the deadlock reply itself prescribes failed with "transaction
+// already open".
+func TestDeadlockVictimCanBeginImmediately(t *testing.T) {
+	d, srv := newServer(t, server.Config{})
+	c1, c2 := dial(t, srv), dial(t, srv)
+	w1 := mustDo(t, c1, "(make Widget :Tag 1)")
+	w2 := mustDo(t, c1, "(make Widget :Tag 2)")
+
+	// c1 begins first, so c2's transaction is younger — the designated
+	// victim once the cycle forms.
+	id1 := txID(t, mustDo(t, c1, "(begin)"))
+	id2 := txID(t, mustDo(t, c2, "(begin)"))
+	if id2 <= id1 {
+		t.Fatalf("txn ids not monotone: %d then %d", id1, id2)
+	}
+	mustDo(t, c1, "(set "+w1+" Tag 10)")
+	mustDo(t, c2, "(set "+w2+" Tag 20)")
+
+	// c2 blocks behind c1's X lock; c1's counter-request closes the cycle.
+	// The victim (c2) is woken from its own lock wait with the deadlock
+	// verdict, and the survivor's write proceeds.
+	if err := c2.Send("(set " + w1 + " Tag 21)"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let c2's eval reach the lock wait
+	mustDo(t, c1, "(set "+w2+" Tag 11)")
+
+	_, err := c2.Recv()
+	if !server.IsRemote(err, sexpr.CodeDeadlock) {
+		t.Fatalf("victim reply = %v, want typed %s error", err, sexpr.CodeDeadlock)
+	}
+
+	// The regression: the victim's transaction must already be detached.
+	if out := mustDo(t, c2, "(txn-status)"); out != "nil" {
+		t.Fatalf("(txn-status) after deadlock = %q, want nil", out)
+	}
+	if got := txID(t, mustDo(t, c2, fmt.Sprintf("(begin %d)", id2))); got != id2 {
+		t.Fatalf("(begin %d) reopened as %d", id2, got)
+	}
+	// And its locks are gone: the retry can take the contested lock once
+	// the survivor commits.
+	mustDo(t, c1, "(commit)")
+	mustDo(t, c2, "(set "+w1+" Tag 21)")
+	if out := mustDo(t, c2, "(commit)"); out != "true" {
+		t.Fatalf("(commit) after retry = %q", out)
+	}
+	locks := d.Txns().Locks()
+	if n := locks.LockCount(lock.TxID(id2)); n != 0 {
+		t.Fatalf("victim retry leaked %d locks", n)
+	}
+	if out := mustDo(t, c1, "(get "+w1+" Tag)"); out != "21" {
+		t.Fatalf("retried write lost: Tag = %q, want 21", out)
 	}
 }
 

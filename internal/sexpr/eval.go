@@ -100,7 +100,8 @@ func (in *Interp) Eval(n Node) (value.Value, error) {
 		if !ok {
 			return value.Nil, fmt.Errorf("unknown message %q: %w", head.Sym, ErrEval)
 		}
-		return fn(in, n.Kids[1:])
+		v, err := fn(in, n.Kids[1:])
+		return v, in.noteDeadlock(err)
 	default:
 		return value.Nil, fmt.Errorf("cannot evaluate %s: %w", n, ErrEval)
 	}
@@ -155,6 +156,9 @@ func init() {
 		"explain": evalExplain,
 		"profile": evalProfile,
 		"flight":  evalFlight,
+
+		"placement": evalPlacement,
+		"recluster": evalRecluster,
 
 		"components-of": evalComponentsOf,
 		"parents-of":    evalParentsOf,

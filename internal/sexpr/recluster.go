@@ -1,0 +1,47 @@
+package sexpr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Shell surface for the clustering policy and the online reclusterer:
+//
+//	(placement)          → active placement policy name
+//	(recluster status)   → one-line counter summary
+//	(recluster now)      → run one pass, return units migrated
+
+func evalPlacement(in *Interp, args []Node) (value.Value, error) {
+	if len(args) != 0 {
+		return value.Nil, fmt.Errorf("usage: (placement): %w", ErrEval)
+	}
+	return value.Str(in.DB.PlacementName()), nil
+}
+
+func evalRecluster(in *Interp, args []Node) (value.Value, error) {
+	if len(args) != 1 {
+		return value.Nil, fmt.Errorf("usage: (recluster status|now): %w", ErrEval)
+	}
+	verb, err := symName(args[0])
+	if err != nil {
+		return value.Nil, err
+	}
+	switch strings.ToLower(verb) {
+	case "status":
+		st := in.DB.ReclusterStatus()
+		return value.Str(fmt.Sprintf(
+			"policy=%s background=%t hot-misses=%d passes=%d migrations=%d objects-moved=%d skipped=%d units-tracked=%d",
+			st.Policy, st.Background, st.HotMisses, st.Passes, st.Migrations,
+			st.ObjectsMoved, st.Skipped, st.UnitsTracked)), nil
+	case "now":
+		n, err := in.DB.ReclusterNow()
+		if err != nil {
+			return value.Nil, err
+		}
+		return value.Int(int64(n)), nil
+	default:
+		return value.Nil, fmt.Errorf("unknown recluster verb %q (want status/now): %w", verb, ErrEval)
+	}
+}

@@ -1,0 +1,43 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+)
+
+func TestPlacementAndReclusterBuiltins(t *testing.T) {
+	d, err := db.Open(db.Options{Placement: "usage", ReclusterHotMisses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	in := NewInterp(d)
+
+	if v := mustEval(t, in, "(placement)"); v.String() != `"usage"` {
+		t.Fatalf("(placement) = %s", v)
+	}
+	mustEval(t, in, `
+(make-class 'Para :attributes '((Text :domain string)))
+(make-class 'Doc :attributes '((Paras :domain (set-of Para) :composite true)))
+(define d (make Doc))
+`)
+	for i := 0; i < 6; i++ {
+		mustEval(t, in, "(make Para :parent ((d Paras)))")
+	}
+	v := mustEval(t, in, "(recluster now)")
+	if n, ok := v.AsInt(); !ok || n != 1 {
+		t.Fatalf("(recluster now) = %s, want 1", v)
+	}
+	st := mustEval(t, in, "(recluster status)").String()
+	if !strings.Contains(st, "policy=usage") || !strings.Contains(st, "migrations=1") {
+		t.Fatalf("(recluster status) = %s", st)
+	}
+	if _, err := in.EvalString("(recluster bogus)"); err == nil {
+		t.Fatal("unknown recluster verb accepted")
+	}
+	if _, err := in.EvalString("(placement extra)"); err == nil {
+		t.Fatal("(placement) with args accepted")
+	}
+}

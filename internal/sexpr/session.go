@@ -26,6 +26,26 @@ import (
 // InTxn reports whether the session has an open explicit transaction.
 func (in *Interp) InTxn() bool { return in.tx != nil }
 
+// noteDeadlock makes deadlock-victim aborts eager at the session layer.
+// When the lock manager picks the session's transaction as a deadlock
+// victim, the error surfaces from whatever mutation was in flight — but
+// before this hook the transaction object stayed attached to the
+// session, so (txn-status) kept reporting it and a follow-up (begin N)
+// failed with "transaction already open" even though the transaction was
+// dead. Every eval error funnels through here: on a deadlock verdict the
+// session aborts the victim immediately (rolling back its effects and
+// releasing its §7 locks) and detaches it, so the client's very next
+// (begin N) retry succeeds. The abort's own error is absorbed — the
+// deadlock verdict is the one the client must see, and the wire code
+// (CodeDeadlock) plus the retained identity are its retry contract.
+func (in *Interp) noteDeadlock(err error) error {
+	if err != nil && in.tx != nil && errors.Is(err, lock.ErrDeadlock) {
+		_ = in.tx.Abort()
+		in.tx = nil
+	}
+	return err
+}
+
 // TxnID returns the open transaction's identity, or 0 when none is open.
 func (in *Interp) TxnID() lock.TxID {
 	if in.tx == nil {

@@ -109,6 +109,12 @@ func (d *localDriver) Close() error                         { return nil }
 // transport failures come back wrapping errNetFatal.
 type netDriver struct {
 	c *client.Client
+
+	// aborted is set when a deadlock verdict comes back: the session layer
+	// aborts the victim transaction eagerly (see Interp.noteDeadlock), so
+	// the harness's follow-up Abort must become a no-op instead of an
+	// "(abort)" the server would reject with "no open transaction".
+	aborted bool
 }
 
 func dialDriver(addr string) (*netDriver, error) {
@@ -127,6 +133,7 @@ func (d *netDriver) do(program string) (string, error) {
 	var re *server.RemoteError
 	if errors.As(err, &re) {
 		if re.Code == sexpr.CodeDeadlock {
+			d.aborted = true
 			return "", fmt.Errorf("%s: %w", re.Msg, lock.ErrDeadlock)
 		}
 		return "", err // an engine verdict, scored against the model
@@ -169,6 +176,7 @@ func parseRefList(s string) ([]uid.UID, error) {
 }
 
 func (d *netDriver) Begin(id lock.TxID) error {
+	d.aborted = false
 	_, err := d.do(fmt.Sprintf("(begin %d)", id))
 	return err
 }
@@ -241,6 +249,12 @@ func (d *netDriver) Commit() error {
 }
 
 func (d *netDriver) Abort() error {
+	if d.aborted {
+		// The session already aborted the deadlock victim eagerly; there is
+		// no open transaction left to abort.
+		d.aborted = false
+		return nil
+	}
 	_, err := d.do("(abort)")
 	return err
 }

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/uid"
+)
+
+// Placement decides where a newly created object's record lands. The
+// engine resolves each write to a clustering context — the §2.3 first
+// parent (near) and the composite unit root the object belongs to — and
+// the policy turns that context into the neighbor hint Store.Put clusters
+// against (uid.Nil requests plain segment append). The transformed hint
+// is what the WAL records, so replay reproduces placement decisions
+// without consulting the policy.
+//
+// Three competing policies implement the bake-off the paper argues only
+// qualitatively:
+//
+//   - first-parent: the paper's §2.3 choice — cluster a new object with
+//     its first composite parent, so a top-down hierarchy traversal
+//     touches contiguous pages.
+//   - class: ignore composite structure entirely; records append into
+//     their class segment in creation order (the baseline every OODB
+//     clustering study measures against).
+//   - usage: DSTC/OPCF spirit — consult per-unit access heat
+//     (obs.UnitHeat, fed by buffer-pool miss attribution and write
+//     activity); members of hot units cluster against their unit root,
+//     cold units take class placement and wait for the background
+//     reclusterer to earn contiguity.
+type Placement interface {
+	// Name returns the policy's selector string.
+	Name() string
+	// Hint maps the clustering context of one write to the Store.Put
+	// neighbor hint. id is the object being placed, near its §2.3 first
+	// parent (Nil when parentless or not newly created), root the unit
+	// root the engine resolved for placement keys.
+	Hint(id uid.UID, near, root uid.UID) uid.UID
+}
+
+// Policy selector strings accepted by NewPlacement and db.Options.
+const (
+	PlacementFirstParent = "first-parent"
+	PlacementClass       = "class"
+	PlacementUsage       = "usage"
+)
+
+// NewPlacement resolves a policy selector. The empty string selects
+// first-parent (the paper's choice and the historical behavior). heat is
+// only consulted by the usage policy; hotMin is the per-unit heat at
+// which usage starts clustering (<=0 selects the default).
+func NewPlacement(name string, heat *obs.UnitHeat, hotMin uint64) (Placement, error) {
+	switch name {
+	case "", PlacementFirstParent:
+		return firstParentPlacement{}, nil
+	case PlacementClass:
+		return classPlacement{}, nil
+	case PlacementUsage:
+		if hotMin == 0 {
+			hotMin = DefaultHotMisses
+		}
+		return &usagePlacement{heat: heat, hotMin: hotMin}, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown placement policy %q (want %s|%s|%s)",
+			name, PlacementFirstParent, PlacementClass, PlacementUsage)
+	}
+}
+
+// DefaultHotMisses is the per-unit heat threshold at which the usage
+// policy clusters eagerly and the reclusterer migrates (overridable via
+// db.Options.ReclusterHotMisses).
+const DefaultHotMisses = 16
+
+type firstParentPlacement struct{}
+
+func (firstParentPlacement) Name() string { return PlacementFirstParent }
+func (firstParentPlacement) Hint(_ uid.UID, near, _ uid.UID) uid.UID {
+	return near
+}
+
+type classPlacement struct{}
+
+func (classPlacement) Name() string { return PlacementClass }
+func (classPlacement) Hint(_, _, _ uid.UID) uid.UID {
+	return uid.Nil
+}
+
+type usagePlacement struct {
+	heat   *obs.UnitHeat
+	hotMin uint64
+}
+
+func (*usagePlacement) Name() string { return PlacementUsage }
+
+// Hint clusters a member of a demonstrably hot unit with its unit root —
+// the reclusterer's target layout, applied eagerly to new members so a
+// migrated unit stays contiguous as it grows. Cold units get class
+// placement: usage-driven clustering spends no locality effort until the
+// access pattern proves the unit worth it.
+func (u *usagePlacement) Hint(id uid.UID, near, root uid.UID) uid.UID {
+	if root.IsNil() || root == id {
+		return uid.Nil
+	}
+	if u.heat.Load(UnitHeatKey(root)) >= u.hotMin {
+		return root
+	}
+	return uid.Nil
+}
+
+// UnitHeatKey maps a unit root UID to its obs heat key.
+func UnitHeatKey(root uid.UID) obs.UnitKey {
+	return obs.UnitKey{Class: uint32(root.Class), Serial: root.Serial}
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/uid"
+)
+
+func TestNewPlacementSelectors(t *testing.T) {
+	for name, want := range map[string]string{
+		"":                   PlacementFirstParent,
+		PlacementFirstParent: PlacementFirstParent,
+		PlacementClass:       PlacementClass,
+		PlacementUsage:       PlacementUsage,
+	} {
+		p, err := NewPlacement(name, nil, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%q resolved to %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := NewPlacement("bogus", nil, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPlacementHints(t *testing.T) {
+	id, parent, root := u(3, 9), u(2, 5), u(1, 1)
+
+	fp, _ := NewPlacement(PlacementFirstParent, nil, 0)
+	if got := fp.Hint(id, parent, root); got != parent {
+		t.Fatalf("first-parent hint = %v, want %v", got, parent)
+	}
+
+	cl, _ := NewPlacement(PlacementClass, nil, 0)
+	if got := cl.Hint(id, parent, root); !got.IsNil() {
+		t.Fatalf("class hint = %v, want Nil", got)
+	}
+
+	heat := obs.NewUnitHeat(nil, nil)
+	us, _ := NewPlacement(PlacementUsage, heat, 3)
+	if got := us.Hint(id, parent, root); !got.IsNil() {
+		t.Fatalf("usage hint for cold unit = %v, want Nil", got)
+	}
+	for i := 0; i < 3; i++ {
+		heat.Touch(UnitHeatKey(root))
+	}
+	if got := us.Hint(id, parent, root); got != root {
+		t.Fatalf("usage hint for hot unit = %v, want %v", got, root)
+	}
+	// The root itself and parentless objects never self-cluster.
+	if got := us.Hint(root, uid.Nil, root); !got.IsNil() {
+		t.Fatalf("usage hint for root = %v, want Nil", got)
+	}
+	if got := us.Hint(id, uid.Nil, uid.Nil); !got.IsNil() {
+		t.Fatalf("usage hint without root = %v, want Nil", got)
+	}
+}
+
+func TestUnitHeatDecayAndHot(t *testing.T) {
+	h := obs.NewUnitHeat(nil, nil)
+	a, b := obs.UnitKey{Class: 1, Serial: 1}, obs.UnitKey{Class: 1, Serial: 2}
+	for i := 0; i < 8; i++ {
+		h.Touch(a)
+	}
+	h.Touch(b)
+	if hot := h.Hot(4, 0); len(hot) != 1 || hot[0] != a {
+		t.Fatalf("Hot(4) = %v", hot)
+	}
+	h.Decay() // a: 4, b: dropped
+	if h.Load(a) != 4 || h.Len() != 1 {
+		t.Fatalf("after decay: a=%d len=%d", h.Load(a), h.Len())
+	}
+	h.Forget(a)
+	if h.Len() != 0 {
+		t.Fatal("Forget left residue")
+	}
+	// Nil receiver is inert everywhere.
+	var nilHeat *obs.UnitHeat
+	nilHeat.Touch(a)
+	nilHeat.Decay()
+	if nilHeat.Load(a) != 0 || nilHeat.Hot(1, 0) != nil || nilHeat.Len() != 0 {
+		t.Fatal("nil UnitHeat not inert")
+	}
+}
+
+func TestStoreMoveAcrossSegments(t *testing.T) {
+	s := newTestStore(t, 16)
+	segA, _ := s.CreateSegment("a")
+	segHot, _ := s.CreateSegment("hot")
+	root, child := u(1, 1), u(1, 2)
+	if err := s.Put(segA, root, []byte("root"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(segA, child, []byte("child"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move(segHot, root, uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move(segHot, child, root); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uid.UID{root, child} {
+		if sg, _ := s.SegmentOf(id); sg != segHot {
+			t.Fatalf("%v in segment %d, want %d", id, sg, segHot)
+		}
+	}
+	// Clustered: the chained move lands the child on the root's page.
+	rp, _ := s.PageOf(root)
+	cp, _ := s.PageOf(child)
+	if rp != cp {
+		t.Fatalf("root on page %d, child on page %d — not clustered", rp, cp)
+	}
+	if got, _ := s.Get(root); string(got) != "root" {
+		t.Fatalf("root reads %q after move", got)
+	}
+	if got, _ := s.Get(child); string(got) != "child" {
+		t.Fatalf("child reads %q after move", got)
+	}
+	if err := s.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	// Updates now route to the hot segment even when the caller names the
+	// class segment.
+	if err := s.Put(segA, child, []byte("child2"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if sg, _ := s.SegmentOf(child); sg != segHot {
+		t.Fatal("update pulled migrated object back")
+	}
+	if err := s.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMoveWithinSegment(t *testing.T) {
+	s := newTestStore(t, 16)
+	seg, _ := s.CreateSegment("a")
+	// Fill so a and b land on different pages, then move b next to a.
+	a := u(1, 1)
+	if err := s.Put(seg, a, bytes.Repeat([]byte("A"), 1500), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	var b uid.UID
+	for i := uint64(2); ; i++ {
+		id := u(1, i)
+		if err := s.Put(seg, id, bytes.Repeat([]byte("B"), 1500), uid.Nil); err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := s.PageOf(a)
+		pb, _ := s.PageOf(id)
+		if pa != pb {
+			b = id
+			break
+		}
+	}
+	if err := s.Move(seg, b, uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(b); len(got) != 1500 {
+		t.Fatalf("b reads %d bytes after same-segment move", len(got))
+	}
+	if err := s.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMoveErrors(t *testing.T) {
+	s := newTestStore(t, 8)
+	seg, _ := s.CreateSegment("a")
+	if err := s.Move(seg, u(1, 99), uid.Nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("move of missing object: %v", err)
+	}
+	id := u(1, 1)
+	if err := s.Put(seg, id, []byte("x"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move(SegmentID(42), id, uid.Nil); !errors.Is(err, ErrNoSegment) {
+		t.Fatalf("move to missing segment: %v", err)
+	}
+	if err := s.Move(seg, uid.Nil, uid.Nil); err == nil {
+		t.Fatal("move of nil uid succeeded")
+	}
+}
+
+func TestStoreHeatAttribution(t *testing.T) {
+	// A 1-page pool forces every alternating read to miss; each miss must
+	// charge the unit root resolved by the rootOf callback.
+	dev := NewMemDevice()
+	s := NewStore(NewBufferPool(dev, 1))
+	heat := obs.NewUnitHeat(nil, nil)
+	root := u(1, 1)
+	s.SetHeat(heat, func(uid.UID) uid.UID { return root })
+	segA, _ := s.CreateSegment("a")
+	segB, _ := s.CreateSegment("b")
+	a, b := u(1, 2), u(2, 1)
+	if err := s.Put(segA, a, []byte("a"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(segB, b, []byte("b"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Get(a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := heat.Load(UnitHeatKey(root)); got < 4 {
+		t.Fatalf("heat after thrashing reads = %d, want >= 4", got)
+	}
+}

@@ -141,14 +141,28 @@ func TestStoreUpdateRelocation(t *testing.T) {
 	}
 }
 
-func TestStorePutWrongSegment(t *testing.T) {
+func TestStorePutRoutesToCurrentSegment(t *testing.T) {
+	// An update names the class's default segment, but the object may have
+	// been migrated elsewhere by the reclusterer: Put must route the update
+	// to wherever the object currently lives, never duplicate it.
 	s := newTestStore(t, 8)
 	segA, _ := s.CreateSegment("a")
 	segB, _ := s.CreateSegment("b")
 	id := u(1, 1)
-	s.Put(segA, id, []byte("x"), uid.Nil)
-	if err := s.Put(segB, id, []byte("y"), uid.Nil); err == nil {
-		t.Fatal("update in wrong segment succeeded")
+	if err := s.Put(segA, id, []byte("x"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(segB, id, []byte("y"), uid.Nil); err != nil {
+		t.Fatalf("update naming another segment: %v", err)
+	}
+	if sg, _ := s.SegmentOf(id); sg != segA {
+		t.Fatalf("update moved object to segment %d, want %d", sg, segA)
+	}
+	if got, err := s.Get(id); err != nil || string(got) != "y" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if err := s.CheckPlacement(); err != nil {
+		t.Fatal(err)
 	}
 }
 
