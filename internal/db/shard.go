@@ -1,0 +1,437 @@
+package db
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Sharding by composite unit (DESIGN.md §16). The store is partitioned
+// into N shards keyed by core.PlacementRootOf: each shard owns a page
+// device, a buffer pool, a WAL, and a group committer, so disjoint
+// composite hierarchies commit through disjoint fsync pipelines and
+// recovery replays the logs in parallel. Routing is sticky (see
+// storage.ShardedStore); a transaction that writes several shards commits
+// with a presumed-abort 2PC layered on the existing WAL markers:
+//
+//	participant logs:  OpBegin ... records ... OpPrepare(coord) | fsync
+//	coordinator log:   OpBegin ... records ... OpCommit         | fsync  ← commit point
+//	participant logs:  OpCommit (no fsync; recovery can resolve without it)
+//
+// The coordinator is the lowest participating shard index. Recovery pass 1
+// replays every shard's WAL concurrently, applying locally-decided
+// transactions and collecting prepared-but-undecided ones; pass 2 resolves
+// each in-doubt transaction by asking whether the coordinator's log
+// committed it (presumed abort otherwise).
+
+// dbShard is one store partition's I/O stack.
+type dbShard struct {
+	dev  storage.Device
+	pool *storage.BufferPool
+	st   *storage.Store
+	wal  *storage.WAL // nil for in-memory databases
+	gc   *storage.GroupCommitter
+
+	// appends/synced implement the auto-commit fsync watermark: appends
+	// counts WAL records logged to this shard, synced is the append count
+	// known covered by a completed fsync. SyncAutoCommit skips shards
+	// whose watermark is current — with many shards, an auto-commit write
+	// to one shard must not pay one fsync per shard.
+	appends atomic.Uint64
+	synced  atomic.Uint64
+}
+
+// noteSynced raises the fsync watermark to n (appends observed before the
+// sync that just completed).
+func (s *dbShard) noteSynced(n uint64) {
+	for {
+		cur := s.synced.Load()
+		if cur >= n || s.synced.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// maxShards bounds Options.Shards: the hook tracks a transaction's
+// written-shard set as a uint64 bitmask.
+const maxShards = 64
+
+const shardsFile = "shards.json"
+
+// shardFile derives shard k's file name from the legacy single-store
+// name: shard 0 keeps the original ("pages.db", "wal.log", "store.json")
+// so 1-shard databases are byte-compatible with pre-sharding layouts;
+// shard k>0 gets a -k suffix before the extension ("pages-2.db").
+func shardFile(base string, k int) string {
+	if k == 0 {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s-%d%s", strings.TrimSuffix(base, ext), k, ext)
+}
+
+// shardManifest persists the shard count in the database directory. The
+// manifest is written once at creation and wins over Options.Shards on
+// reopen: a 4-shard database reopened with default options must not
+// silently strand shards 1–3.
+type shardManifest struct {
+	Shards int `json:"shards"`
+}
+
+// resolveShards decides the shard count for a database at dir (possibly
+// "" = in-memory): the manifest if one exists, else opts (default 1),
+// writing the manifest for durable databases so the count is pinned.
+func resolveShards(dir string, want int) (int, error) {
+	if want <= 0 {
+		want = 1
+	}
+	if want > maxShards {
+		return 0, fmt.Errorf("db: Shards %d exceeds the maximum %d", want, maxShards)
+	}
+	if dir == "" {
+		return want, nil
+	}
+	path := filepath.Join(dir, shardsFile)
+	if b, err := os.ReadFile(path); err == nil {
+		var m shardManifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return 0, fmt.Errorf("db: parse %s: %w", shardsFile, err)
+		}
+		if m.Shards < 1 || m.Shards > maxShards {
+			return 0, fmt.Errorf("db: %s declares %d shards", shardsFile, m.Shards)
+		}
+		return m.Shards, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return 0, err
+	}
+	b, err := json.Marshal(shardManifest{Shards: want})
+	if err != nil {
+		return 0, err
+	}
+	// tmp+rename so a crash mid-creation leaves either no manifest (the
+	// directory has no shard files yet either) or a complete one.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return want, nil
+}
+
+// shardObs is the storage_shard_* metric family.
+type shardObs struct {
+	count          *obs.Gauge   // configured shard count
+	localCommits   *obs.Counter // transactions that committed on one shard
+	crossCommits   *obs.Counter // transactions that committed via 2PC
+	prepares       *obs.Counter // OpPrepare records written
+	replays        *obs.Counter // shard WALs replayed at recovery
+	indoubt        *obs.Gauge   // in-doubt transactions awaiting resolution
+	resolvedCommit *obs.Counter // in-doubt transactions resolved to commit
+	resolvedAbort  *obs.Counter // in-doubt transactions resolved to abort
+}
+
+func (d *DB) bindShardObs() {
+	d.so = shardObs{
+		count:          d.reg.Gauge("storage_shard_count"),
+		localCommits:   d.reg.Counter("storage_shard_local_commit_total"),
+		crossCommits:   d.reg.Counter("storage_shard_cross_commit_total"),
+		prepares:       d.reg.Counter("storage_shard_prepare_total"),
+		replays:        d.reg.Counter("storage_shard_recovery_replays_total"),
+		indoubt:        d.reg.Gauge("storage_shard_recovery_indoubt"),
+		resolvedCommit: d.reg.Counter("storage_shard_recovery_resolved_commit_total"),
+		resolvedAbort:  d.reg.Counter("storage_shard_recovery_resolved_abort_total"),
+	}
+}
+
+// shardBits expands a written-shard bitmask into sorted shard indexes.
+func shardBits(mask uint64) []int {
+	var out []int
+	for k := 0; mask != 0; k++ {
+		if mask&1 != 0 {
+			out = append(out, k)
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+// commitCrossShard runs the 2PC commit for a transaction that logged
+// records on more than one shard. Phase 1 appends a prepare record to
+// every participant (all written shards except the coordinator, the
+// lowest index) and fsyncs them in parallel; the coordinator's fsynced
+// OpCommit is then the commit point; phase 2's participant OpCommits are
+// not synced — if they are lost, recovery resolves the prepared
+// transactions against the coordinator's log. Cross-shard commits fsync
+// even when SyncWAL is off: without the prepare barrier the commit point
+// would not be a point, and a crash could apply the transaction on one
+// shard but not another.
+func (d *DB) commitCrossShard(tx uint64, shards []int) error {
+	coord, parts := shards[0], shards[1:]
+	prepData := storage.EncodePrepareData(coord)
+	for _, p := range parts {
+		if err := d.shards[p].wal.Append(storage.WALRecord{
+			Op: storage.OpPrepare, Txn: tx, Data: prepData,
+		}); err != nil {
+			return err
+		}
+	}
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			n := d.shards[p].appends.Load()
+			if errs[i] = d.shards[p].gc.Sync(); errs[i] == nil {
+				d.shards[p].noteSynced(n)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c := d.shards[coord]
+	if err := c.wal.Append(storage.WALRecord{Op: storage.OpCommit, Txn: tx}); err != nil {
+		return err
+	}
+	n := c.appends.Load()
+	if err := c.gc.Sync(); err != nil {
+		return err
+	}
+	c.noteSynced(n)
+	for _, p := range parts {
+		if err := d.shards[p].wal.Append(storage.WALRecord{Op: storage.OpCommit, Txn: tx}); err != nil {
+			return err
+		}
+	}
+	d.so.crossCommits.Inc()
+	d.so.prepares.Add(uint64(len(parts)))
+	return nil
+}
+
+// indoubtTxn is a transaction found prepared but undecided in one shard's
+// log: its buffered records plus the coordinator shard that knows its fate.
+type indoubtTxn struct {
+	coord int
+	recs  []storage.WALRecord
+}
+
+// shardReplay is the outcome of replaying one shard's WAL (recovery
+// pass 1).
+type shardReplay struct {
+	maxTxn    uint64
+	ckptSegs  storage.SegmentID // pre-replay segment boundary (checkpoint-stable IDs)
+	committed map[uint64]bool
+	indoubt   map[uint64]*indoubtTxn
+}
+
+// replayShard replays shard k's WAL into its store: auto-commit records
+// apply immediately, transactional groups apply at their local OpCommit,
+// prepared-but-undecided groups are returned for pass-2 resolution, and
+// everything else is an uncommitted tail, discarded. Safe to run
+// concurrently for different shards — each touches only its own store
+// (the shared routing table is mutex-guarded).
+func (d *DB) replayShard(k int) (*shardReplay, error) {
+	r := &shardReplay{committed: make(map[uint64]bool), indoubt: make(map[uint64]*indoubtTxn)}
+	r.ckptSegs = d.shards[k].st.NextSegment()
+	ckptSegs := r.ckptSegs
+	pending := make(map[uint64][]storage.WALRecord)
+	prepared := make(map[uint64]int)
+	err := storage.ReplayWAL(filepath.Join(d.opts.Dir, shardFile(walFile, k)), func(rec storage.WALRecord) error {
+		if rec.Txn > r.maxTxn {
+			r.maxTxn = rec.Txn
+		}
+		switch rec.Op {
+		case storage.OpBegin:
+			// Pre-seeding logs could reuse an ID after a discarded tail;
+			// a fresh Begin resets whatever the old incarnation left.
+			pending[rec.Txn] = []storage.WALRecord{}
+			delete(prepared, rec.Txn)
+			return nil
+		case storage.OpPrepare:
+			coord, err := storage.DecodePrepareData(rec.Data)
+			if err != nil {
+				return fmt.Errorf("shard %d: prepare for txn %d: %w", k, rec.Txn, err)
+			}
+			prepared[rec.Txn] = coord
+			return nil
+		case storage.OpCommit:
+			for _, buffered := range pending[rec.Txn] {
+				if err := d.applyRecord(k, ckptSegs, buffered); err != nil {
+					return err
+				}
+			}
+			r.committed[rec.Txn] = true
+			delete(pending, rec.Txn)
+			delete(prepared, rec.Txn)
+			return nil
+		case storage.OpAbort:
+			delete(pending, rec.Txn)
+			delete(prepared, rec.Txn)
+			return nil
+		default:
+			if rec.Txn != 0 {
+				pending[rec.Txn] = append(pending[rec.Txn], rec)
+				return nil
+			}
+			return d.applyRecord(k, ckptSegs, rec)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("db: shard %d WAL replay: %w", k, err)
+	}
+	for tx, coord := range prepared {
+		r.indoubt[tx] = &indoubtTxn{coord: coord, recs: pending[tx]}
+	}
+	d.so.replays.Inc()
+	return r, nil
+}
+
+// applyRecord applies one WAL record to shard k's store (shard-scoped
+// twin of the pre-sharding recovery apply).
+func (d *DB) applyRecord(k int, ckptSegs storage.SegmentID, rec storage.WALRecord) error {
+	st := d.shards[k].st
+	switch rec.Op {
+	case storage.OpPut:
+		// Prefer the segment persisted with the record; fall back to the
+		// class assignment when the record predates segment logging or
+		// references a post-checkpoint segment (their IDs are replay-order-
+		// dependent).
+		seg := rec.Seg
+		if seg == 0 || seg >= ckptSegs || !st.HasSegment(seg) {
+			var err error
+			if seg, err = d.segmentForClassIn(k, rec.UID.Class); err != nil {
+				return err
+			}
+		}
+		return d.store.Put(k, seg, rec.UID, rec.Data, rec.Near)
+	case storage.OpDelete:
+		if err := d.store.Delete(rec.UID); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return err
+		}
+		return nil
+	case storage.OpMove:
+		// A reclusterer migration within this shard. The target segment
+		// travels by NAME; skip moves of objects that don't exist at this
+		// log position (their creating transaction was discarded).
+		if !st.Has(rec.UID) {
+			return nil
+		}
+		name := string(rec.Data)
+		if name == "" {
+			return fmt.Errorf("db: OpMove for %v without a segment name", rec.UID)
+		}
+		seg, ok := st.SegmentByName(name)
+		if !ok {
+			var err error
+			if seg, err = st.CreateSegment(name); err != nil {
+				return err
+			}
+		}
+		return d.store.Move(k, seg, rec.UID, rec.Near)
+	default:
+		return fmt.Errorf("db: unknown WAL op %d", rec.Op)
+	}
+}
+
+// recoverShards is the sharded recovery core: load per-shard checkpoint
+// metas, rebuild the routing table, replay every shard's WAL in parallel
+// (pass 1), then resolve in-doubt 2PC transactions against their
+// coordinator's verdict (pass 2). Returns the highest transaction ID seen
+// in any log, for seeding the transaction-ID counter.
+func (d *DB) recoverShards(loadMeta func(name string, fn func(*bytes.Reader) error) error) (uint64, error) {
+	for k := range d.shards {
+		st := d.shards[k].st
+		if err := loadMeta(shardFile(storeFile, k), func(r *bytes.Reader) error { return st.LoadMeta(r) }); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.store.Reindex(); err != nil {
+		return 0, err
+	}
+	replays := make([]*shardReplay, len(d.shards))
+	errs := make([]error, len(d.shards))
+	var wg sync.WaitGroup
+	for k := range d.shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			replays[k], errs[k] = d.replayShard(k)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	var maxTxn uint64
+	for _, r := range replays {
+		if r.maxTxn > maxTxn {
+			maxTxn = r.maxTxn
+		}
+	}
+	// Pass 2: every prepared-but-undecided transaction commits iff its
+	// coordinator's log committed it; otherwise presumed abort. The
+	// participant's buffered records then apply (or drop) exactly as a
+	// local commit/abort would have.
+	for k, r := range replays {
+		for tx, ind := range r.indoubt {
+			d.so.indoubt.Add(1)
+			if ind.coord < 0 || ind.coord >= len(d.shards) {
+				return 0, fmt.Errorf("db: shard %d: txn %d prepared with coordinator %d of %d shards",
+					k, tx, ind.coord, len(d.shards))
+			}
+			if replays[ind.coord].committed[tx] {
+				for _, rec := range ind.recs {
+					if err := d.applyRecord(k, r.ckptSegs, rec); err != nil {
+						return 0, fmt.Errorf("db: shard %d: resolve txn %d: %w", k, tx, err)
+					}
+				}
+				d.so.resolvedCommit.Inc()
+			} else {
+				d.so.resolvedAbort.Inc()
+			}
+			d.so.indoubt.Add(-1)
+		}
+	}
+	return maxTxn, nil
+}
+
+// CheckShards verifies the cross-shard invariants under d.mu: every
+// object is stored by exactly the shard the routing table names (and by
+// no other), and no in-doubt 2PC transaction is outstanding — recovery
+// resolves every prepared transaction before Open returns, and at
+// quiescence (no open transactions) the hook's written-shard table must
+// be empty as well.
+func (d *DB) CheckShards() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.store.CheckShards(); err != nil {
+		return err
+	}
+	if n := d.so.indoubt.Load(); n != 0 {
+		return fmt.Errorf("db: %d in-doubt 2PC transactions outstanding", n)
+	}
+	return nil
+}
+
+// Shards returns the configured shard count.
+func (d *DB) Shards() int { return len(d.shards) }

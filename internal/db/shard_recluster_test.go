@@ -1,0 +1,193 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// defineSharedDocSchema is defineDocSchema plus a NON-exclusive "Refs"
+// composite set on Document, so a paragraph can be shared into a second
+// hierarchy — possibly rooted on another shard.
+func defineSharedDocSchema(t *testing.T, d *DB) {
+	t.Helper()
+	if _, err := d.DefineClass(schema.ClassDef{Name: "Paragraph", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Text", schema.StringDomain),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DefineClass(schema.ClassDef{Name: "Document", Attributes: []schema.AttrSpec{
+		schema.NewAttr("Title", schema.StringDomain),
+		schema.NewCompositeSetAttr("Paras", "Paragraph"),
+		schema.NewCompositeSetAttr("Refs", "Paragraph").WithExclusive(false).WithDependent(false),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardReclusterRoutingStability is the property test for the
+// sticky-routing invariant under reclustering: whatever the placement
+// policy and whatever units get hot, a recluster pass must NEVER move an
+// object to another shard — migration is a within-shard segment change
+// only. The reclusterer is driven over randomly built hierarchies (with
+// cross-shard attachments mixed in) under every placement policy, and
+// the routing table is snapshotted before and compared after each pass.
+func TestShardReclusterRoutingStability(t *testing.T) {
+	policies := []string{
+		storage.PlacementFirstParent,
+		storage.PlacementClass,
+		storage.PlacementUsage,
+	}
+	for _, policy := range policies {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", policy, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				d, err := Open(Options{Shards: 4, Placement: policy, ReclusterHotMisses: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer d.Close()
+				defineSharedDocSchema(t, d)
+				var roots []uid.UID
+				var all []uid.UID
+				for i := 0; i < 8; i++ {
+					root, members := buildDoc(t, d, fmt.Sprintf("p%d", i), 1+rng.Intn(6))
+					roots = append(roots, root)
+					all = append(all, members...)
+				}
+				// Cross-shard attachments: share a paragraph into a hierarchy
+				// that may live on another shard. Its routing must not budge
+				// now or after any recluster pass.
+				for i := 0; i < 4; i++ {
+					p, err := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("shared")},
+						core.ParentSpec{Parent: roots[rng.Intn(len(roots))], Attr: "Refs"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					all = append(all, p.UID())
+					if err := d.Attach(roots[rng.Intn(len(roots))], "Refs", p.UID()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				before := make(map[uid.UID]int)
+				for _, id := range all {
+					k, ok := d.Store().ShardOf(id)
+					if !ok {
+						t.Fatalf("%v unrouted", id)
+					}
+					before[id] = k
+				}
+				// Several passes: heat random units, write into them (heat +
+				// possible re-placement triggers), recluster, verify.
+				for pass := 0; pass < 4; pass++ {
+					for i := 0; i < 8; i++ {
+						root := roots[rng.Intn(len(roots))]
+						if err := d.Set(root, "Title", value.Str(fmt.Sprintf("w%d.%d", pass, i))); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if _, err := d.ReclusterNow(); err != nil {
+						t.Fatal(err)
+					}
+					for _, id := range all {
+						k, ok := d.Store().ShardOf(id)
+						if !ok {
+							t.Fatalf("pass %d: %v lost its routing", pass, id)
+						}
+						if k != before[id] {
+							t.Fatalf("pass %d: recluster moved %v from shard %d to %d", pass, id, before[id], k)
+						}
+					}
+					if err := d.CheckShards(); err != nil {
+						t.Fatalf("pass %d: %v", pass, err)
+					}
+					if err := d.CheckPlacement(); err != nil {
+						t.Fatalf("pass %d: %v", pass, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardReclusterCreatesPerShardUnitSegments: a unit whose members
+// span shards (via shared attachment) reclusters into a unit segment ON
+// EACH shard involved, never consolidating across the boundary.
+func TestShardReclusterUnitSpanningShards(t *testing.T) {
+	d, err := Open(Options{Shards: 4, ReclusterHotMisses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	defineSharedDocSchema(t, d)
+	// Find two roots on different shards, then share B's paragraph into
+	// A's unit so A's composite closure spans two shards.
+	byShard := map[int]uid.UID{}
+	for i := 0; i < 64 && len(byShard) < 2; i++ {
+		root, _ := buildDoc(t, d, fmt.Sprintf("s%d", i), 2)
+		k, _ := d.Store().ShardOf(root)
+		if _, ok := byShard[k]; !ok {
+			byShard[k] = root
+		}
+	}
+	if len(byShard) < 2 {
+		t.Fatal("could not place roots on two shards")
+	}
+	var rootA, rootB uid.UID
+	first := true
+	for _, r := range byShard {
+		if first {
+			rootA, first = r, false
+		} else {
+			rootB = r
+		}
+	}
+	shared, err := d.Make("Paragraph", map[string]value.Value{"Text": value.Str("x")},
+		core.ParentSpec{Parent: rootB, Attr: "Refs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(rootA, "Refs", shared.UID()); err != nil {
+		t.Fatal(err)
+	}
+	kA, _ := d.Store().ShardOf(rootA)
+	kS, _ := d.Store().ShardOf(shared.UID())
+	if kA == kS {
+		t.Fatalf("test setup: shared paragraph landed on rootA's shard %d", kA)
+	}
+	// Heat rootA's unit and recluster.
+	for i := 0; i < 4; i++ {
+		if err := d.Set(rootA, "Title", value.Str(fmt.Sprintf("h%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.ReclusterNow(); err != nil {
+		t.Fatal(err)
+	}
+	if k, _ := d.Store().ShardOf(shared.UID()); k != kS {
+		t.Fatalf("shared member moved from shard %d to %d", kS, k)
+	}
+	name := fmt.Sprintf("unit:%d.%d", rootA.Class, rootA.Serial)
+	if _, ok := d.Store().Shard(kA).SegmentByName(name); !ok {
+		t.Fatalf("unit segment %q missing on root's shard %d", name, kA)
+	}
+	if seg, ok := d.Store().Shard(kS).SegmentByName(name); ok {
+		// A unit segment on the shared member's shard is fine — but the
+		// member must be in it, on ITS shard, not rootA's.
+		if got, _ := d.Store().Shard(kS).SegmentOf(shared.UID()); got != seg {
+			t.Fatalf("shared member in segment %d, unit segment is %d", got, seg)
+		}
+	}
+	if err := d.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+}

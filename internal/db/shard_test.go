@@ -1,0 +1,397 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/uid"
+	"repro/internal/value"
+)
+
+// twoShardDocs makes Documents until two land on different shards and
+// returns one root per shard (shard 0 first). Serial numbers are
+// assigned sequentially, so the hash routing reaches every shard within
+// a few tries.
+func twoShardDocs(t *testing.T, d *DB) (uid.UID, uid.UID) {
+	t.Helper()
+	byShard := map[int]uid.UID{}
+	for i := 0; i < 64 && len(byShard) < 2; i++ {
+		doc, err := d.Make("Document", map[string]value.Value{"Title": value.Str(fmt.Sprintf("d%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, ok := d.Store().ShardOf(doc.UID())
+		if !ok {
+			t.Fatalf("fresh doc %v unrouted", doc.UID())
+		}
+		if _, dup := byShard[k]; !dup {
+			byShard[k] = doc.UID()
+		}
+	}
+	if len(byShard) < 2 {
+		t.Fatal("could not place documents on two shards")
+	}
+	var ks []int
+	for k := range byShard {
+		ks = append(ks, k)
+	}
+	if ks[0] > ks[1] {
+		ks[0], ks[1] = ks[1], ks[0]
+	}
+	return byShard[ks[0]], byShard[ks[1]]
+}
+
+// TestShardedBasicReopen: a 4-shard database keeps the full Store
+// surface working, lays per-shard files on disk, survives a clean
+// close/reopen, and the manifest pins the shard count against a
+// conflicting Options.Shards on reopen.
+func TestShardedBasicReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, Shards: 4, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+	defineDocSchema(t, d)
+	var members []uid.UID
+	for i := 0; i < 8; i++ {
+		doc, ms := buildDoc(t, d, fmt.Sprintf("doc%d", i), 3)
+		_ = doc
+		members = append(members, ms...)
+	}
+	// Every member of a unit lives on its root's shard.
+	for i := 0; i < len(members); i += 4 {
+		root := members[i]
+		rk, _ := d.Store().ShardOf(root)
+		for _, id := range members[i : i+4] {
+			if k, _ := d.Store().ShardOf(id); k != rk {
+				t.Fatalf("member %v on shard %d, root %v on %d", id, k, root, rk)
+			}
+		}
+	}
+	if err := d.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-shard files exist: shard 0 keeps the classic names.
+	for _, f := range []string{"pages.db", "wal.log", "store.json", "pages-1.db", "wal-1.log", "store-1.json", "pages-3.db", "wal-3.log", "store-3.json", "shards.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	// Reopen with a CONFLICTING shard count: the manifest wins.
+	r, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Shards() != 4 {
+		t.Fatalf("reopened Shards() = %d, manifest says 4", r.Shards())
+	}
+	for _, id := range members {
+		if _, err := r.Get(id); err != nil {
+			t.Fatalf("object %v lost across reopen: %v", id, err)
+		}
+	}
+	if err := r.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossShardTxnCommitsAndRecovers: a transaction spanning two shards
+// commits through 2PC; after a crash (no checkpoint) parallel recovery
+// resolves it as committed on every shard.
+func TestCrossShardTxnCommitsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, Shards: 4, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDocSchema(t, d)
+	docA, docB := twoShardDocs(t, d)
+	if err := d.Run(func(tx *txn.Txn) error {
+		if err := tx.WriteAttr(docA, "Title", value.Str("cross-A")); err != nil {
+			return err
+		}
+		return tx.WriteAttr(docB, "Title", value.Str("cross-B"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.so.crossCommits.Load(); got != 1 {
+		t.Fatalf("cross-shard commits = %d, want 1", got)
+	}
+	if err := d.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for id, want := range map[uid.UID]string{docA: "cross-A", docB: "cross-B"} {
+		o, err := r.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := o.Get("Title").AsString(); got != want {
+			t.Fatalf("%v Title = %q, want %q", id, got, want)
+		}
+	}
+	if err := r.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossShardAbortLeavesNothing: an aborted cross-shard transaction
+// rolls back on every shard, in memory and across a crash.
+func TestCrossShardAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, Shards: 4, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDocSchema(t, d)
+	docA, docB := twoShardDocs(t, d)
+	tx := d.Begin()
+	if err := tx.WriteAttr(docA, "Title", value.Str("boom-A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteAttr(docB, "Title", value.Str("boom-B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, id := range []uid.UID{docA, docB} {
+		o, err := r.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := o.Get("Title").AsString(); got == "boom-A" || got == "boom-B" {
+			t.Fatalf("aborted write to %v survived: %q", id, got)
+		}
+	}
+	if err := r.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crossCutState describes one shard WAL's cut-relevant offsets for the
+// 2PC crash matrix.
+type crossCutState struct {
+	path     string
+	size     int64
+	cuts     []int64 // candidate truncation points
+	decision int64   // end of OpCommit (coord) / OpPrepare (participant); -1 if absent
+	phase2   int64   // end of participant's phase-2 OpCommit; -1 if absent
+}
+
+func scanCrossWAL(t *testing.T, path string, tx uint64) crossCutState {
+	t.Helper()
+	st := crossCutState{path: path, decision: -1, phase2: -1}
+	seenPrepare := false
+	err := storage.ReplayWALFrames(path, func(rec storage.WALRecord, start, end int64) error {
+		if start == 0 {
+			st.cuts = append(st.cuts, 0)
+		}
+		st.cuts = append(st.cuts, end, end-3) // boundary + torn tail
+		st.size = end
+		if rec.Txn != tx {
+			return nil
+		}
+		switch rec.Op {
+		case storage.OpPrepare:
+			seenPrepare = true
+			st.decision = end
+		case storage.OpCommit:
+			if seenPrepare {
+				st.phase2 = end
+			} else {
+				st.decision = end
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCrossShardCommitCrashAtEveryOffset is the 2PC atomicity matrix,
+// the sharded sibling of TestReclusterCrashAtEveryOffset: both shard
+// WALs are truncated at EVERY pair of frame boundaries (plus torn
+// mid-frame points) around a cross-shard commit, and each crash image
+// must recover all-or-nothing. Pairs that violate the protocol's fsync
+// ordering — the coordinator's commit point is durable only after every
+// participant's prepare, and a participant's phase-2 commit only after
+// the coordinator's — cannot arise from a crash and are skipped.
+func TestCrossShardCommitCrashAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, Shards: 2, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineDocSchema(t, d)
+	docA, docB := twoShardDocs(t, d)
+	// Pin the baseline (docs, schema) into the checkpoint so every cut
+	// point exercises only the cross-shard transaction's records.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var pA, pB uid.UID
+	if err := d.Run(func(tx *txn.Txn) error {
+		if err := tx.WriteAttr(docA, "Title", value.Str("new-A")); err != nil {
+			return err
+		}
+		if err := tx.WriteAttr(docB, "Title", value.Str("new-B")); err != nil {
+			return err
+		}
+		a, err := tx.New("Paragraph", map[string]value.Value{"Text": value.Str("pa")},
+			core.ParentSpec{Parent: docA, Attr: "Paras"})
+		if err != nil {
+			return err
+		}
+		b, err := tx.New("Paragraph", map[string]value.Value{"Text": value.Str("pb")},
+			core.ParentSpec{Parent: docB, Attr: "Paras"})
+		if err != nil {
+			return err
+		}
+		pA, pB = a.UID(), b.UID()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	crossTxn := uint64(0)
+	if err := storage.ReplayWALFrames(filepath.Join(dir, walFile), func(rec storage.WALRecord, _, _ int64) error {
+		if rec.Op == storage.OpPrepare || (rec.Op == storage.OpCommit && rec.Txn > crossTxn) {
+			crossTxn = rec.Txn
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if crossTxn == 0 {
+		t.Fatal("cross-shard transaction not found in shard 0's WAL")
+	}
+	if err := d.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal0 := scanCrossWAL(t, filepath.Join(dir, walFile), crossTxn)
+	wal1 := scanCrossWAL(t, filepath.Join(dir, shardFile(walFile, 1)), crossTxn)
+	// Coordinator is the lowest participating shard: shard 0. Its
+	// decision record is OpCommit; shard 1 carries OpPrepare (+ a phase-2
+	// OpCommit).
+	if wal0.decision < 0 || wal1.decision < 0 {
+		t.Fatalf("decision offsets not found: coord=%d part=%d", wal0.decision, wal1.decision)
+	}
+	if wal1.phase2 < 0 {
+		t.Fatal("participant phase-2 commit not found")
+	}
+
+	files := map[string][]byte{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = b
+	}
+	crash := func(t *testing.T, cut0, cut1 int64) string {
+		t.Helper()
+		dst := t.TempDir()
+		for name, b := range files {
+			if name == walFile && cut0 < int64(len(b)) {
+				b = b[:cut0]
+			}
+			if name == shardFile(walFile, 1) && cut1 < int64(len(b)) {
+				b = b[:cut1]
+			}
+			if err := os.WriteFile(filepath.Join(dst, name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dst
+	}
+
+	tried := 0
+	for _, cut0 := range wal0.cuts {
+		for _, cut1 := range wal1.cuts {
+			if cut0 < 0 || cut1 < 0 {
+				continue
+			}
+			committed := cut0 >= wal0.decision
+			// Fsync ordering: commit point durable ⇒ every prepare durable;
+			// phase-2 commit durable ⇒ commit point durable.
+			if committed && cut1 < wal1.decision {
+				continue
+			}
+			if cut1 >= wal1.phase2 && !committed {
+				continue
+			}
+			tried++
+			crashed := crash(t, cut0, cut1)
+			r, err := Open(Options{Dir: crashed})
+			if err != nil {
+				t.Fatalf("cut (%d,%d): reopen: %v", cut0, cut1, err)
+			}
+			if r.Shards() != 2 {
+				t.Fatalf("cut (%d,%d): recovered %d shards", cut0, cut1, r.Shards())
+			}
+			oA, errA := r.Get(docA)
+			oB, errB := r.Get(docB)
+			if errA != nil || errB != nil {
+				t.Fatalf("cut (%d,%d): baseline docs lost: %v %v", cut0, cut1, errA, errB)
+			}
+			gotA, _ := oA.Get("Title").AsString()
+			gotB, _ := oB.Get("Title").AsString()
+			if committed && (gotA != "new-A" || gotB != "new-B") {
+				t.Fatalf("cut (%d,%d): committed txn not applied: %q %q", cut0, cut1, gotA, gotB)
+			}
+			if !committed && (gotA == "new-A" || gotB == "new-B") {
+				t.Fatalf("cut (%d,%d): aborted txn partially applied: %q %q", cut0, cut1, gotA, gotB)
+			}
+			// The transaction's created objects follow the same fate.
+			if hasA, hasB := r.Store().Has(pA), r.Store().Has(pB); hasA != committed || hasB != committed {
+				t.Fatalf("cut (%d,%d): committed=%v but paragraphs present = %v,%v", cut0, cut1, committed, hasA, hasB)
+			}
+			if err := r.CheckShards(); err != nil {
+				t.Fatalf("cut (%d,%d): %v", cut0, cut1, err)
+			}
+			if err := r.CheckPlacement(); err != nil {
+				t.Fatalf("cut (%d,%d): %v", cut0, cut1, err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatalf("cut (%d,%d): close: %v", cut0, cut1, err)
+			}
+		}
+	}
+	if tried < 20 {
+		t.Fatalf("crash matrix exercised only %d points", tried)
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// TestSimShardedSeeds is the sharded-mode oracle run: the same random
+// workloads as TestSimInMemorySeeds, but with the store partitioned
+// across 4 shards. The model is oblivious to sharding, so lockstep
+// equality proves the shard routing is invisible to the data model; the
+// periodic integrity scan adds the cross-shard invariant (every object
+// readable from exactly one shard, no in-doubt 2PC residue).
+func TestSimShardedSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			if f := Run(Config{Seed: seed, Ops: 400, Shards: 4}); f != nil {
+				t.Fatal(f.Report())
+			}
+		})
+	}
+}
+
+// TestSimShardedDurableCrash adds durability and crash ops: every crash
+// abandons 4 shard WALs mid-workload and recovery replays them in
+// parallel, resolving any cross-shard transaction caught between its
+// prepare and decision records.
+func TestSimShardedDurableCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durable sharded sim skipped in -short")
+	}
+	for seed := int64(31); seed <= 33; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			if f := Run(Config{Seed: seed, Ops: 250, Durable: true, Crash: true, Checkpoint: true, Dir: t.TempDir(), Shards: 4}); f != nil {
+				t.Fatal(f.Report())
+			}
+		})
+	}
+}
+
+// TestConcurrentSharded: concurrent writers over a 4-shard store. The
+// shared roots scatter across shards, so transactions touching two of
+// them exercise the 2PC commit path under real contention; quiescent
+// checks verify the cross-shard invariant between rounds.
+func TestConcurrentSharded(t *testing.T) {
+	for seed := int64(41); seed <= 42; seed++ {
+		res := RunConcurrent(ConcurrentConfig{Seed: seed, Workers: 4, Ops: 120, Shards: 4})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %s", seed, res.Failure.Report())
+		}
+		if res.Committed == 0 {
+			t.Fatalf("seed %d: no transactions committed", seed)
+		}
+	}
+}
+
+// TestConcurrentShardedDurable is the full sharded soak: concurrent
+// writers, on-disk 4-shard store, crash finale with parallel recovery,
+// and the post-recovery cross-shard invariant.
+func TestConcurrentShardedDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durable sharded soak skipped in -short")
+	}
+	res := RunConcurrent(ConcurrentConfig{Seed: 47, Workers: 4, Ops: 100, Durable: true, Dir: t.TempDir(), Shards: 4})
+	if res.Failure != nil {
+		t.Fatal(res.Failure.Report())
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+}

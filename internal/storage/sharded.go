@@ -1,0 +1,310 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/uid"
+)
+
+// ShardedStore partitions objects across N independent Stores, each backed
+// by its own buffer pool (and, at the db layer, its own WAL + group
+// committer), keyed by composite unit: an object is routed to the shard of
+// its placement root, so a single-hierarchy transaction touches exactly
+// one shard and fsync bandwidth scales with the shard count.
+//
+// Routing is STICKY: an object's shard is decided at its first write
+// (the shard already recorded for its placement root, falling back to a
+// hash of the root when the root itself is new) and never changes for the
+// rest of its life — not on re-parenting Attach, not on reclustering.
+// Re-parenting an object into a hierarchy rooted on another shard
+// therefore produces a cross-shard transaction (the db layer's 2PC), not
+// a silent migration; the reclusterer moves objects only within their own
+// shard's segments. Stickiness is what makes replay deterministic: every
+// WAL record for an object lives in exactly one shard's log, so the
+// shards can be replayed in parallel, in any order.
+//
+// The routing table is not persisted separately — it is exactly the union
+// of the shard stores' directories, rebuilt by Reindex after the per-shard
+// checkpoint metas load, and maintained by Put/Delete afterwards.
+type ShardedStore struct {
+	shards []*Store
+
+	mu     sync.RWMutex
+	of     map[uid.UID]int // object → owning shard
+	graves map[uid.UID]int // deleted object → last owning shard
+}
+
+// NewShardedStore wraps the given per-shard stores. At least one shard is
+// required; a 1-shard store behaves byte-identically to the unsharded
+// layout.
+func NewShardedStore(shards []*Store) *ShardedStore {
+	if len(shards) == 0 {
+		panic("storage: NewShardedStore with zero shards")
+	}
+	return &ShardedStore{shards: shards, of: make(map[uid.UID]int), graves: make(map[uid.UID]int)}
+}
+
+// NumShards returns the shard count.
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// Shard returns shard k's underlying store (for shard-scoped segment
+// operations: replay, reclustering, checkpoint metas).
+func (s *ShardedStore) Shard(k int) *Store { return s.shards[k] }
+
+// SetHeat installs the shared unit-heat sink on every shard.
+func (s *ShardedStore) SetHeat(heat *obs.UnitHeat, rootOf func(uid.UID) uid.UID) {
+	for _, st := range s.shards {
+		st.SetHeat(heat, rootOf)
+	}
+}
+
+// HashShard is the routing fallback for objects whose placement root has
+// no recorded shard yet (a brand-new hierarchy): a stable FNV-1a hash of
+// the UID. Exported so tests can predict where a fresh root lands.
+func HashShard(id uid.UID, n int) int {
+	h := fnv.New32a()
+	var b [12]byte
+	b[0] = byte(id.Class)
+	b[1] = byte(id.Class >> 8)
+	b[2] = byte(id.Class >> 16)
+	b[3] = byte(id.Class >> 24)
+	for i := 0; i < 8; i++ {
+		b[4+i] = byte(id.Serial >> (8 * i))
+	}
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(n))
+}
+
+// ShardOf reports the shard currently owning id.
+func (s *ShardedStore) ShardOf(id uid.UID) (int, bool) {
+	s.mu.RLock()
+	k, ok := s.of[id]
+	s.mu.RUnlock()
+	return k, ok
+}
+
+// ShardFor resolves the shard a write of id must go to: the recorded
+// shard if id is live; else the shard id last lived on (its grave —
+// a transactional delete's compensating undo write, or any other
+// reincarnation of a deleted UID, MUST return to the original shard,
+// because that shard's WAL still carries the UID's history and replay
+// order across shards is undefined); else the placement root's recorded
+// shard; else a hash of the root (or of id itself when it is its own
+// root). The result only becomes sticky when a Put records it.
+func (s *ShardedStore) ShardFor(id, root uid.UID) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	s.mu.RLock()
+	k, ok := s.of[id]
+	if !ok {
+		k, ok = s.graves[id]
+	}
+	if !ok && !root.IsNil() {
+		k, ok = s.of[root]
+	}
+	s.mu.RUnlock()
+	if ok {
+		return k
+	}
+	key := root
+	if key.IsNil() {
+		key = id
+	}
+	return HashShard(key, len(s.shards))
+}
+
+// Put upserts id into the given shard (segment IDs are shard-scoped) and
+// records the routing. A put that contradicts an existing routing entry is
+// refused: it would leave the object readable from two shards.
+func (s *ShardedStore) Put(shard int, seg SegmentID, id uid.UID, rec []byte, near uid.UID) error {
+	s.mu.RLock()
+	prev, ok := s.of[id]
+	s.mu.RUnlock()
+	if ok && prev != shard {
+		return fmt.Errorf("storage: put of %v into shard %d, but it lives in shard %d", id, shard, prev)
+	}
+	if err := s.shards[shard].Put(seg, id, rec, near); err != nil {
+		return err
+	}
+	if !ok {
+		s.mu.Lock()
+		s.of[id] = shard
+		delete(s.graves, id)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Move relocates id within its own shard (the reclusterer's primitive).
+// The shard argument must match the routing table — a cross-shard move is
+// a routing violation, not a supported operation.
+func (s *ShardedStore) Move(shard int, seg SegmentID, id uid.UID, near uid.UID) error {
+	s.mu.RLock()
+	prev, ok := s.of[id]
+	s.mu.RUnlock()
+	if ok && prev != shard {
+		return fmt.Errorf("storage: move of %v in shard %d, but it lives in shard %d", id, shard, prev)
+	}
+	return s.shards[shard].Move(seg, id, near)
+}
+
+// Get reads id's record from its shard.
+func (s *ShardedStore) Get(id uid.UID) ([]byte, error) {
+	k, ok := s.ShardOf(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s.shards[k].Get(id)
+}
+
+// Has reports whether id is stored.
+func (s *ShardedStore) Has(id uid.UID) bool {
+	k, ok := s.ShardOf(id)
+	return ok && s.shards[k].Has(id)
+}
+
+// Delete removes id from its shard, demoting the routing entry to a
+// grave: the UID stays pinned to the shard whose WAL carries its
+// history, so a reincarnation (an abort's compensating re-insert, or a
+// recycled UID) cannot scatter one object's records across shard logs.
+func (s *ShardedStore) Delete(id uid.UID) error {
+	k, ok := s.ShardOf(id)
+	if !ok {
+		return ErrNotFound
+	}
+	err := s.shards[k].Delete(id)
+	if err == nil || errors.Is(err, ErrNotFound) {
+		s.mu.Lock()
+		delete(s.of, id)
+		s.graves[id] = k
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Len is the total object count across shards.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.Len()
+	}
+	return n
+}
+
+// UIDs returns every stored UID across all shards, sorted.
+func (s *ShardedStore) UIDs() []uid.UID {
+	var out []uid.UID
+	for _, st := range s.shards {
+		out = append(out, st.UIDs()...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
+// SegmentOf returns the (shard-scoped) segment id lives in.
+func (s *ShardedStore) SegmentOf(id uid.UID) (SegmentID, bool) {
+	k, ok := s.ShardOf(id)
+	if !ok {
+		return 0, false
+	}
+	return s.shards[k].SegmentOf(id)
+}
+
+// PageOf returns the (shard-scoped) page id lives on.
+func (s *ShardedStore) PageOf(id uid.UID) (PageID, bool) {
+	k, ok := s.ShardOf(id)
+	if !ok {
+		return 0, false
+	}
+	return s.shards[k].PageOf(id)
+}
+
+// SegmentByName scans the shards in order and returns the first segment
+// with that name. Segment namespaces are per-shard, so the same name may
+// exist on several shards (e.g. the per-unit recluster segments); callers
+// that care which shard answered should go through Shard(k) directly.
+// With one shard this is exactly Store.SegmentByName.
+func (s *ShardedStore) SegmentByName(name string) (SegmentID, bool) {
+	for _, st := range s.shards {
+		if seg, ok := st.SegmentByName(name); ok {
+			return seg, true
+		}
+	}
+	return 0, false
+}
+
+// Reindex rebuilds the routing table from the shard stores' contents —
+// called after checkpoint metas load, before WAL replay. An object found
+// in two shards is a hard error: the one-shard-per-object invariant was
+// already broken on disk.
+func (s *ShardedStore) Reindex() error {
+	of := make(map[uid.UID]int)
+	for k, st := range s.shards {
+		for _, id := range st.UIDs() {
+			if prev, dup := of[id]; dup {
+				return fmt.Errorf("storage: %v present in shards %d and %d", id, prev, k)
+			}
+			of[id] = k
+		}
+	}
+	s.mu.Lock()
+	s.of = of
+	s.graves = make(map[uid.UID]int)
+	s.mu.Unlock()
+	return nil
+}
+
+// ClearGraves forgets the deleted-UID pins. Only valid right after a
+// checkpoint has truncated every shard WAL: with no history left in any
+// log, a recycled UID may safely start a fresh life on any shard.
+func (s *ShardedStore) ClearGraves() {
+	s.mu.Lock()
+	s.graves = make(map[uid.UID]int)
+	s.mu.Unlock()
+}
+
+// CheckShards verifies the cross-shard invariant: the routing table and
+// the union of shard contents are exactly the same set, and no object is
+// stored by more than one shard.
+func (s *ShardedStore) CheckShards() error {
+	s.mu.RLock()
+	of := make(map[uid.UID]int, len(s.of))
+	for id, k := range s.of {
+		of[id] = k
+	}
+	s.mu.RUnlock()
+	total := 0
+	for k, st := range s.shards {
+		for _, id := range st.UIDs() {
+			owner, ok := of[id]
+			if !ok {
+				return fmt.Errorf("storage: %v stored in shard %d but unrouted", id, k)
+			}
+			if owner != k {
+				return fmt.Errorf("storage: %v stored in shard %d but routed to shard %d", id, k, owner)
+			}
+			total++
+		}
+	}
+	if total != len(of) {
+		return fmt.Errorf("storage: routing table has %d entries, shards store %d objects", len(of), total)
+	}
+	return nil
+}
+
+// CheckPlacement runs every shard's exactly-one-location scan plus the
+// cross-shard routing invariant.
+func (s *ShardedStore) CheckPlacement() error {
+	for k, st := range s.shards {
+		if err := st.CheckPlacement(); err != nil {
+			return fmt.Errorf("shard %d: %w", k, err)
+		}
+	}
+	return s.CheckShards()
+}

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/uid"
+)
+
+func newTestSharded(t *testing.T, n int) *ShardedStore {
+	t.Helper()
+	shards := make([]*Store, n)
+	for k := range shards {
+		shards[k] = NewStore(NewBufferPool(NewMemDevice(), 16))
+	}
+	return NewShardedStore(shards)
+}
+
+// seg creates (or finds) a segment named name on shard k.
+func shardSeg(t *testing.T, s *ShardedStore, k int, name string) SegmentID {
+	t.Helper()
+	st := s.Shard(k)
+	if seg, ok := st.SegmentByName(name); ok {
+		return seg
+	}
+	seg, err := st.CreateSegment(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestShardedPutGetDelete(t *testing.T) {
+	s := newTestSharded(t, 4)
+	id := u(1, 1)
+	k := s.ShardFor(id, uid.Nil)
+	if k != HashShard(id, 4) {
+		t.Fatalf("fresh root routed to %d, hash says %d", k, HashShard(id, 4))
+	}
+	seg := shardSeg(t, s, k, "main")
+	if err := s.Put(k, seg, id, []byte("v1"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.ShardOf(id); !ok || got != k {
+		t.Fatalf("ShardOf = %d, %v; want %d", got, ok, k)
+	}
+	rec, err := s.Get(id)
+	if err != nil || string(rec) != "v1" {
+		t.Fatalf("Get = %q, %v", rec, err)
+	}
+	if !s.Has(id) || s.Len() != 1 {
+		t.Fatal("Has/Len wrong")
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ShardOf(id); ok {
+		t.Fatal("routing entry survived delete")
+	}
+	if err := s.Delete(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestShardedRoutingIsSticky(t *testing.T) {
+	s := newTestSharded(t, 4)
+	root := u(1, 1)
+	k := s.ShardFor(root, uid.Nil)
+	seg := shardSeg(t, s, k, "main")
+	if err := s.Put(k, seg, root, []byte("root"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	// A child routes to its root's shard, whatever its own hash says.
+	child := u(2, 99)
+	if got := s.ShardFor(child, root); got != k {
+		t.Fatalf("child routed to %d, root lives in %d", got, k)
+	}
+	cseg := shardSeg(t, s, k, "main")
+	if err := s.Put(k, cseg, child, []byte("child"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	// Once recorded, the object's own entry wins even with a different root.
+	other := u(1, 2)
+	ok := s.ShardFor(other, uid.Nil)
+	oseg := shardSeg(t, s, ok, "main")
+	if err := s.Put(ok, oseg, other, []byte("other"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardFor(child, other); got != k {
+		t.Fatalf("re-parented child routed to %d, sticky shard is %d", got, k)
+	}
+}
+
+func TestShardedPutWrongShardRefused(t *testing.T) {
+	s := newTestSharded(t, 4)
+	id := u(1, 1)
+	k := s.ShardFor(id, uid.Nil)
+	seg := shardSeg(t, s, k, "main")
+	if err := s.Put(k, seg, id, []byte("v"), uid.Nil); err != nil {
+		t.Fatal(err)
+	}
+	wrong := (k + 1) % 4
+	wseg := shardSeg(t, s, wrong, "main")
+	err := s.Put(wrong, wseg, id, []byte("v"), uid.Nil)
+	if err == nil || !strings.Contains(err.Error(), "lives in shard") {
+		t.Fatalf("cross-shard put: %v", err)
+	}
+	if err := s.Move(wrong, wseg, id, uid.Nil); err == nil {
+		t.Fatal("cross-shard move accepted")
+	}
+	if err := s.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedSingleShardFastPath(t *testing.T) {
+	s := newTestSharded(t, 1)
+	for i := uint64(0); i < 32; i++ {
+		if k := s.ShardFor(u(1, i), uid.Nil); k != 0 {
+			t.Fatalf("1-shard store routed %d to shard %d", i, k)
+		}
+	}
+}
+
+func TestShardedReindexAndCheck(t *testing.T) {
+	s := newTestSharded(t, 3)
+	ids := []uid.UID{u(1, 1), u(1, 2), u(2, 7), u(3, 40)}
+	for _, id := range ids {
+		k := s.ShardFor(id, uid.Nil)
+		seg := shardSeg(t, s, k, "main")
+		if err := s.Put(k, seg, id, []byte("x"), uid.Nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reindex from shard contents reproduces the same table.
+	before := make(map[uid.UID]int)
+	for _, id := range ids {
+		before[id], _ = s.ShardOf(id)
+	}
+	if err := s.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		after, ok := s.ShardOf(id)
+		if !ok || after != before[id] {
+			t.Fatalf("%v: reindex moved %d -> %d (ok=%v)", id, before[id], after, ok)
+		}
+	}
+	if err := s.CheckShards(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.UIDs()); got != len(ids) {
+		t.Fatalf("UIDs = %d, want %d", got, len(ids))
+	}
+}
+
+func TestShardedReindexDetectsDuplicate(t *testing.T) {
+	s := newTestSharded(t, 2)
+	id := u(1, 1)
+	for k := 0; k < 2; k++ {
+		seg := shardSeg(t, s, k, "main")
+		// Bypass routing on purpose: write the same object into both
+		// shards' underlying stores.
+		if err := s.Shard(k).Put(seg, id, []byte("x"), uid.Nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Reindex(); err == nil {
+		t.Fatal("Reindex accepted a duplicated object")
+	}
+	if err := s.CheckShards(); err == nil {
+		t.Fatal("CheckShards accepted a duplicated object")
+	}
+}
+
+func TestHashShardStableAndBounded(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		counts := make([]int, n)
+		for i := uint64(0); i < 512; i++ {
+			id := u(uint32(i%5)+1, i)
+			k := HashShard(id, n)
+			if k != HashShard(id, n) {
+				t.Fatal("HashShard not deterministic")
+			}
+			if k < 0 || k >= n {
+				t.Fatalf("HashShard(%v, %d) = %d out of range", id, n, k)
+			}
+			counts[k]++
+		}
+		for k, c := range counts {
+			if c == 0 {
+				t.Fatalf("n=%d: shard %d got no objects of 512", n, k)
+			}
+		}
+	}
+}
+
+func TestPrepareDataRoundTrip(t *testing.T) {
+	for coord := 0; coord < 64; coord++ {
+		got, err := DecodePrepareData(EncodePrepareData(coord))
+		if err != nil || got != coord {
+			t.Fatalf("round trip %d -> %d, %v", coord, got, err)
+		}
+	}
+	if _, err := DecodePrepareData(nil); err == nil {
+		t.Fatal("DecodePrepareData(nil) accepted")
+	}
+}

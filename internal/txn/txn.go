@@ -169,6 +169,21 @@ func (m *Manager) Reserve() lock.TxID {
 	return lock.TxID(m.next.Add(1))
 }
 
+// SeedNext advances the transaction-ID counter so the next Begin/Reserve
+// hands out an ID strictly greater than n. Recovery calls this with the
+// highest transaction ID seen in any shard's WAL: with per-shard logs, a
+// reused ID could otherwise pair a stale prepare record surviving in one
+// shard with a fresh same-ID commit on another shard's log and mis-resolve
+// an in-doubt transaction. A no-op when the counter is already past n.
+func (m *Manager) SeedNext(n uint64) {
+	for {
+		cur := m.next.Load()
+		if cur >= n || m.next.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // undoRec is one logical undo action.
 type undoRec struct {
 	restore *object.Object // non-nil: put this before-image back
